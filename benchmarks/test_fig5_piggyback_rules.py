@@ -1,0 +1,95 @@
+"""Figure 5: cost of piggy-backed rules with a state lookup.
+
+Paper: N copies of ``result@NAddr() :- event@NAddr(), bestSucc@NAddr(
+SID, SAddr).`` share one 1 Hz timer; CPU grows roughly linearly to ~6%
+at 250 copies — *steeper* than Figure 4's private-timer rules, because
+each copy performs a table lookup ("state lookups are therefore
+costlier than private timers").
+"""
+
+import pytest
+
+from benchmarks.common import (
+    sample_to_row,
+    Row,
+    build_stable_chord,
+    measure_window,
+    mostly_increasing,
+    slope,
+    write_results,
+)
+from benchmarks.test_fig4_periodic_rules import (
+    RULE_COUNTS,
+    WARMUP,
+    WINDOW,
+    periodic_rules_program,
+)
+
+
+def piggyback_program(count: int) -> str:
+    # One shared timer produces the driving event; every copy joins the
+    # node's bestSucc table, as in the paper.
+    rules = ["drv fig5event@NAddr() :- periodic@NAddr(E, 1)."]
+    rules += [
+        f"pb{i} result{i}@NAddr() :- fig5event@NAddr(), "
+        "bestSucc@NAddr(SID, SAddr)."
+        for i in range(count)
+    ]
+    return "\n".join(rules)
+
+
+def run_one(count: int) -> Row:
+    net = build_stable_chord(num_nodes=8, seed=17, settle=30.0)
+    measured = net.live_addresses()[-1]
+    if count:
+        net.node(measured).install_source(
+            piggyback_program(count), name=f"fig5-{count}"
+        )
+    sample = measure_window(net.system, [measured], WARMUP, WINDOW)
+    return sample_to_row(f"{count} rules", sample)
+
+
+def run_sweep():
+    return [run_one(count) for count in RULE_COUNTS]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_piggyback_rule_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    write_results(
+        "fig5_piggyback_rules",
+        f"Figure 5: piggy-backed rules with a bestSucc lookup "
+        f"(window {WINDOW:.0f}s)",
+        rows,
+    )
+    cpus = [r.cpu_percent for r in rows]
+    assert mostly_increasing(cpus, tolerance=0.05), cpus
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_state_lookups_costlier_than_private_timers(benchmark):
+    """The cross-figure claim: comparing Fig 5 to Fig 4 shows state
+    lookups cost more per rule than private timers."""
+
+    def both_at_250():
+        fig4 = run_fig4_250()
+        fig5 = run_one(250)
+        return fig4, fig5
+
+    def run_fig4_250():
+        net = build_stable_chord(num_nodes=8, seed=17, settle=30.0)
+        measured = net.live_addresses()[-1]
+        net.node(measured).install_source(
+            periodic_rules_program(250), name="fig4-250"
+        )
+        sample = measure_window(net.system, [measured], WARMUP, WINDOW)
+        return sample.cpu_percent
+
+    fig4_cpu, fig5_row = benchmark.pedantic(
+        both_at_250, rounds=1, iterations=1
+    )
+    print(
+        f"\n250 rules: fig4 (private timers) {fig4_cpu:.3f}% vs "
+        f"fig5 (piggyback + lookup) {fig5_row.cpu_percent:.3f}%"
+    )
+    assert fig5_row.cpu_percent > fig4_cpu

@@ -1,0 +1,72 @@
+"""§4 in-text measurement: the cost of execution logging.
+
+Paper: enabling execution logging on a Chord node raises CPU by ~40%
+(0.98 -> 1.38) and memory by ~66% (8 MB -> 13 MB).  We measure the same
+A/B — one stabilized Chord population without tracing, one with — and
+check the shape: a clear relative overhead on both axes whose absolute
+cost remains small.
+
+Setup mirrors the paper at reduced scale: a population stabilizes, then
+a late-joining measured node (the paper's "21st node") is observed.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    Row,
+    build_stable_chord,
+    measure_window,
+    sample_to_row,
+    write_results,
+)
+
+POPULATION = 10
+WARMUP = 30.0
+WINDOW = 120.0
+
+
+def run_one(tracing: bool) -> Row:
+    net = build_stable_chord(
+        num_nodes=POPULATION, seed=17, tracing=tracing, settle=30.0
+    )
+    measured = net.add_late_node(tracing=tracing)
+    net.run_for(60.0)  # the late node joins and stabilizes
+    sample = measure_window(net.system, [measured], WARMUP, WINDOW)
+    return sample_to_row("tracing" if tracing else "baseline", sample)
+
+
+def run_experiment():
+    baseline = run_one(tracing=False)
+    traced = run_one(tracing=True)
+    return baseline, traced
+
+
+@pytest.mark.benchmark(group="logging-cost")
+def test_execution_logging_overhead(benchmark):
+    baseline, traced = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    write_results(
+        "logging_cost",
+        "S4 text: execution logging cost on the measured node "
+        f"(window {WINDOW:.0f}s)",
+        [baseline, traced],
+    )
+
+    cpu_ratio = traced.cpu_percent / baseline.cpu_percent
+    mem_delta_kib = (traced.memory_bytes - baseline.memory_bytes) / 1024.0
+    print(
+        f"\ncpu x{cpu_ratio:.2f} (paper x1.40); "
+        f"memory +{mem_delta_kib:.1f} KiB of trace state"
+    )
+
+    # Shape: clear relative CPU overhead (paper saw +40%) that is not a
+    # blow-up (the paper calls the absolute increase "minute").
+    assert 1.1 < cpu_ratio < 5.0, cpu_ratio
+    # Memory: tracing adds trace-table state.  The paper's x1.66 ratio
+    # includes ~8 MB of process base memory our stored-tuple proxy does
+    # not model, so we assert on the absolute delta instead: clearly
+    # positive, yet bounded (well under a MiB for one node).
+    assert 1.0 < mem_delta_kib < 1024.0, mem_delta_kib
+    # Tracing is node-local: it must not add network traffic.
+    assert traced.tx_messages <= baseline.tx_messages * 1.2

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""On-line ring monitoring over a running Chord deployment (§3.1).
+
+Deploys Chord, installs the paper's ring detectors *while the system
+runs*, verifies they stay quiet on a healthy ring, then injects two
+faults and shows each detector catching its target:
+
+1. a corrupted predecessor pointer -> active probing (rp1-rp3) alarms;
+2. a crashed node -> the ring heals, and a token traversal (ri2-ri6)
+   certifies ID ordering afterwards.
+
+    python examples/chord_monitoring.py
+"""
+
+from repro import ChordNetwork
+from repro.faults import FaultInjector, corrupt_pred
+from repro.monitors import (
+    OpportunisticOrderingMonitor,
+    PassiveRingMonitor,
+    RingProbeMonitor,
+    RingTraversalMonitor,
+)
+
+
+def main() -> None:
+    net = ChordNetwork(num_nodes=8, seed=3)
+    net.start()
+    print("stabilizing 8-node Chord ring...")
+    assert net.wait_stable(max_time=300.0), net.ring_errors()
+    print(f"  ring correct at t={net.system.now:.0f}s")
+
+    nodes = [net.node(a) for a in net.live_addresses()]
+    active = RingProbeMonitor(probe_period=3.0).install(nodes)
+    passive = PassiveRingMonitor().install(nodes)
+    opportunistic = OpportunisticOrderingMonitor().install(nodes)
+    traversal_monitor = RingTraversalMonitor()
+    traversal = traversal_monitor.install(nodes)
+
+    net.run_for(30.0)
+    print(
+        f"\nhealthy ring, 30 s of monitoring: "
+        f"{active.count() + passive.count() + opportunistic.count()} alarms"
+    )
+
+    # Fault 1: corrupt a predecessor pointer (re-injected so it outlives
+    # Chord's own repair long enough for a probe to land).
+    victim = net.live_addresses()[0]
+    wrong = net.live_addresses()[3]
+    print(f"\ninjecting corrupted pred on {victim} -> {wrong}")
+    for _ in range(6):
+        corrupt_pred(net.node(victim), wrong)
+        net.run_for(2.0)
+    alarms = [
+        t for t in active.alarms["inconsistentPred"] if t.values[0] == victim
+    ]
+    print(f"  active probe alarms about {victim}: {len(alarms)}")
+    for tup in alarms[:3]:
+        print(f"    {tup}")
+
+    # Fault 2: crash a node, watch the ring heal, certify by traversal.
+    injector = FaultInjector(net.system)
+    crashed = net.live_addresses()[4]
+    print(f"\ncrashing {crashed}")
+    injector.crash(crashed)
+    healed = net.wait_stable(max_time=240.0)
+    print(f"  ring healed: {healed} (t={net.system.now:.0f}s)")
+
+    nonce = traversal_monitor.start_traversal(nodes[1])
+    net.run_for(5.0)
+    oks = [t for t in traversal.alarms["orderingOK"] if t.values[1] == nonce]
+    problems = [
+        t for t in traversal.alarms["orderingProblem"] if t.values[1] == nonce
+    ]
+    if oks:
+        print(f"  traversal certificate: wraps={oks[0].values[2]} (correct)")
+    else:
+        print(f"  traversal flagged problems: {problems}")
+
+
+if __name__ == "__main__":
+    main()

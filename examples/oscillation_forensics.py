@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Catching the recycled-dead-neighbor bug (§3.1.3).
+
+Runs the *buggy* Chord variant — successor gossip adopted without
+consulting the recently-deceased list — kills one node, and watches the
+oscillation monitor escalate through the paper's three detection
+granularities: single oscillations, repeat oscillators, and the
+collaborative 'chaotic' verdict.  Then runs the *correct* variant under
+the same fault to show the detectors staying quiet.
+
+    python examples/oscillation_forensics.py
+"""
+
+from repro.faults import OscillationScenario
+from repro.chord import ChordNetwork
+from repro.monitors import OscillationMonitor
+
+
+def run_buggy() -> None:
+    print("=== buggy Chord (recycled dead neighbor) ===")
+    scenario = OscillationScenario(
+        num_nodes=8,
+        seed=11,
+        check_period=15.0,
+        repeat_threshold=3,
+        chaotic_threshold=2,
+    )
+    report = scenario.run(stabilize_time=120.0, observe_time=150.0)
+    print(f"killed node:          {report.victim}")
+    print(f"oscillations seen:    {report.oscillations}")
+    print(f"repeat oscillator reported by: {report.repeat_oscillators}")
+    print(f"declared chaotic by:  {report.chaotic}")
+    sample = scenario.handle.alarms["oscill"][:3]
+    print("first oscillation alarms:")
+    for tup in sample:
+        print(f"  {tup}")
+
+
+def run_correct() -> None:
+    print("\n=== correct Chord (faulty-guarded adoption), same fault ===")
+    net = ChordNetwork(num_nodes=8, seed=11)
+    net.start()
+    assert net.wait_stable(max_time=300.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    handle = OscillationMonitor(check_period=15.0).install(nodes)
+    victim = net.live_addresses()[4]
+    print(f"killed node:          {victim}")
+    net.kill(victim)
+    net.run_for(150.0)
+    print(f"oscillations seen:    {handle.count('oscill')}")
+    print(f"repeat oscillators:   {handle.count('repeatOscill')}")
+    print(f"chaotic verdicts:     {handle.count('chaotic')}")
+    print(f"ring healed:          {net.ring_correct()}")
+
+
+def main() -> None:
+    run_buggy()
+    run_correct()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the paper's §4 in one run.
+
+This drives the same harness the benchmark suite uses
+(``pytest benchmarks/ --benchmark-only``) but prints all results
+together, paper-style.  Expect a few minutes of wall time.
+
+    python examples/paper_experiments.py [--quick]
+
+``--quick`` shrinks sweep axes and windows (for a fast sanity pass).
+"""
+
+import sys
+
+sys.path.insert(0, ".")  # allow running from the repository root
+
+from benchmarks import common
+from benchmarks import test_fig4_periodic_rules as fig4
+from benchmarks import test_fig5_piggyback_rules as fig5
+from benchmarks import test_fig6_consistency_probes as fig6
+from benchmarks import test_fig7_snapshots as fig7
+from benchmarks import test_logging_cost as logging_cost
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        fig4.RULE_COUNTS = (0, 50, 250)
+        fig4.WINDOW = fig5.WINDOW = 30.0
+        fig6.WINDOW = fig7.WINDOW = 60.0
+        common.PAPER_RATES = (1 / 16, 1 / 4, 1.0)
+        fig6.PAPER_RATES = fig7.SNAP_RATES = common.PAPER_RATES
+
+    print("== §4 text: execution logging cost ==")
+    baseline, traced = logging_cost.run_experiment()
+    common.write_results(
+        "logging_cost", "Execution logging cost", [baseline, traced]
+    )
+    print(
+        f"  CPU x{traced.cpu_percent / baseline.cpu_percent:.2f}, "
+        f"memory x{traced.memory_bytes / baseline.memory_bytes:.2f} "
+        "(paper: x1.40 CPU, x1.66 memory)"
+    )
+
+    print("\n== Figure 4: periodic rules ==")
+    common.write_results(
+        "fig4_periodic_rules", "Figure 4", fig4.run_sweep()
+    )
+
+    print("\n== Figure 5: piggy-backed rules with state lookups ==")
+    common.write_results(
+        "fig5_piggyback_rules", "Figure 5", fig5.run_sweep()
+    )
+
+    print("\n== Figure 6: proactive consistency probes ==")
+    common.write_results(
+        "fig6_consistency_probes", "Figure 6", fig6.run_sweep()
+    )
+
+    print("\n== Figure 7: consistent snapshots ==")
+    common.write_results("fig7_snapshots", "Figure 7", fig7.run_sweep())
+
+    print("\ndone; tables persisted under benchmarks/results/")
+
+
+if __name__ == "__main__":
+    main()

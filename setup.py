@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-build-isolation` on offline hosts whose pip falls
+back to the legacy `setup.py develop` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Using Queries for Distributed Monitoring
+and Forensics" (Singh, Roscoe, Maniatis, Druschel; EuroSys 2006).
+
+A Python implementation of the P2 declarative-networking system with the
+paper's monitoring extensions: the OverLog language and its distributed
+continuous query processor, a comprehensive introspection model
+(reflection + event logging), rule-level execution tracing with
+cross-network tuple identity, a Chord DHT written in OverLog, and the
+paper's full catalogue of on-line monitors — ring checks, oscillation
+detectors, consistency probes, execution profiling, and Chandy-Lamport
+consistent snapshots with snapshot-scoped queries.
+
+Quickstart::
+
+    from repro import System
+
+    system = System(seed=1)
+    node = system.add_node("n0:10000", tracing=True)
+    node.install_source('''
+        materialize(link, 100, 20, keys(1,2)).
+        materialize(path, 100, 100, keys(1,2,3)).
+        p0 path@A(B, [A, B], W) :- link@A(B, W).
+        p1 path@B(C, [B, A] + P, W + Y) :- link@A(B, W), path@A(C, P, Y).
+    ''')
+    node.inject("link", ("n0:10000", "n1:10001", 1))
+    system.run_for(5.0)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core.system import System
+from repro.core.metrics import Meter, MetricsSample
+from repro.core.console import QueryConsole
+from repro.overlog.program import Program
+from repro.overlog.types import NodeID, INFINITY
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+from repro.chord.harness import ChordNetwork
+from repro.chord.program import ChordParams, chord_program, chord_source
+from repro.gossip.harness import GossipNetwork
+from repro.gossip.program import GossipParams, gossip_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "Meter",
+    "MetricsSample",
+    "QueryConsole",
+    "Program",
+    "NodeID",
+    "INFINITY",
+    "P2Node",
+    "Tuple",
+    "ChordNetwork",
+    "ChordParams",
+    "chord_program",
+    "chord_source",
+    "GossipNetwork",
+    "GossipParams",
+    "gossip_program",
+    "__version__",
+]

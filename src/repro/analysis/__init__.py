@@ -1,0 +1,37 @@
+"""Offline forensic analysis over the trace tables.
+
+Python-side counterparts to the OverLog trace walks of §3.2, for when a
+human (or a test) wants the whole causal story at once rather than an
+on-line traversal:
+
+- :mod:`repro.analysis.causality` — reconstruct the cross-node causal
+  chain that produced a tuple, from ``ruleExec`` + ``tupleTable``;
+- :mod:`repro.analysis.forensics` — latency breakdowns (rule / network /
+  local time) computed from a causal chain, used to cross-check the
+  on-line ep-rule profiler.
+"""
+
+from repro.analysis.causality import CausalLink, dependencies, trace_back
+from repro.analysis.forensics import LatencyBreakdown, latency_breakdown
+from repro.analysis.snapshots import (
+    SnapshotGraph,
+    gather_snapshot,
+    mutual_edges,
+    ring_properties,
+    single_points_of_failure,
+    snapshot_statistics,
+)
+
+__all__ = [
+    "CausalLink",
+    "trace_back",
+    "dependencies",
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "SnapshotGraph",
+    "gather_snapshot",
+    "ring_properties",
+    "mutual_edges",
+    "single_points_of_failure",
+    "snapshot_statistics",
+]

@@ -1,0 +1,148 @@
+"""Causal-chain reconstruction from the trace tables.
+
+``trace_back`` walks the event-causality spine of a tuple: for the
+current tuple, find the ``ruleExec`` row (IsEvent = true) whose effect
+it is, step to the cause tuple, and — when the cause arrived over the
+network — hop to the sending node via ``tupleTable``'s (SrcAddr,
+SrcTID).  The result is the chain of rule executions, newest first,
+exactly what the paper's ep rules accumulate on-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+
+@dataclass
+class Precondition:
+    """A table row whose existence allowed a rule execution to fire."""
+
+    tuple_id: int
+    contents: Optional[Tuple]  # memoized contents, if still retained
+    fetched_at: float
+
+
+@dataclass
+class CausalLink:
+    """One step: ``rule`` on ``node`` turned ``cause`` into ``effect``.
+
+    ``preconditions`` are the joined table rows recorded by the tracer
+    (ruleExec rows with IsEvent = false) — §3.4's suggestion that a
+    trace walk can "trace back individual preconditions of the
+    execution trace (e.g., specific successor tuples)".
+    """
+
+    node: str
+    rule: str
+    cause_id: int
+    effect_id: int
+    in_time: float
+    out_time: float
+    cause: Optional[Tuple]   # memoized contents, if still retained
+    effect: Optional[Tuple]
+    crossed_network: bool    # effect was shipped to another node
+    preconditions: List[Precondition] = None
+
+
+def trace_back(
+    nodes: Dict[str, P2Node],
+    start_node: str,
+    tup: Tuple,
+    max_depth: int = 100,
+) -> List[CausalLink]:
+    """Walk the causal spine of ``tup`` backwards across nodes.
+
+    ``nodes`` maps address -> node (all must have tracing enabled).
+    Returns links newest-first; an empty list means the tuple has no
+    recorded producer on ``start_node`` (e.g. it was injected).
+    """
+    chain: List[CausalLink] = []
+    node = nodes.get(start_node)
+    if node is None or node.registry is None:
+        return chain
+    current_id = node.registry.id_of(tup)
+    crossed = False
+
+    for _ in range(max_depth):
+        row = _producer_row(node, current_id)
+        if row is None:
+            # Maybe the tuple arrived over the network: hop to its source.
+            source = node.registry.source_of(current_id)
+            if source is None:
+                break
+            src_addr, src_tid = source
+            if src_addr == node.address and src_tid == current_id:
+                break
+            next_node = nodes.get(src_addr)
+            if next_node is None or next_node.registry is None:
+                break
+            node = next_node
+            current_id = src_tid
+            crossed = True
+            continue
+        _, rule, cause_id, effect_id, in_t, out_t, _ = row.values
+        chain.append(
+            CausalLink(
+                node=node.address,
+                rule=rule,
+                cause_id=cause_id,
+                effect_id=effect_id,
+                in_time=in_t,
+                out_time=out_t,
+                cause=node.registry.lookup(cause_id),
+                effect=node.registry.lookup(effect_id),
+                crossed_network=crossed,
+                preconditions=_preconditions_of(node, rule, effect_id),
+            )
+        )
+        crossed = False
+        current_id = cause_id
+    return chain
+
+
+def _preconditions_of(node: P2Node, rule: str, effect_id: int):
+    """Precondition rows (IsEvent=false) of one rule execution."""
+    out: List[Precondition] = []
+    if not node.store.has("ruleExec"):
+        return out
+    for row in node.store.get("ruleExec").scan():
+        _, r, cause_id, eid, in_t, _, is_event = row.values
+        if r == rule and eid == effect_id and is_event is False:
+            out.append(
+                Precondition(
+                    tuple_id=cause_id,
+                    contents=node.registry.lookup(cause_id),
+                    fetched_at=in_t,
+                )
+            )
+    return out
+
+
+def dependencies(chain: List[CausalLink], name: str) -> List[Tuple]:
+    """All precondition tuples named ``name`` anywhere in a chain.
+
+    §3.4's oscillator forensics: given a lookup's chain, ask which
+    ``succ``/``finger`` rows it depended on, then check those against
+    the oscillation reports.
+    """
+    out: List[Tuple] = []
+    for link in chain:
+        for precondition in link.preconditions or ():
+            contents = precondition.contents
+            if contents is not None and contents.name == name:
+                out.append(contents)
+    return out
+
+
+def _producer_row(node: P2Node, effect_id: int):
+    """The IsEvent=true ruleExec row whose effect is ``effect_id``."""
+    if not node.store.has("ruleExec"):
+        return None
+    for row in node.store.get("ruleExec").scan():
+        if row.values[3] == effect_id and row.values[6] is True:
+            return row
+    return None

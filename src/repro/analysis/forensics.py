@@ -1,0 +1,68 @@
+"""Latency breakdowns from causal chains.
+
+Splits the end-to-end latency of a traced computation into the paper's
+three bins — time inside rule strands, time crossing the network, and
+time spent locally between rules — mirroring what the ep1-ep6 OverLog
+rules accumulate on-line.  Tests use this to cross-check the on-line
+profiler against an independent implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.causality import CausalLink
+
+
+@dataclass
+class LatencyBreakdown:
+    """Accumulated time per bin, in (virtual) seconds."""
+
+    rule_time: float = 0.0
+    net_time: float = 0.0
+    local_time: float = 0.0
+    hops: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.rule_time + self.net_time + self.local_time
+
+
+def latency_breakdown(
+    chain: List[CausalLink], observed_at: float = None
+) -> LatencyBreakdown:
+    """Fold a newest-first causal chain into a latency breakdown.
+
+    For each link, the rule's own execution time (out - in) goes to
+    ``rule_time``.  The gap between a link's output and the downstream
+    link's input goes to ``net_time`` when the tuple crossed the network
+    and to ``local_time`` otherwise — the same attribution rules ep3/ep4
+    implement.
+
+    ``observed_at`` is when the final tuple was observed at its
+    destination; passing it also accounts the last delivery hop (the
+    gap between the newest link's output and the observation), matching
+    the on-line profiler's totals.
+    """
+    out = LatencyBreakdown()
+    if observed_at is not None and chain:
+        newest = chain[0]
+        gap = max(observed_at - newest.out_time, 0.0)
+        if newest.crossed_network:
+            out.net_time += gap
+        else:
+            out.local_time += gap
+    for index, link in enumerate(chain):
+        out.rule_time += max(link.out_time - link.in_time, 0.0)
+        out.hops += 1
+        if index > 0:
+            downstream = chain[index - 1]
+            gap = max(downstream.in_time - link.out_time, 0.0)
+            # ``link.crossed_network`` marks that this link's effect was
+            # shipped to the downstream link's node.
+            if link.crossed_network:
+                out.net_time += gap
+            else:
+                out.local_time += gap
+    return out

@@ -1,0 +1,161 @@
+"""Global property detection on consistent snapshots (§3.3/§3.4).
+
+"Many properties beyond consistency can be performed on thus obtained
+consistent snapshots to compute statistics, detect graph properties,
+identify vulnerabilities, etc."  This module is that toolbox: it
+gathers one snapshot ID's state from every node into a global graph
+and evaluates stable properties on it — properties that are only
+meaningful on a *consistent* cut, which is exactly what Chandy-Lamport
+provides.
+
+Detectors:
+
+- :func:`ring_properties` — is the snapped successor graph a single
+  ring covering every participant?  (wrap count, cycle structure,
+  orphaned nodes);
+- :func:`mutual_edges` — the §3.1.1 invariant, globally: every node is
+  its successor's predecessor *in the snapshot*;
+- :func:`single_points_of_failure` — articulation points of the
+  snapped routing graph (vulnerability identification);
+- :func:`snapshot_statistics` — in/out-degree stats over snapped
+  fingers (the "compute statistics" use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple as PyTuple
+
+import networkx as nx
+
+from repro.runtime.node import P2Node
+
+
+@dataclass
+class SnapshotGraph:
+    """One snapshot ID's global state, gathered from all nodes."""
+
+    snap_id: int
+    succ_edges: Dict[str, str] = field(default_factory=dict)
+    pred_edges: Dict[str, str] = field(default_factory=dict)
+    finger_edges: List[PyTuple] = field(default_factory=list)
+    participants: Set[str] = field(default_factory=set)
+
+    def successor_digraph(self) -> "nx.DiGraph":
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.participants)
+        for src, dst in self.succ_edges.items():
+            graph.add_edge(src, dst)
+        return graph
+
+    def routing_digraph(self) -> "nx.DiGraph":
+        """Successor plus finger edges — the full routing graph."""
+        graph = self.successor_digraph()
+        for src, _position, dst in self.finger_edges:
+            graph.add_edge(src, dst)
+        return graph
+
+
+def gather_snapshot(
+    nodes: Iterable[P2Node], snap_id: int
+) -> SnapshotGraph:
+    """Collect snapshot ``snap_id``'s snapped state from every node."""
+    graph = SnapshotGraph(snap_id=snap_id)
+    for node in nodes:
+        best = [
+            t
+            for t in node.query("snapBestSucc")
+            if t.values[1] == snap_id
+        ]
+        if not best:
+            continue  # this node has no state for that snapshot
+        graph.participants.add(node.address)
+        graph.succ_edges[node.address] = best[0].values[3]
+        for row in node.query("snapPred"):
+            if row.values[1] == snap_id and row.values[3] != "-":
+                graph.pred_edges[node.address] = row.values[3]
+        for row in node.query("snapFingers"):
+            if row.values[1] == snap_id:
+                graph.finger_edges.append(
+                    (node.address, row.values[2], row.values[4])
+                )
+    return graph
+
+
+@dataclass
+class RingReport:
+    """Outcome of the global ring-structure check."""
+
+    is_single_ring: bool
+    cycle: List[str]
+    orphans: Set[str]         # participants not on the main cycle
+    missing_edges: Set[str]   # participants with no snapped successor
+
+
+def ring_properties(graph: SnapshotGraph) -> RingReport:
+    """Is the snapped successor graph one ring over all participants?"""
+    missing = graph.participants - set(graph.succ_edges)
+    if not graph.succ_edges:
+        return RingReport(False, [], set(graph.participants), missing)
+    digraph = graph.successor_digraph()
+    cycles = list(nx.simple_cycles(digraph))
+    main_cycle = max(cycles, key=len) if cycles else []
+    on_cycle = set(main_cycle)
+    orphans = graph.participants - on_cycle
+    is_ring = (
+        not missing
+        and len(cycles) == 1
+        and on_cycle == graph.participants
+    )
+    return RingReport(is_ring, main_cycle, orphans, missing)
+
+
+def mutual_edges(graph: SnapshotGraph) -> List[str]:
+    """Violations of 'I am my successor's predecessor', on the cut.
+
+    Returns human-readable violation strings (empty = invariant holds).
+    """
+    violations: List[str] = []
+    for src, dst in sorted(graph.succ_edges.items()):
+        claimed_pred = graph.pred_edges.get(dst)
+        if claimed_pred != src:
+            violations.append(
+                f"{src} -> succ {dst}, but {dst}'s snapped pred is "
+                f"{claimed_pred}"
+            )
+    return violations
+
+
+def single_points_of_failure(graph: SnapshotGraph) -> Set[str]:
+    """Articulation points of the undirected routing graph: nodes whose
+    loss disconnects somebody (vulnerability identification)."""
+    undirected = graph.routing_digraph().to_undirected()
+    if undirected.number_of_nodes() < 3:
+        return set()
+    return set(nx.articulation_points(undirected))
+
+
+@dataclass
+class SnapshotStatistics:
+    participants: int
+    finger_edges: int
+    mean_out_degree: float
+    max_in_degree: int
+    most_pointed_at: Optional[str]
+
+
+def snapshot_statistics(graph: SnapshotGraph) -> SnapshotStatistics:
+    """Degree statistics over the snapped routing graph."""
+    routing = graph.routing_digraph()
+    n = routing.number_of_nodes()
+    in_degrees = dict(routing.in_degree())
+    most = max(in_degrees, key=in_degrees.get) if in_degrees else None
+    return SnapshotStatistics(
+        participants=len(graph.participants),
+        finger_edges=len(graph.finger_edges),
+        mean_out_degree=(
+            sum(d for _, d in routing.out_degree()) / n if n else 0.0
+        ),
+        max_in_degree=in_degrees.get(most, 0) if most else 0,
+        most_pointed_at=most,
+    )

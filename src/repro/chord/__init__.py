@@ -1,0 +1,18 @@
+"""P2-Chord: the Chord DHT written in OverLog, plus a deployment harness.
+
+The program in :mod:`repro.chord.program` follows the P2 Chord of Loo et
+al. (SOSP 2005) — the system the paper runs all of its monitors against —
+with table and message names matching the paper exactly (``node``,
+``succ``, ``bestSucc``, ``pred``, ``finger``, ``uniqueFinger``,
+``pingNode``, ``faultyNode``, ``stabilizeRequest``, ``sendPred``,
+``returnSucc``, ``lookup``, ``lookupResults``), so the paper's §3
+monitoring rules install verbatim.
+
+:mod:`repro.chord.harness` builds populations of nodes, scripts joins,
+and provides oracle-side ring checks used by tests and benchmarks.
+"""
+
+from repro.chord.program import ChordParams, chord_program, chord_source
+from repro.chord.harness import ChordNetwork
+
+__all__ = ["ChordParams", "chord_program", "chord_source", "ChordNetwork"]

@@ -1,0 +1,256 @@
+"""Deployment harness for P2-Chord populations.
+
+Builds a :class:`repro.core.System`, creates N nodes with deterministic
+ring IDs, installs the Chord program, scripts staggered joins (with
+retries, since a join lookup can race the landmark's own bootstrap), and
+provides oracle-side correctness checks used by tests, examples, and the
+benchmark harness.
+
+The paper's evaluation setup is 21 virtual nodes — 20 that start and
+stabilize first, then a 21st whose costs are measured.  See
+``ChordNetwork.paper_setup`` for that exact configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.system import System
+from repro.chord import ids as ring
+from repro.chord.program import ChordParams, chord_program
+from repro.net.address import make_address
+from repro.net.topology import ConstantLatency
+from repro.overlog.types import NodeID
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+
+class ChordNetwork:
+    """A population of Chord nodes inside one simulated system."""
+
+    def __init__(
+        self,
+        num_nodes: int = 21,
+        seed: int = 0,
+        params: Optional[ChordParams] = None,
+        tracing: bool = False,
+        logging: bool = False,
+        reflection: bool = False,
+        recycle_dead_bug: bool = False,
+        latency: float = 0.01,
+    ) -> None:
+        self.params = params if params is not None else ChordParams()
+        self.system = System(
+            seed=seed,
+            latency=ConstantLatency(latency),
+            id_bits=self.params.id_bits,
+        )
+        self.program = chord_program(self.params, recycle_dead_bug)
+        self.addresses: List[str] = [
+            make_address(i) for i in range(num_nodes)
+        ]
+        self.ids: Dict[str, NodeID] = {
+            addr: ring.node_id_for(addr, self.params.id_bits)
+            for addr in self.addresses
+        }
+        self.landmark = self.addresses[0]
+        self._joined: set = set()
+        for addr in self.addresses:
+            self.system.add_node(
+                addr,
+                tracing=tracing,
+                logging=logging,
+                reflection=reflection,
+            )
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+
+    def start(
+        self,
+        join_spacing: float = 1.0,
+        join_retry: float = 15.0,
+        max_retries: int = 5,
+    ) -> None:
+        """Install Chord everywhere and schedule staggered joins.
+
+        The landmark joins first (forming the single-node ring); node i
+        joins at ``i * join_spacing``.  If a node has no successor
+        ``join_retry`` seconds after joining (its join lookup was lost
+        or raced the landmark), the join event is re-injected.
+        """
+        for addr in self.addresses:
+            self._prepare(addr)
+        for index, addr in enumerate(self.addresses):
+            self.system.sim.schedule(
+                index * join_spacing,
+                lambda a=addr: self._join(a, max_retries),
+            )
+
+    def _prepare(self, addr: str) -> None:
+        node = self.system.node(addr)
+        node.install(self.program)
+        node.inject("node", (addr, self.ids[addr]))
+        node.inject("landmark", (addr, self.landmark))
+        node.inject("nextFingerFix", (addr, 0))
+
+    def _join(self, addr: str, retries: int, join_retry: float = 15.0) -> None:
+        node = self.system.node(addr)
+        if node.stopped:
+            return
+        nonce = self.system.sim.random.stream("chord.join").randrange(1 << 31)
+        node.inject("join", (addr, nonce))
+        self._joined.add(addr)
+        if retries > 0:
+            self.system.sim.schedule(
+                join_retry,
+                lambda: self._retry_join(addr, retries - 1, join_retry),
+            )
+
+    def _retry_join(self, addr: str, retries: int, join_retry: float) -> None:
+        node = self.system.node(addr)
+        if node.stopped or node.query("bestSucc"):
+            return
+        self._join(addr, retries, join_retry)
+
+    def add_late_node(
+        self,
+        tracing: bool = False,
+        logging: bool = False,
+        reflection: bool = False,
+    ) -> str:
+        """Create one more node (joined separately) and return its address.
+
+        This is the paper's "21st node": the measured node added after
+        the rest of the population has stabilized.
+        """
+        addr = make_address(len(self.addresses))
+        self.addresses.append(addr)
+        self.ids[addr] = ring.node_id_for(addr, self.params.id_bits)
+        self.system.add_node(
+            addr, tracing=tracing, logging=logging, reflection=reflection
+        )
+        self._prepare(addr)
+        self._join(addr, retries=5)
+        return addr
+
+    @classmethod
+    def paper_setup(
+        cls, seed: int = 0, tracing: bool = False, **kwargs
+    ) -> "tuple[ChordNetwork, str]":
+        """The paper's §4 configuration: 20 nodes stabilize, then the
+        21st (measured) node joins.  Returns (network, measured_addr).
+
+        The pre-population runs for 5 simulated minutes before the
+        measured node appears, as in the paper.
+        """
+        net = cls(num_nodes=20, seed=seed, tracing=tracing, **kwargs)
+        net.start()
+        net.system.run_for(300.0)
+        measured = net.add_late_node(tracing=tracing)
+        net.system.run_for(60.0)
+        return net, measured
+
+    # ------------------------------------------------------------------
+    # Running and fault injection
+
+    def run_for(self, duration: float) -> None:
+        self.system.run_for(duration)
+
+    def kill(self, addr: str) -> None:
+        """Fail-stop one node."""
+        self.system.crash(addr)
+
+    def node(self, addr: str) -> P2Node:
+        return self.system.node(addr)
+
+    def live_addresses(self) -> List[str]:
+        return [
+            a
+            for a in self.addresses
+            if not self.system.node(a).stopped and a in self._joined
+        ]
+
+    def live_ids(self) -> Dict[str, NodeID]:
+        return {a: self.ids[a] for a in self.live_addresses()}
+
+    # ------------------------------------------------------------------
+    # Oracle checks
+
+    def best_succ_of(self, addr: str) -> Optional[str]:
+        rows = self.system.node(addr).query("bestSucc")
+        if not rows:
+            return None
+        return rows[0].values[2]
+
+    def pred_of(self, addr: str) -> Optional[str]:
+        rows = self.system.node(addr).query("pred")
+        if not rows:
+            return None
+        value = rows[0].values[2]
+        return None if value == "-" else value
+
+    def ring_correct(self) -> bool:
+        """Every live node's bestSucc matches the oracle successor map."""
+        live = self.live_ids()
+        if not live:
+            return False
+        expected = ring.successor_map(live)
+        for addr in live:
+            if self.best_succ_of(addr) != expected[addr]:
+                return False
+        return True
+
+    def ring_errors(self) -> List[str]:
+        """Human-readable list of successor mismatches (for debugging)."""
+        live = self.live_ids()
+        expected = ring.successor_map(live)
+        errors = []
+        for addr in sorted(live):
+            actual = self.best_succ_of(addr)
+            if actual != expected[addr]:
+                errors.append(
+                    f"{addr}: bestSucc={actual} expected={expected[addr]}"
+                )
+        return errors
+
+    def wait_stable(
+        self, max_time: float = 300.0, check_interval: float = 5.0
+    ) -> bool:
+        """Run until the ring is oracle-correct (or the deadline passes)."""
+        deadline = self.system.now + max_time
+        while self.system.now < deadline:
+            if self.ring_correct():
+                return True
+            self.system.run_for(check_interval)
+        return self.ring_correct()
+
+    # ------------------------------------------------------------------
+    # Lookups
+
+    def lookup(
+        self, src: str, key: NodeID, timeout: float = 10.0
+    ) -> Optional[Tuple]:
+        """Issue a lookup from ``src`` and wait for its result.
+
+        Returns the ``lookupResults`` tuple, or None on timeout (e.g.
+        the request was routed into a dead node).
+        """
+        node = self.system.node(src)
+        nonce = self.system.sim.random.stream("chord.lookup").randrange(1 << 31)
+        results: List[Tuple] = []
+
+        def on_result(tup: Tuple) -> None:
+            if tup.values[4] == nonce:
+                results.append(tup)
+
+        node.subscribe("lookupResults", on_result)
+        node.inject("lookup", (src, key, src, nonce))
+        deadline = self.system.now + timeout
+        while not results and self.system.now < deadline:
+            self.system.run_for(0.05)
+        return results[0] if results else None
+
+    def lookup_owner(self, key: NodeID) -> Optional[str]:
+        """Oracle answer for ``key`` over currently live nodes."""
+        return ring.owner_of(key, self.live_ids())

@@ -1,0 +1,60 @@
+"""Chord identifier helpers shared by the harness, tests, and monitors."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.overlog.builtins import stable_hash_id
+from repro.overlog.types import DEFAULT_ID_BITS, NodeID
+
+
+def node_id_for(address: str, bits: int = DEFAULT_ID_BITS) -> NodeID:
+    """The deterministic ring ID of a node address (SHA-1 based)."""
+    return stable_hash_id(address, bits)
+
+
+def ring_order(ids: Dict[str, NodeID]) -> List[str]:
+    """Addresses sorted clockwise by ring ID (ties broken by address)."""
+    return sorted(ids, key=lambda a: (ids[a].value, a))
+
+
+def successor_map(ids: Dict[str, NodeID]) -> Dict[str, str]:
+    """Oracle: each address's correct immediate successor on the ring."""
+    ordered = ring_order(ids)
+    return {
+        addr: ordered[(i + 1) % len(ordered)]
+        for i, addr in enumerate(ordered)
+    }
+
+
+def predecessor_map(ids: Dict[str, NodeID]) -> Dict[str, str]:
+    """Oracle: each address's correct immediate predecessor."""
+    ordered = ring_order(ids)
+    return {
+        addr: ordered[(i - 1) % len(ordered)]
+        for i, addr in enumerate(ordered)
+    }
+
+
+def owner_of(key: NodeID, ids: Dict[str, NodeID]) -> Optional[str]:
+    """Oracle: the address responsible for ``key`` (its successor)."""
+    if not ids:
+        return None
+    ordered = ring_order(ids)
+    for addr in ordered:
+        if ids[addr].value >= key.value:
+            return addr
+    return ordered[0]  # wrap around
+
+
+def count_wraps(ids: Dict[str, NodeID]) -> int:
+    """Wrap-arounds in a full clockwise traversal (1 for a correct ring)."""
+    ordered = ring_order(ids)
+    if len(ordered) < 2:
+        return 1
+    wraps = 0
+    for i, addr in enumerate(ordered):
+        succ = ordered[(i + 1) % len(ordered)]
+        if ids[addr].value >= ids[succ].value:
+            wraps += 1
+    return wraps

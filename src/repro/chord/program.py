@@ -1,0 +1,266 @@
+"""The Chord DHT as an OverLog program.
+
+Structure (rule prefixes):
+
+- ``j*``  — join protocol: a joining node looks up its own ID through a
+  landmark and adopts the result as its successor;
+- ``l*``  — lookups: the paper's rules l1-l3 (greedy finger-based
+  routing with the successor closing the interval).  l3 is split into
+  an aggregate + forward pair: the positional finger table lists the
+  same best finger at many positions, and forwarding once per matching
+  *row* (as the paper's l3 reads literally) duplicates every hop,
+  compounding exponentially along the path;
+- ``sb*`` — stabilization: ask the successor for its predecessor
+  (``stabilizeRequest``/``sendPred``) and for its successors
+  (``reqSuccList``/``returnSucc``), notify the successor of ourselves;
+- ``bs*`` — best-successor selection: min ring distance over ``succ``;
+- ``f*``  — finger fixing: periodic lookups for NID + 2**i with eager
+  filling of subsequent positions (P2 Chord's optimization);
+- ``pg*`` — liveness pings and failure detection (``pingReq`` /
+  ``pingResp`` / ``pendingPing`` / ``faultyNode``) and purging of faulty
+  state.
+
+Two variants of successor adoption exist:
+
+- the **correct** variant filters candidates against the recently
+  deceased in ``faultyNode`` (expressed with a count-guard, since the
+  dialect has no negation);
+- the **buggy** variant (``recycle_dead_bug=True``) adopts any gossiped
+  successor — the paper's §3.1.3 "recycled dead neighbor" pathology,
+  which the oscillation monitors are designed to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overlog.program import Program
+from repro.overlog.types import DEFAULT_ID_BITS
+
+
+@dataclass
+class ChordParams:
+    """Protocol timers and sizes; defaults follow the paper's §4 setup
+    (fix fingers every 10 s, stabilize every 5 s, ping every 5 s)."""
+
+    stabilize_period: float = 5.0
+    ping_period: float = 5.0
+    finger_period: float = 10.0
+    ping_timeout: float = 4.0
+    succ_ttl: float = 30.0
+    succ_size: int = 16
+    # Successor-list trimming: keep the k closest successors ("it
+    # chooses the k closest and discards the rest", §3.1.3); the table
+    # cap (succ_size) is only the hard backstop.
+    succ_keep: int = 4
+    finger_ttl: float = 180.0
+    faulty_ttl: float = 30.0
+    id_bits: int = DEFAULT_ID_BITS
+
+    def bindings(self) -> dict:
+        return {
+            "tStab": self.stabilize_period,
+            "tPing": self.ping_period,
+            "tFix": self.finger_period,
+            "tPingTimeout": self.ping_timeout,
+            "mBits": self.id_bits,
+            "succKeep": self.succ_keep,
+        }
+
+
+_TABLES = """
+materialize(node, infinity, 1, keys(1)).
+materialize(landmark, infinity, 1, keys(1)).
+materialize(joinRecord, infinity, 1, keys(1)).
+materialize(succ, {succ_ttl}, {succ_size}, keys(1,3)).
+materialize(pred, infinity, 1, keys(1)).
+materialize(bestSucc, {best_ttl}, 1, keys(1)).
+materialize(finger, {finger_ttl}, 160, keys(1,2)).
+materialize(uniqueFinger, {finger_ttl}, 160, keys(1,2)).
+materialize(nextFingerFix, infinity, 1, keys(1)).
+materialize(fingerLookupRecord, 60, 10, keys(1,2)).
+materialize(pingNode, 30, 64, keys(1,2)).
+materialize(pendingPing, 30, 64, keys(1,2)).
+materialize(faultyNode, {faulty_ttl}, 16, keys(1,2)).
+"""
+
+_JOIN = """
+j0 pred@NAddr(0, "-") :- join@NAddr(E).
+j1 joinRecord@NAddr(E) :- join@NAddr(E), node@NAddr(NID),
+   landmark@NAddr(LAddr), LAddr != NAddr.
+j2 lookup@LAddr(NID, NAddr, E) :- join@NAddr(E), node@NAddr(NID),
+   landmark@NAddr(LAddr), LAddr != NAddr.
+j3 succ@NAddr(NID, NAddr) :- join@NAddr(E), node@NAddr(NID),
+   landmark@NAddr(LAddr), LAddr == NAddr.
+j4 succ@NAddr(SID, SAddr) :- lookupResults@NAddr(K, SID, SAddr, E, RespAddr),
+   joinRecord@NAddr(E).
+"""
+
+_LOOKUP = """
+l1 lookupResults@ReqAddr(K, SID, SAddr, E, NAddr) :- node@NAddr(NID),
+   lookup@NAddr(K, ReqAddr, E), bestSucc@NAddr(SID, SAddr), K in (NID, SID].
+l2 bestLookupDist@NAddr(K, ReqAddr, E, min<D>) :- node@NAddr(NID),
+   lookup@NAddr(K, ReqAddr, E), finger@NAddr(FPos, FID, FAddr),
+   D := K - FID - 1, FID in (NID, K).
+l3 lookupFwd@NAddr(K, ReqAddr, E, min<FAddr>) :- node@NAddr(NID),
+   bestLookupDist@NAddr(K, ReqAddr, E, D), finger@NAddr(FPos, FID, FAddr),
+   D == K - FID - 1, FID in (NID, K).
+l3b lookup@FAddr(K, ReqAddr, E) :- lookupFwd@NAddr(K, ReqAddr, E, FAddr).
+"""
+
+_STABILIZE_COMMON = """
+sb1 stabilizeRequest@SAddr(NID, NAddr) :- periodic@NAddr(E, tStab),
+    bestSucc@NAddr(SID, SAddr), node@NAddr(NID), SAddr != NAddr.
+sb2 sendPred@ReqAddr(PID, PAddr, NAddr) :- stabilizeRequest@NAddr(SomeID, ReqAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-", PAddr != ReqAddr.
+sb5 notify@SAddr(NID, NAddr) :- periodic@NAddr(E, tStab), node@NAddr(NID),
+    bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+sb6 pred@NAddr(PID, PAddr) :- notify@NAddr(PID, PAddr), node@NAddr(NID),
+    pred@NAddr(OldID, OldAddr), PAddr != NAddr,
+    (OldAddr == "-") || (PID in (OldID, NID)).
+sb8 reqSuccList@SAddr(NAddr) :- periodic@NAddr(E, tStab),
+    bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+sb9 returnSucc@ReqAddr(SID, SAddr, NAddr) :- reqSuccList@NAddr(ReqAddr),
+    succ@NAddr(SID, SAddr), SAddr != ReqAddr.
+sb13 selfStab@NAddr(E) :- periodic@NAddr(E, tStab),
+     bestSucc@NAddr(SID, SAddr), SAddr == NAddr.
+sb14 succ@NAddr(PID, PAddr) :- selfStab@NAddr(E), pred@NAddr(PID, PAddr),
+     PAddr != "-", PAddr != NAddr.
+sb15 bestCount@NAddr(count<*>) :- periodic@NAddr(E, tStab),
+     bestSucc@NAddr(SID, SAddr).
+sb16 succ@NAddr(PID, PAddr) :- bestCount@NAddr(C), C == 0,
+     pred@NAddr(PID, PAddr), PAddr != "-", PAddr != NAddr.
+sw1 succCount@NAddr(count<*>) :- succ@NAddr(SID, SAddr).
+sw2 evictSucc@NAddr(T) :- succCount@NAddr(C), C > succKeep, T := f_now().
+sw3 maxSuccDist@NAddr(max<D>) :- evictSucc@NAddr(T), succ@NAddr(SID, SAddr),
+    node@NAddr(NID), D := SID - NID - 1.
+sw4 delete succ@NAddr(SID, SAddr) :- maxSuccDist@NAddr(D),
+    succ@NAddr(SID, SAddr), node@NAddr(NID), D == SID - NID - 1.
+"""
+
+# Correct successor adoption: a count-guard keeps recently deceased
+# neighbors (still in faultyNode) from being recycled into succ.
+_ADOPT_CORRECT = """
+sb3 predCand@NAddr(SID, SAddr, count<*>) :- sendPred@NAddr(SID, SAddr, Src),
+    faultyNode@NAddr(SAddr, T).
+sb4 succ@NAddr(SID, SAddr) :- predCand@NAddr(SID, SAddr, C), C == 0.
+sb10 succCand@NAddr(SID, SAddr, count<*>) :- returnSucc@NAddr(SID, SAddr, Src),
+     faultyNode@NAddr(SAddr, T).
+sb7 succ@NAddr(SID, SAddr) :- succCand@NAddr(SID, SAddr, C), C == 0.
+sb11a stabRefresh@NAddr(SID, SAddr) :- periodic@NAddr(E, tStab),
+      bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+sb11 stabSucc@NAddr(SID, SAddr, count<*>) :- stabRefresh@NAddr(SID, SAddr),
+     faultyNode@NAddr(SAddr, T).
+sb12 succ@NAddr(SID, SAddr) :- stabSucc@NAddr(SID, SAddr, C), C == 0.
+"""
+
+# Buggy adoption (the paper's §3.1.3 pathology): gossiped state is
+# adopted unconditionally, so a dead neighbor keeps oscillating back in.
+_ADOPT_BUGGY = """
+sb4 succ@NAddr(SID, SAddr) :- sendPred@NAddr(SID, SAddr, Src).
+sb7 succ@NAddr(SID, SAddr) :- returnSucc@NAddr(SID, SAddr, Src).
+sb12 succ@NAddr(SID, SAddr) :- periodic@NAddr(E, tStab),
+     bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+"""
+
+_BEST_SUCC = """
+bs0 succEval@NAddr(E) :- periodic@NAddr(E, tStab), node@NAddr(NID).
+bs1 bestSuccDist@NAddr(min<D>) :- succ@NAddr(SID, SAddr), node@NAddr(NID),
+    D := SID - NID - 1.
+bs1b bestSuccDist@NAddr(min<D>) :- succEval@NAddr(E), succ@NAddr(SID, SAddr),
+     node@NAddr(NID), D := SID - NID - 1.
+bs2 bestSucc@NAddr(SID, SAddr) :- bestSuccDist@NAddr(D),
+    succ@NAddr(SID, SAddr), node@NAddr(NID), D == SID - NID - 1.
+"""
+
+_FINGERS = """
+f0 finger@NAddr(0, SID, SAddr) :- bestSucc@NAddr(SID, SAddr).
+f0b finger@NAddr(0, SID, SAddr) :- succEval@NAddr(E),
+    bestSucc@NAddr(SID, SAddr).
+f1 fingerLookup@NAddr(E, I) :- periodic@NAddr(E, tFix),
+   nextFingerFix@NAddr(I).
+f2 fingerLookupRecord@NAddr(E, I) :- fingerLookup@NAddr(E, I).
+f3 lookup@NAddr(K, NAddr, E) :- fingerLookup@NAddr(E, I), node@NAddr(NID),
+   K := NID + f_pow(2, I).
+f4 eagerFinger@NAddr(I, BID, BAddr) :-
+   lookupResults@NAddr(K, BID, BAddr, E, RespAddr),
+   fingerLookupRecord@NAddr(E, I).
+f5 finger@NAddr(I, BID, BAddr) :- eagerFinger@NAddr(I, BID, BAddr).
+f6 uniqueFinger@NAddr(BAddr, BID) :- eagerFinger@NAddr(I, BID, BAddr).
+f7 eagerFinger@NAddr(I1, BID, BAddr) :- eagerFinger@NAddr(I, BID, BAddr),
+   node@NAddr(NID), I1 := I + 1, I1 < mBits, K := NID + f_pow(2, I1),
+   K in (NID, BID], BAddr != NAddr.
+f8 nextFingerFix@NAddr(I1) :- eagerFinger@NAddr(I, BID, BAddr),
+   I1 := (I + 1) % mBits.
+f9 delete fingerLookupRecord@NAddr(E, I) :- eagerFinger@NAddr(I, BID, BAddr),
+   fingerLookupRecord@NAddr(E, I).
+"""
+
+_PINGS = """
+pp0 pingEval@NAddr(E) :- periodic@NAddr(E, tPing), node@NAddr(NID).
+pp1 pingNode@NAddr(SAddr) :- succ@NAddr(SID, SAddr), SAddr != NAddr.
+pp2 pingNode@NAddr(PAddr) :- pred@NAddr(PID, PAddr), PAddr != "-",
+    PAddr != NAddr.
+pp3 pingNode@NAddr(FAddr) :- uniqueFinger@NAddr(FAddr, FID), FAddr != NAddr.
+pp4 pingNode@NAddr(SAddr) :- pingEval@NAddr(E), succ@NAddr(SID, SAddr),
+    SAddr != NAddr.
+pp5 pingNode@NAddr(PAddr) :- pingEval@NAddr(E), pred@NAddr(PID, PAddr),
+    PAddr != "-", PAddr != NAddr.
+pp6 pingNode@NAddr(FAddr) :- pingEval@NAddr(E),
+    uniqueFinger@NAddr(FAddr, FID), FAddr != NAddr.
+pg0 doPing@NAddr(RAddr, T) :- periodic@NAddr(E, tPing),
+    pingNode@NAddr(RAddr), T := f_now().
+pg1 pingReq@RAddr(NAddr) :- doPing@NAddr(RAddr, T).
+pg2a pendCount@NAddr(RAddr, T, count<*>) :- doPing@NAddr(RAddr, T),
+     pendingPing@NAddr(RAddr, T2).
+pg2 pendingPing@NAddr(RAddr, T) :- pendCount@NAddr(RAddr, T, C), C == 0.
+pg3 pingResp@SAddr(NAddr) :- pingReq@NAddr(SAddr).
+pg4 delete pendingPing@NAddr(RAddr, T) :- pingResp@NAddr(RAddr).
+pg5 faultyNode@NAddr(RAddr, T) :- periodic@NAddr(E, tPing),
+    pendingPing@NAddr(RAddr, T1), T1 < f_now() - tPingTimeout, T := f_now().
+pg6 delete succ@NAddr(SID, FAddr) :- faultyNode@NAddr(FAddr, T).
+pg7 delete finger@NAddr(FPos, FID, FAddr) :- faultyNode@NAddr(FAddr, T).
+pg8 delete uniqueFinger@NAddr(FAddr, FID) :- faultyNode@NAddr(FAddr, T).
+pg9 pred@NAddr(0, "-") :- faultyNode@NAddr(FAddr, T), pred@NAddr(PID, FAddr).
+pg10 delete pingNode@NAddr(FAddr) :- faultyNode@NAddr(FAddr, T).
+pg11 delete pendingPing@NAddr(FAddr, T2) :- faultyNode@NAddr(FAddr, T).
+"""
+
+
+def chord_source(
+    params: ChordParams = None, recycle_dead_bug: bool = False
+) -> str:
+    """Assemble the OverLog source text for the Chord program."""
+    params = params if params is not None else ChordParams()
+    tables = _TABLES.format(
+        succ_ttl=params.succ_ttl,
+        succ_size=params.succ_size,
+        finger_ttl=params.finger_ttl,
+        faulty_ttl=params.faulty_ttl,
+        best_ttl=3.0 * params.stabilize_period,
+    )
+    adopt = _ADOPT_BUGGY if recycle_dead_bug else _ADOPT_CORRECT
+    return "\n".join(
+        [
+            tables,
+            _JOIN,
+            _LOOKUP,
+            _STABILIZE_COMMON,
+            adopt,
+            _BEST_SUCC,
+            _FINGERS,
+            _PINGS,
+        ]
+    )
+
+
+def chord_program(
+    params: ChordParams = None, recycle_dead_bug: bool = False
+) -> Program:
+    """Compile the Chord program with the given parameters."""
+    params = params if params is not None else ChordParams()
+    return Program.compile(
+        chord_source(params, recycle_dead_bug),
+        name="chord" + ("-buggy" if recycle_dead_bug else ""),
+        bindings=params.bindings(),
+    )

@@ -1,0 +1,26 @@
+"""High-level API: the :class:`System` façade and the metrics layer.
+
+This is what a downstream user imports::
+
+    from repro.core import System
+
+    system = System(seed=7)
+    node = system.add_node("n0:10000", tracing=True)
+    node.install_source(my_overlog_program)
+    system.run_for(60.0)
+
+plus :class:`Meter` / :class:`MetricsSample` for the measurement windows
+the benchmark harness uses to regenerate the paper's figures.
+"""
+
+from repro.core.system import System
+from repro.core.metrics import Meter, MetricsSample
+from repro.core.console import QueryConsole, StreamHandle
+
+__all__ = [
+    "System",
+    "Meter",
+    "MetricsSample",
+    "QueryConsole",
+    "StreamHandle",
+]

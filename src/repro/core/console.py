@@ -1,0 +1,149 @@
+"""Ad-hoc distributed queries over a running system (§1.3).
+
+The paper's first usage scenario: "simply querying program state and
+logs ... a scalable distributed query processor enables this approach
+to be used on-line: logs and state can be queried in place."
+
+:class:`QueryConsole` offers both flavors:
+
+- :meth:`snapshot` — an out-of-band, instantaneous read of one table
+  across nodes (the operator's "what does the system look like now");
+- :meth:`stream` — an in-band continuous query: a generated OverLog
+  rule is installed on every target node, shipping matching rows to the
+  console's own P2 node periodically, until :meth:`StreamHandle.stop`
+  uninstalls it.  This is the paper's "queries to monitor particular
+  conditions ... simply left in place" mechanism, made disposable.
+
+The console is itself a P2 node, so streamed results are ordinary
+tuples: they can be logged, traced, or queried by further rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.overlog.program import Program
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+_console_ids = itertools.count()
+
+
+class StreamHandle:
+    """A running continuous query; ``rows`` accumulates results."""
+
+    def __init__(
+        self,
+        console: "QueryConsole",
+        event_name: str,
+        installs: List,
+    ) -> None:
+        self._console = console
+        self.event_name = event_name
+        self._installs = installs  # [(node, compiled)]
+        self.rows: List[Tuple] = []
+        self.stopped = False
+
+    def stop(self) -> None:
+        """Uninstall the query's rules from every target node."""
+        if self.stopped:
+            return
+        self.stopped = True
+        for node, compiled in self._installs:
+            if compiled in node.programs:
+                node.uninstall(compiled)
+
+    def latest_by_origin(self) -> Dict[str, Tuple]:
+        """The most recent row from each origin node."""
+        out: Dict[str, Tuple] = {}
+        for row in self.rows:
+            out[row.values[1]] = row
+        return out
+
+
+class QueryConsole:
+    """An operator console attached to a running :class:`System`."""
+
+    def __init__(self, system, address: Optional[str] = None) -> None:
+        self._system = system
+        self.address = address or f"console{next(_console_ids)}:1"
+        self.node: P2Node = system.add_node(self.address)
+
+    # ------------------------------------------------------------------
+    # Out-of-band snapshot
+
+    def snapshot(
+        self,
+        table: str,
+        where: Optional[Callable[[Tuple], bool]] = None,
+    ) -> Dict[str, List[Tuple]]:
+        """Read ``table`` on every live node, optionally filtered."""
+        out: Dict[str, List[Tuple]] = {}
+        for address, node in self._system.nodes.items():
+            if node.stopped or address == self.address:
+                continue
+            rows = node.query(table)
+            if where is not None:
+                rows = [row for row in rows if where(row)]
+            out[address] = rows
+        return out
+
+    def counts(self, table: str) -> Dict[str, int]:
+        """Row count of ``table`` per node — the classic ops one-liner."""
+        return {
+            address: len(rows)
+            for address, rows in self.snapshot(table).items()
+        }
+
+    # ------------------------------------------------------------------
+    # In-band continuous query
+
+    def stream(
+        self,
+        table: str,
+        arity: int,
+        period: float = 5.0,
+        where: str = "",
+        nodes: Optional[List[P2Node]] = None,
+    ) -> StreamHandle:
+        """Install a continuous query shipping ``table`` rows here.
+
+        ``arity`` is the table's field count including the location.
+        ``where`` is an optional OverLog condition over the row's
+        variables ``F1..Fn`` (e.g. ``"F2 > 10"``).  Rows arrive as
+        ``<event> (console, origin, F1, ..., Fn)`` tuples.
+        """
+        if arity < 1:
+            raise ReproError("arity includes the location field (>= 1)")
+        event = f"consoleRow_{next(_console_ids)}"
+        fields = [f"F{i}" for i in range(1, arity)]
+        head_args = ", ".join(["NAddr"] + fields)
+        body_args = ", ".join(fields)
+        condition = f", {where}" if where else ""
+        source = (
+            f'cq {event}@"{self.address}"({head_args}) :- '
+            f"periodic@NAddr(E, {period}), "
+            f"{table}@NAddr({body_args}){condition}."
+        )
+        program = Program.compile(source, name=event)
+
+        targets = (
+            nodes
+            if nodes is not None
+            else [
+                node
+                for address, node in self._system.nodes.items()
+                if not node.stopped
+                and address != self.address
+                # Only nodes that actually materialize the table can
+                # host the query (on others the reference would be an
+                # unjoinable event).
+                and node.store.has(table)
+            ]
+        )
+        installs = [(node, node.install(program)) for node in targets]
+        handle = StreamHandle(self, event, installs)
+        self.node.subscribe(event, handle.rows.append)
+        return handle

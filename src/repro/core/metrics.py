@@ -1,0 +1,144 @@
+"""Measurement windows over a running system.
+
+The paper's §4 reports, per configuration: CPU utilization (%), process
+memory (MB), transmitted messages, and live tuples.  :class:`Meter`
+measures the simulated equivalents over a window of virtual time:
+
+- **cpu_percent** — work-model busy-seconds accumulated in the window
+  divided by the window length (×100): the simulated analogue of OS CPU%
+  (see :mod:`repro.runtime.work` for the substitution rationale);
+- **tx_messages** — network messages sent during the window (per node
+  or aggregate, matching Figures 6/7's "Tx messages");
+- **live_tuples** — mean over periodic samples of the node's total
+  table occupancy (the paper plots exactly this series);
+- **memory_bytes** — mean over samples of estimated tuple bytes (our
+  proxy for process memory, which in P2 is tuple-dominated).
+
+Usage::
+
+    meter = Meter(system, addresses=["n20:10020"])
+    meter.start()
+    system.run_for(60.0)
+    result = meter.stop()
+    print(result.cpu_percent, result.live_tuples)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass
+class MetricsSample:
+    """One measurement window's results (averaged over the node set)."""
+
+    elapsed: float
+    cpu_percent: float
+    tx_messages: int
+    live_tuples: float
+    memory_bytes: float
+    # Bytes of tuples *delivered* during the window: the transient
+    # allocation churn behind the paper's process-memory growth for
+    # rules whose outputs are events rather than stored state.
+    churn_bytes: int = 0
+    per_node_cpu: Dict[str, float] = field(default_factory=dict)
+    per_node_tx: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+class Meter:
+    """Windowed measurement of a node subset (default: all nodes)."""
+
+    def __init__(
+        self,
+        system,
+        addresses: Optional[List[str]] = None,
+        sample_period: float = 1.0,
+    ) -> None:
+        self._system = system
+        self._addresses = addresses
+        self._sample_period = sample_period
+        self._running = False
+        self._timer = None
+        self._t0 = 0.0
+        self._busy0: Dict[str, float] = {}
+        self._tx0: Dict[str, int] = {}
+        self._churn0: Dict[str, int] = {}
+        self._tuple_samples: List[float] = []
+        self._byte_samples: List[float] = []
+
+    def _targets(self) -> List[str]:
+        if self._addresses is not None:
+            return list(self._addresses)
+        return list(self._system.nodes)
+
+    def start(self) -> None:
+        if self._running:
+            raise ReproError("meter already running")
+        self._running = True
+        self._t0 = self._system.sim.now
+        self._tuple_samples = []
+        self._byte_samples = []
+        stats = self._system.network.stats
+        self._churn0 = {}
+        for address in self._targets():
+            node = self._system.node(address)
+            self._busy0[address] = node.work.busy_seconds
+            self._tx0[address] = stats.per_node_sent.get(address, 0)
+            self._churn0[address] = node.bytes_delivered
+        self._sample()
+        self._timer = self._system.sim.every(
+            self._sample_period, self._sample
+        )
+
+    def _sample(self) -> None:
+        total_tuples = 0
+        total_bytes = 0
+        for address in self._targets():
+            node = self._system.node(address)
+            total_tuples += node.live_tuples()
+            total_bytes += node.memory_bytes()
+        self._tuple_samples.append(total_tuples)
+        self._byte_samples.append(total_bytes)
+
+    def stop(self) -> MetricsSample:
+        if not self._running:
+            raise ReproError("meter not running")
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._sample()
+        elapsed = max(self._system.sim.now - self._t0, 1e-9)
+        stats = self._system.network.stats
+        per_node_cpu: Dict[str, float] = {}
+        per_node_tx: Dict[str, int] = {}
+        for address in self._targets():
+            node = self._system.node(address)
+            busy = node.work.busy_seconds - self._busy0[address]
+            per_node_cpu[address] = 100.0 * busy / elapsed
+            per_node_tx[address] = (
+                stats.per_node_sent.get(address, 0) - self._tx0[address]
+            )
+        churn = sum(
+            self._system.node(address).bytes_delivered
+            - self._churn0[address]
+            for address in self._targets()
+        )
+        n = max(len(per_node_cpu), 1)
+        return MetricsSample(
+            elapsed=elapsed,
+            cpu_percent=sum(per_node_cpu.values()) / n,
+            tx_messages=sum(per_node_tx.values()),
+            live_tuples=sum(self._tuple_samples) / len(self._tuple_samples) / n,
+            memory_bytes=sum(self._byte_samples) / len(self._byte_samples) / n,
+            churn_bytes=churn,
+            per_node_cpu=per_node_cpu,
+            per_node_tx=per_node_tx,
+        )

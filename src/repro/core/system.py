@@ -1,0 +1,126 @@
+"""The :class:`System` façade: simulator + network + nodes in one object."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.net.topology import ConstantLatency, LatencyModel
+from repro.overlog.program import Program
+from repro.overlog.types import DEFAULT_ID_BITS
+from repro.runtime.node import P2Node
+from repro.sim.simulator import Simulator
+from repro.introspect import EventLogger, Reflector, Tracer, enable_tracing
+
+
+class System:
+    """A simulated deployment of P2 nodes.
+
+    Owns the discrete-event simulator and the network; creates nodes and
+    optionally wires their introspection (tracing / event logging /
+    reflection).  All randomness derives from ``seed``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        id_bits: int = DEFAULT_ID_BITS,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            latency if latency is not None else ConstantLatency(0.01),
+            loss_rate=loss_rate,
+        )
+        self.id_bits = id_bits
+        self.nodes: Dict[Address, P2Node] = {}
+        self.tracers: Dict[Address, Tracer] = {}
+        self.loggers: Dict[Address, EventLogger] = {}
+        self.reflectors: Dict[Address, Reflector] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        address: Address,
+        tracing: bool = False,
+        logging: bool = False,
+        reflection: bool = False,
+        trace_lifetime: float = 120.0,
+        trace_entries: int = 5000,
+    ) -> P2Node:
+        """Create and register a node; optionally enable introspection."""
+        if address in self.nodes:
+            raise ReproError(f"node {address!r} already exists")
+        node = P2Node(address, self.sim, self.network, id_bits=self.id_bits)
+        self.nodes[address] = node
+        if tracing:
+            self.tracers[address] = enable_tracing(
+                node, lifetime=trace_lifetime, max_entries=trace_entries
+            )
+        if logging:
+            self.loggers[address] = EventLogger(node)
+        if reflection:
+            self.reflectors[address] = Reflector(node)
+        return node
+
+    def node(self, address: Address) -> P2Node:
+        node = self.nodes.get(address)
+        if node is None:
+            raise ReproError(f"no node {address!r}")
+        return node
+
+    def install(
+        self, program: Program, on: Optional[List[Address]] = None
+    ) -> None:
+        """Install ``program`` on the given nodes (default: all)."""
+        targets = on if on is not None else list(self.nodes)
+        for address in targets:
+            self.node(address).install(program)
+
+    def install_source(
+        self,
+        source: str,
+        name: str = "program",
+        bindings: Optional[dict] = None,
+        on: Optional[List[Address]] = None,
+    ) -> None:
+        """Compile once, install on the given nodes (default: all)."""
+        program = Program.compile(source, name=name, bindings=bindings)
+        self.install(program, on=on)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_for(duration)
+
+    def run_until(self, when: float) -> None:
+        self.sim.run_until(when)
+
+    # ------------------------------------------------------------------
+
+    def crash(self, address: Address) -> None:
+        """Fail-stop a node (it stops processing and leaves the network)."""
+        self.node(address).stop()
+
+    def live_nodes(self) -> List[Address]:
+        return [a for a, n in self.nodes.items() if not n.stopped]
+
+    def total_live_tuples(self) -> int:
+        return sum(n.live_tuples() for n in self.nodes.values())
+
+    def collect(self, name: str, on: Optional[List[Address]] = None) -> list:
+        """Subscribe on the given nodes; returns one shared live list."""
+        sink: list = []
+        targets = on if on is not None else list(self.nodes)
+        for address in targets:
+            self.node(address).subscribe(name, sink.append)
+        return sink

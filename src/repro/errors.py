@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: language errors (lexing/parsing/validation), runtime errors
+(tables, planning, dataflow execution), and simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class OverLogError(ReproError):
+    """Base class for OverLog language errors."""
+
+
+class LexError(OverLogError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(OverLogError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class ValidationError(OverLogError):
+    """Raised when a syntactically valid program fails semantic checks."""
+
+
+class EvaluationError(OverLogError):
+    """Raised when an OverLog expression cannot be evaluated."""
+
+
+class RuntimeStateError(ReproError):
+    """Base class for relational-runtime errors."""
+
+
+class SchemaError(RuntimeStateError):
+    """Raised on arity/primary-key mismatches against a table schema."""
+
+
+class UnknownTableError(RuntimeStateError):
+    """Raised when referring to a table that has not been materialized."""
+
+
+class PlannerError(RuntimeStateError):
+    """Raised when a rule cannot be compiled into a dataflow strand."""
+
+
+class SimulationError(ReproError):
+    """Raised on misuse of the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """Raised on invalid network operations (unknown address, etc.)."""

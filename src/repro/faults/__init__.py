@@ -1,0 +1,25 @@
+"""Fault injection: crashes, partitions, loss, state corruption, and the
+scripted fault scenarios the monitoring examples/tests detect.
+
+The paper's detectors are only demonstrable against misbehaving systems;
+this package supplies the misbehaviour:
+
+- :mod:`repro.faults.injector` — node crashes (immediate or scheduled),
+  link partitions, and message-loss control;
+- :mod:`repro.faults.corruption` — direct state corruption (wrong
+  predecessor / successor pointers) that the ring monitors must flag;
+- :mod:`repro.faults.scenarios` — end-to-end scenarios, e.g. the
+  recycled-dead-neighbor oscillation pathology of §3.1.3 running on the
+  buggy Chord variant.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.corruption import corrupt_best_succ, corrupt_pred
+from repro.faults.scenarios import OscillationScenario
+
+__all__ = [
+    "FaultInjector",
+    "corrupt_best_succ",
+    "corrupt_pred",
+    "OscillationScenario",
+]

@@ -1,0 +1,32 @@
+"""Direct routing-state corruption.
+
+These helpers overwrite a node's ring pointers with wrong values —
+modelling the bugs, stale state, or malicious manipulation the paper's
+ring monitors (§3.1.1-§3.1.2) exist to detect.  Corruption goes through
+the normal insert path, so delta rules and monitors observe it exactly
+as they would observe an organic fault.
+"""
+
+from __future__ import annotations
+
+from repro.chord.ids import node_id_for
+from repro.runtime.node import P2Node
+
+
+def corrupt_pred(node: P2Node, wrong_addr: str) -> None:
+    """Point ``node``'s predecessor at ``wrong_addr``."""
+    node.inject(
+        "pred", (node.address, node_id_for(wrong_addr, node.id_bits), wrong_addr)
+    )
+
+
+def corrupt_best_succ(node: P2Node, wrong_addr: str) -> None:
+    """Point ``node``'s best successor at ``wrong_addr``.
+
+    Also plants the same entry in ``succ`` so the periodic best-successor
+    recomputation does not immediately repair the corruption (letting
+    monitors observe it for at least one detection round).
+    """
+    wrong_id = node_id_for(wrong_addr, node.id_bits)
+    node.inject("succ", (node.address, wrong_id, wrong_addr))
+    node.inject("bestSucc", (node.address, wrong_id, wrong_addr))

@@ -1,0 +1,58 @@
+"""Crash, partition, and loss injection over a running system."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.system import System
+
+
+class FaultInjector:
+    """Scripted fault injection with a record of everything injected."""
+
+    def __init__(self, system: System) -> None:
+        self._system = system
+        self.log: List[Tuple[float, str, tuple]] = []
+
+    def _record(self, kind: str, args: tuple) -> None:
+        self.log.append((self._system.now, kind, args))
+
+    # ------------------------------------------------------------------
+
+    def crash(self, address: str) -> None:
+        """Fail-stop a node now."""
+        self._system.crash(address)
+        self._record("crash", (address,))
+
+    def crash_at(self, when: float, address: str) -> None:
+        """Schedule a fail-stop at absolute virtual time ``when``."""
+        self._system.sim.schedule_at(
+            when, lambda: self.crash(address)
+        )
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two nodes (both directions)."""
+        self._system.network.partition(a, b)
+        self._record("partition", (a, b))
+
+    def heal(self, a: str, b: str) -> None:
+        self._system.network.heal(a, b)
+        self._record("heal", (a, b))
+
+    def isolate(self, address: str) -> None:
+        """Partition one node from every other node (it stays alive)."""
+        for other in self._system.network.addresses:
+            if other != address:
+                self._system.network.partition(address, other)
+        self._record("isolate", (address,))
+
+    def rejoin(self, address: str) -> None:
+        """Undo :meth:`isolate`."""
+        for other in self._system.network.addresses:
+            if other != address:
+                self._system.network.heal(address, other)
+        self._record("rejoin", (address,))
+
+    def set_loss_rate(self, rate: float) -> None:
+        self._system.network.set_loss_rate(rate)
+        self._record("loss", (rate,))

@@ -1,0 +1,16 @@
+"""A second overlay, to demonstrate generality (§3.4).
+
+The paper stresses that its techniques "are not specific to Chord in
+particular or distributed hash tables in general, but apply equally
+well to other algorithms with distributed state and control."  This
+package is that demonstration: an epidemic membership + broadcast
+overlay written in the same OverLog dialect, on which the *same*
+introspection, tracing, forensics, and monitoring machinery operates
+unchanged — message provenance via ``repro.analysis.trace_back``,
+redundancy watchpoints, coverage queries via the console.
+"""
+
+from repro.gossip.program import GossipParams, gossip_program, gossip_source
+from repro.gossip.harness import GossipNetwork
+
+__all__ = ["GossipParams", "gossip_program", "gossip_source", "GossipNetwork"]

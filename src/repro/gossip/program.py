@@ -1,0 +1,118 @@
+"""Epidemic membership and broadcast, in OverLog.
+
+Two sub-protocols:
+
+- **membership** (m*): soft-state member lists kept alive by periodic
+  heartbeats and transitive sharing — a member not re-announced within
+  its TTL silently ages out, exactly the soft-state idiom Chord's
+  tables use;
+- **broadcast** (b*): flood-with-suppression.  A ``publish`` event (or
+  a ``bcast`` arrival) is deduplicated against the ``seenMsg`` table
+  with a count-guard (this dialect's negation idiom) and forwarded to
+  every known member with an incremented hop count.  Duplicate
+  arrivals raise a ``dupDelivery`` event — a ready-made input for
+  redundancy watchpoints.
+
+The rules exercise engine features Chord does not: self-joins on the
+membership table (m3) and event-sourced flooding with dedup (b*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overlog.program import Program
+
+
+@dataclass
+class GossipParams:
+    """Timers and bounds for the gossip overlay."""
+
+    heartbeat_period: float = 3.0
+    share_period: float = 6.0
+    member_ttl: float = 12.0
+    member_max: int = 64
+    seen_ttl: float = 120.0
+    seen_max: int = 500
+
+    def bindings(self) -> dict:
+        return {
+            "tHeartbeat": self.heartbeat_period,
+            "tShare": self.share_period,
+        }
+
+
+_TABLES = """
+materialize(self, infinity, 1, keys(1)).
+materialize(member, {member_ttl}, {member_max}, keys(1,2)).
+materialize(heard, {member_ttl}, {member_max}, keys(1,2)).
+materialize(seenMsg, {seen_ttl}, {seen_max}, keys(1,2)).
+"""
+
+_MEMBERSHIP_COMMON = """
+m1 heartbeat@PAddr(NAddr) :- periodic@NAddr(E, tHeartbeat),
+   member@NAddr(PAddr), PAddr != NAddr.
+m2 member@NAddr(Src) :- heartbeat@NAddr(Src).
+m2a heard@NAddr(Src) :- heartbeat@NAddr(Src).
+m4 member@NAddr(Q) :- memberShare@NAddr(Q), Q != NAddr.
+"""
+
+# Correct sharing: only forward members with first-hand, fresh evidence
+# (a recent heartbeat in `heard`).  Sharing the whole `member` table
+# instead (the buggy variant) re-propagates dead members around the
+# mesh faster than their TTLs can expire them — the gossip-overlay
+# incarnation of the paper's §3.1.3 recycled-dead-neighbor pathology.
+_SHARE_CORRECT = """
+m3 memberShare@PAddr(QAddr) :- periodic@NAddr(E, tShare),
+   member@NAddr(PAddr), heard@NAddr(QAddr), PAddr != QAddr,
+   PAddr != NAddr.
+"""
+
+_SHARE_BUGGY = """
+m3 memberShare@PAddr(QAddr) :- periodic@NAddr(E, tShare),
+   member@NAddr(PAddr), member@NAddr(QAddr), PAddr != QAddr,
+   PAddr != NAddr.
+"""
+
+_BROADCAST = """
+/* -- broadcast: flood with duplicate suppression -------------------- */
+
+b0 bcast@NAddr(MsgID, Payload, 0) :- publish@NAddr(MsgID, Payload).
+
+b1 seenCount@NAddr(MsgID, Payload, Hops, count<*>) :-
+   bcast@NAddr(MsgID, Payload, Hops), seenMsg@NAddr(MsgID, P2, H2).
+b2 fresh@NAddr(MsgID, Payload, Hops) :-
+   seenCount@NAddr(MsgID, Payload, Hops, C), C == 0.
+b3 dupDelivery@NAddr(MsgID, Hops) :-
+   seenCount@NAddr(MsgID, Payload, Hops, C), C > 0.
+
+b4 seenMsg@NAddr(MsgID, Payload, Hops) :- fresh@NAddr(MsgID, Payload, Hops).
+b5 deliver@NAddr(MsgID, Payload, Hops) :- fresh@NAddr(MsgID, Payload, Hops).
+b6 bcast@PAddr(MsgID, Payload, Hops + 1) :-
+   fresh@NAddr(MsgID, Payload, Hops), member@NAddr(PAddr), PAddr != NAddr.
+"""
+
+
+def gossip_source(
+    params: GossipParams = None, stale_share_bug: bool = False
+) -> str:
+    params = params if params is not None else GossipParams()
+    tables = _TABLES.format(
+        member_ttl=params.member_ttl,
+        member_max=params.member_max,
+        seen_ttl=params.seen_ttl,
+        seen_max=params.seen_max,
+    )
+    share = _SHARE_BUGGY if stale_share_bug else _SHARE_CORRECT
+    return "\n".join([tables, _MEMBERSHIP_COMMON, share, _BROADCAST])
+
+
+def gossip_program(
+    params: GossipParams = None, stale_share_bug: bool = False
+) -> Program:
+    params = params if params is not None else GossipParams()
+    return Program.compile(
+        gossip_source(params, stale_share_bug),
+        name="gossip" + ("-buggy" if stale_share_bug else ""),
+        bindings=params.bindings(),
+    )

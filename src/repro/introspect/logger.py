@@ -1,0 +1,106 @@
+"""Event logging: system events buffered into queryable P2 tables.
+
+§2.1: "We extend this principle further to the logging of system events
+such as arrival of a tuple or removal of a tuple from a table.  Log
+entries are tuples stored (more precisely, buffered) in P2 tables."
+
+:class:`EventLogger` maintains two bounded log relations:
+
+- ``tupleLog@N(Seq, Time, Name, Repr)`` — one row per locally delivered
+  tuple (message arrivals, local events, periodic firings);
+- ``tableLog@N(Seq, Time, Table, Op, Repr)`` — one row per table change
+  (insert / replace / delete / expire / evict).
+
+Being ordinary tables, both can be joined from OverLog monitoring rules
+— the "querying P2 logs in P2 itself" the paper found so convenient.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.overlog.ast import Materialize
+from repro.runtime.node import P2Node
+from repro.runtime.table import InsertOutcome, RemoveReason, Table
+from repro.runtime.tuples import Tuple
+
+TUPLE_LOG = "tupleLog"
+TABLE_LOG = "tableLog"
+
+_INTERNAL = (TUPLE_LOG, TABLE_LOG, "ruleExec", "tupleTable")
+
+
+class EventLogger:
+    """Buffers node events into the tupleLog / tableLog relations."""
+
+    def __init__(
+        self,
+        node: P2Node,
+        lifetime: Any = 120.0,
+        capacity: Any = 2000,
+    ) -> None:
+        self._node = node
+        self._tuple_log = node.store.materialize(
+            Materialize(TUPLE_LOG, lifetime, capacity, [2])
+        )
+        self._table_log = node.store.materialize(
+            Materialize(TABLE_LOG, lifetime, capacity, [2])
+        )
+        self._seq = 0
+        self.enabled = True
+
+        node.on_deliver.append(self._tuple_delivered)
+        for table in node.store.tables():
+            self._observe(table)
+        node.store.on_create.append(self._observe)
+
+    def _observe(self, table: Table) -> None:
+        if table.name in _INTERNAL:
+            return
+        table.on_insert.append(
+            lambda tup, outcome, _t=table: self._table_changed(
+                _t.name, outcome.value, tup
+            )
+        )
+        table.on_remove.append(
+            lambda tup, reason, _t=table: self._table_changed(
+                _t.name, reason.value, tup
+            )
+        )
+
+    def _tuple_delivered(self, tup: Tuple) -> None:
+        if not self.enabled or tup.name in _INTERNAL:
+            return
+        self._seq += 1
+        self._node.work.charge("trace")
+        self._tuple_log.insert(
+            Tuple(
+                TUPLE_LOG,
+                (
+                    self._node.address,
+                    self._seq,
+                    self._node.work_clock(),
+                    tup.name,
+                    repr(tup),
+                ),
+            )
+        )
+
+    def _table_changed(self, table_name: str, op: str, tup: Tuple) -> None:
+        if not self.enabled:
+            return
+        self._seq += 1
+        self._node.work.charge("trace")
+        self._table_log.insert(
+            Tuple(
+                TABLE_LOG,
+                (
+                    self._node.address,
+                    self._seq,
+                    self._node.work_clock(),
+                    table_name,
+                    op,
+                    repr(tup),
+                ),
+            )
+        )

@@ -1,0 +1,143 @@
+"""Reflection: node state as queryable tables.
+
+"Most of the state of a running P2 node (tables, rules, dataflow graph,
+etc.) is reflected back to the system as tables, themselves queryable in
+OverLog" (§2.1).  The :class:`Reflector` maintains:
+
+- ``sysTable@N(Name, Lifetime, MaxSize, NumTuples, TotalInserts)``
+- ``sysRule@N(RuleID, Program, StrandID, TriggerName, Source)``
+- ``sysElement@N(StrandID, Position, Kind, Label, Invocations)``
+- ``sysNode@N(Tables, Strands, LiveTuples, RuleExecutions)``
+
+Rows refresh on a timer (and on demand via :meth:`refresh`), so OverLog
+rules can watch the node's own evolution — e.g. alert when a table
+exceeds a size, or when a rule stops firing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.overlog.ast import Materialize
+from repro.overlog.types import INFINITY
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+SYS_TABLE = "sysTable"
+SYS_RULE = "sysRule"
+SYS_ELEMENT = "sysElement"
+SYS_NODE = "sysNode"
+
+_REFLECTION_TABLES = (SYS_TABLE, SYS_RULE, SYS_ELEMENT, SYS_NODE)
+
+
+class Reflector:
+    """Maintains the sys* reflection tables on one node."""
+
+    def __init__(self, node: P2Node, refresh_period: float = 5.0) -> None:
+        self._node = node
+        store = node.store
+        self._sys_table = store.materialize(
+            Materialize(SYS_TABLE, INFINITY, INFINITY, [2])
+        )
+        self._sys_rule = store.materialize(
+            Materialize(SYS_RULE, INFINITY, INFINITY, [4])
+        )
+        self._sys_element = store.materialize(
+            Materialize(SYS_ELEMENT, INFINITY, INFINITY, [2, 3])
+        )
+        self._sys_node = store.materialize(
+            Materialize(SYS_NODE, INFINITY, INFINITY, [1])
+        )
+        if refresh_period > 0:
+            self._timer = node.sim.every(
+                refresh_period, self.refresh, start_delay=refresh_period
+            )
+        else:
+            self._timer = None
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-publish all reflection rows from current node state."""
+        node = self._node
+        address = node.address
+
+        for table in node.store.tables():
+            if table.name in _REFLECTION_TABLES:
+                continue
+            lifetime = (
+                -1 if table.lifetime is INFINITY else float(table.lifetime)
+            )
+            size = -1 if table.max_size is INFINITY else int(table.max_size)
+            self._sys_table.insert(
+                Tuple(
+                    SYS_TABLE,
+                    (
+                        address,
+                        table.name,
+                        lifetime,
+                        size,
+                        len(table),
+                        table.total_inserts,
+                    ),
+                )
+            )
+
+        for strand in node.strands:
+            self._sys_rule.insert(
+                Tuple(
+                    SYS_RULE,
+                    (
+                        address,
+                        strand.rule_id,
+                        strand.program_name,
+                        strand.strand_id,
+                        strand.trigger_name,
+                        strand.rule.source,
+                    ),
+                )
+            )
+            for position, element in enumerate(strand.elements()):
+                self._sys_element.insert(
+                    Tuple(
+                        SYS_ELEMENT,
+                        (
+                            address,
+                            strand.strand_id,
+                            position,
+                            element.kind,
+                            element.label,
+                            element.invocations,
+                        ),
+                    )
+                )
+
+        self._sys_node.insert(
+            Tuple(
+                SYS_NODE,
+                (
+                    address,
+                    len(node.store.names()),
+                    len(node.strands),
+                    node.live_tuples(),
+                    node.rule_executions,
+                ),
+            )
+        )
+
+    def dataflow_text(self) -> str:
+        """A printable Figure-1-style rendering of the node's dataflow."""
+        lines: List[str] = [f"dataflow for node {self._node.address}"]
+        lines.append("  [network-in] -> [unmarshal] -> [queue] -> [demux]")
+        for strand in self._node.strands:
+            chain = " -> ".join(
+                f"[{e.describe()}]" for e in strand.elements()
+            )
+            lines.append(f"  strand {strand.rule_id}: {chain}")
+        lines.append("  [mux] -> [marshal] -> [network-out]")
+        return "\n".join(lines)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

@@ -1,0 +1,230 @@
+"""The execution tracer: rule-level tracing into ``ruleExec`` (§2.1).
+
+The planner's taps (strand hooks) deliver four signals — input observed,
+precondition observed at a stage, output observed, stage completed — and
+the tracer reconstructs rule executions from them using per-strand
+*tracer records* with pipelined stage association, following §2.1.2:
+
+- a record is associated with a contiguous range of pipeline stages
+  (the stateful join elements it currently occupies);
+- a new input reuses a record with no associated stages (or creates
+  one) and associates it with stage 1;
+- a precondition at stage *i* goes to the record currently occupying
+  stage *i* (a record that just finished stage *i-1* is extended to
+  *i*); any filled fields to the right of *i* are flushed, because
+  tuples flow left-to-right through a strand;
+- an output is attributed to the record deepest in the pipeline;
+- when stage *i* completes, the record whose range starts at *i*
+  advances; a record that advances past the last stage retires.
+
+Each observed output produces the paper's normalized rows::
+
+    ruleExec@N(Rule, CauseID, EffectID, InT, OutT, IsEvent)
+
+one row with the triggering event as cause (IsEvent = true) and one per
+filled precondition (IsEvent = false).  Rows reference tuples by their
+``tupleTable`` IDs; reference counts are maintained via table observers
+so tuple memos die with their last referring row.
+
+Only completed executions are stored (the paper's "only store executions
+that produce a valid output" optimization), and the ruleExec table is
+bounded (the "fixed number of execution records" optimization).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.overlog.ast import Materialize
+from repro.runtime.node import P2Node
+from repro.runtime.strand import RuleStrand, TraceHooks
+from repro.runtime.tuples import Tuple
+from repro.introspect.tuple_table import TUPLE_TABLE, TupleRegistry
+
+RULE_EXEC = "ruleExec"
+
+_META_TABLES = (RULE_EXEC, TUPLE_TABLE)
+
+
+class _Record:
+    """One tracer record: the observations for one in-flight execution."""
+
+    __slots__ = ("input_id", "input_time", "precs", "lo", "hi")
+
+    def __init__(self) -> None:
+        self.input_id: Optional[int] = None
+        self.input_time = 0.0
+        self.precs: Dict[int, tuple] = {}
+        # Associated stage range [lo, hi]; empty when lo > hi.
+        self.lo = 1
+        self.hi = 0
+
+    @property
+    def empty_range(self) -> bool:
+        return self.lo > self.hi
+
+
+class Tracer(TraceHooks):
+    """Per-node execution tracer writing the ``ruleExec`` table."""
+
+    def __init__(
+        self,
+        node: P2Node,
+        lifetime: Any = 120.0,
+        max_entries: Any = 5000,
+    ) -> None:
+        self._node = node
+        self.registry = TupleRegistry(node, lifetime=lifetime)
+        self._table = node.store.materialize(
+            Materialize(RULE_EXEC, lifetime, max_entries, [2, 3, 4, 7])
+        )
+        self._table.on_insert.append(self._row_inserted)
+        self._table.on_remove.append(self._row_removed)
+        self._records: Dict[str, List[_Record]] = {}
+        self._deferred_decrefs: List[int] = []
+        self.executions_recorded = 0
+
+        node.hooks = self
+        node.registry = self.registry
+
+    # ------------------------------------------------------------------
+    # TraceHooks implementation
+
+    def input_observed(self, strand: RuleStrand, tup: Tuple, when: float) -> None:
+        if self._skip(strand):
+            return
+        self._node.work.charge("trace")
+        records = self._records.setdefault(strand.strand_id, [])
+        record = next((r for r in records if r.empty_range), None)
+        if record is None:
+            record = _Record()
+            records.append(record)
+        record.lo, record.hi = 1, 1
+        record.input_id = self.registry.id_of(tup)
+        record.input_time = when
+        record.precs.clear()
+
+    def precondition_observed(
+        self, strand: RuleStrand, stage: int, tup: Tuple, when: float
+    ) -> None:
+        if self._skip(strand):
+            return
+        self._node.work.charge("trace")
+        records = self._records.get(strand.strand_id, [])
+        record = next(
+            (r for r in records if r.lo <= stage <= r.hi), None
+        )
+        if record is None:
+            record = next((r for r in records if r.hi == stage - 1), None)
+            if record is not None:
+                record.hi = stage
+        if record is None:
+            return
+        record.precs[stage] = (self.registry.id_of(tup), when)
+        for later in [s for s in record.precs if s > stage]:
+            del record.precs[later]
+
+    def output_observed(self, strand: RuleStrand, tup: Tuple, when: float) -> None:
+        if self._skip(strand):
+            return
+        self._node.work.charge("trace")
+        records = self._records.get(strand.strand_id, [])
+        candidates = [r for r in records if r.input_id is not None]
+        if not candidates:
+            return
+        record = max(candidates, key=lambda r: r.hi)
+        effect_id = self.registry.id_of(tup)
+        rule_id = strand.rule_id
+        address = self._node.address
+        rows = [
+            Tuple(
+                RULE_EXEC,
+                (
+                    address,
+                    rule_id,
+                    record.input_id,
+                    effect_id,
+                    record.input_time,
+                    when,
+                    True,
+                ),
+            )
+        ]
+        for stage in sorted(record.precs):
+            prec_id, prec_time = record.precs[stage]
+            rows.append(
+                Tuple(
+                    RULE_EXEC,
+                    (
+                        address,
+                        rule_id,
+                        prec_id,
+                        effect_id,
+                        prec_time,
+                        when,
+                        False,
+                    ),
+                )
+            )
+        for row in rows:
+            self._table.insert(row)
+        self.executions_recorded += 1
+
+    def stage_completed(self, strand: RuleStrand, stage: int) -> None:
+        if self._skip(strand):
+            return
+        records = self._records.get(strand.strand_id, [])
+        record = next((r for r in records if r.lo == stage), None)
+        if record is None:
+            return
+        record.lo = stage + 1
+        if record.lo > strand.num_stages:
+            records.remove(record)
+        else:
+            # Completing stage i moves the execution *into* stage i+1,
+            # even before any stage-i+1 precondition is observed —
+            # otherwise the record's range would go empty and the next
+            # input would steal it (losing the in-flight execution).
+            record.hi = max(record.hi, record.lo)
+
+    # ------------------------------------------------------------------
+    # Reference counting via table observers
+
+    def _row_inserted(self, row: Tuple, outcome) -> None:
+        self.registry.incref(row.values[2])
+        self.registry.incref(row.values[3])
+        # Settle decrefs deferred from a same-key replacement, now that
+        # the replacing row holds its references.
+        while self._deferred_decrefs:
+            self.registry.decref(self._deferred_decrefs.pop())
+
+    def _row_removed(self, row: Tuple, reason) -> None:
+        from repro.runtime.table import RemoveReason
+
+        if reason == RemoveReason.REPLACED:
+            # The replacing insert is notified right after this removal;
+            # decrementing now would transiently zero the refcount and
+            # discard memos the new row still references.
+            self._deferred_decrefs.append(row.values[2])
+            self._deferred_decrefs.append(row.values[3])
+            return
+        self.registry.decref(row.values[2])
+        self.registry.decref(row.values[3])
+
+    # ------------------------------------------------------------------
+
+    def _skip(self, strand: RuleStrand) -> bool:
+        """Never trace rules triggered by the trace tables themselves —
+        tracing a ruleExec-triggered rule would write more ruleExec rows
+        and recurse forever."""
+        return strand.trigger_name in _META_TABLES
+
+    def pending_records(self, strand_id: str) -> int:
+        return len(self._records.get(strand_id, []))
+
+
+def enable_tracing(
+    node: P2Node, lifetime: Any = 120.0, max_entries: Any = 5000
+) -> Tracer:
+    """Switch on execution logging for ``node`` (the §4 'logging' knob)."""
+    return Tracer(node, lifetime=lifetime, max_entries=max_entries)

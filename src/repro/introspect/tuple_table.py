@@ -1,0 +1,162 @@
+"""The ``tupleTable``: tuple identity, memoization, and refcounting.
+
+Each node assigns node-unique IDs to the tuples it observes (tuples are
+immutable, so identity is content-addressed per node).  The mapping is
+exposed as the queryable ``tupleTable`` relation with the paper's
+schema::
+
+    tupleTable@NAddr(LocalID, SrcAddr, SrcTID, LocSpec)
+
+- ``SrcAddr``/``SrcTID`` tie a received tuple to its identity on the
+  sending node (the sender piggybacks its local ID on the wire);
+- ``LocSpec`` is where the tuple lives — the destination for sent
+  tuples, the local address otherwise.
+
+Rows are reference-counted by ``ruleExec`` entries: a row (and its
+memoized contents) is discarded when the last referring ``ruleExec``
+row is removed, or when its own lifetime expires — exactly the paper's
+flushing policy.  tupleTable rows are not themselves registered in the
+tupleTable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.overlog.ast import Materialize
+from repro.overlog.types import INFINITY
+from repro.runtime.node import P2Node
+from repro.runtime.table import RemoveReason
+from repro.runtime.tuples import Tuple
+
+TUPLE_TABLE = "tupleTable"
+
+
+class TupleRegistry:
+    """Per-node tuple identity and the backing ``tupleTable`` relation."""
+
+    def __init__(
+        self,
+        node: P2Node,
+        lifetime: Any = 120.0,
+        max_entries: Any = 100000,
+    ) -> None:
+        self._node = node
+        self._table = node.store.materialize(
+            Materialize(TUPLE_TABLE, lifetime, max_entries, [2])
+        )
+        self._table.on_remove.append(self._row_removed)
+        self._ids: Dict[Tuple, int] = {}
+        self._memo: Dict[int, Tuple] = {}
+        self._refs: Dict[int, int] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Identity
+
+    def ensure(self, tup: Tuple, loc_spec: Any) -> int:
+        """Get-or-assign the local ID of ``tup`` (a no-op for tupleTable
+        rows themselves, which are never registered)."""
+        if tup.name == TUPLE_TABLE:
+            return -1
+        tid = self._ids.get(tup)
+        if tid is not None:
+            return tid
+        self._counter += 1
+        tid = self._counter
+        self._ids[tup] = tid
+        self._memo[tid] = tup
+        self._refs[tid] = 0
+        self._write_row(tid, self._node.address, tid, loc_spec)
+        return tid
+
+    def id_of(self, tup: Tuple) -> int:
+        """The local ID of ``tup``, assigning one if needed."""
+        return self.ensure(tup, loc_spec=tup.location)
+
+    def on_arrival(
+        self, tup: Tuple, src: Optional[str], src_tid: Optional[int]
+    ) -> int:
+        """Register a tuple received from the network.
+
+        Records the sender's address and the sender's local ID for it,
+        which is what lets distributed trace walks (§3.2) hop from the
+        receiving node back to the rule execution that produced the
+        tuple on the sender.
+        """
+        if tup.name == TUPLE_TABLE:
+            return -1
+        tid = self.ensure(tup, loc_spec=tup.location)
+        if src is not None and src_tid is not None:
+            self._write_row(tid, src, src_tid, tup.location)
+        return tid
+
+    def on_send(self, tup: Tuple, destination: str) -> int:
+        """Register that ``tup`` was sent; returns the local ID to ship."""
+        if tup.name == TUPLE_TABLE:
+            return -1
+        tid = self.ensure(tup, loc_spec=destination)
+        self._write_row(tid, self._node.address, tid, destination)
+        return tid
+
+    def lookup(self, tid: int) -> Optional[Tuple]:
+        """The memoized tuple for a local ID, if still retained."""
+        return self._memo.get(tid)
+
+    def source_of(self, tid: int) -> Optional[tuple]:
+        """(SrcAddr, SrcTID) recorded for a local ID, if retained."""
+        row = self._table.lookup_key((tid,))
+        if row is None:
+            return None
+        return row.values[2], row.values[3]
+
+    # ------------------------------------------------------------------
+    # Reference counting (driven by ruleExec observers)
+
+    def incref(self, tid: int) -> None:
+        if tid in self._refs:
+            self._refs[tid] += 1
+
+    def decref(self, tid: int) -> None:
+        count = self._refs.get(tid)
+        if count is None:
+            return
+        count -= 1
+        self._refs[tid] = count
+        if count <= 0:
+            self._discard(tid)
+
+    def _discard(self, tid: int) -> None:
+        tup = self._memo.pop(tid, None)
+        self._refs.pop(tid, None)
+        if tup is not None:
+            self._ids.pop(tup, None)
+        row = self._table.lookup_key((tid,))
+        if row is not None:
+            self._table.delete(row)
+
+    def _row_removed(self, row: Tuple, reason: RemoveReason) -> None:
+        # TTL expiry / eviction of a tupleTable row drops the memo too
+        # (the paper's "or times out").  DELETED comes from _discard and
+        # REPLACED from metadata updates; both keep the memo.
+        if reason in (RemoveReason.EXPIRED, RemoveReason.EVICTED):
+            tid = row.values[1]
+            tup = self._memo.pop(tid, None)
+            self._refs.pop(tid, None)
+            if tup is not None:
+                self._ids.pop(tup, None)
+
+    # ------------------------------------------------------------------
+
+    def _write_row(
+        self, tid: int, src: Any, src_tid: Any, loc_spec: Any
+    ) -> None:
+        row = Tuple(
+            TUPLE_TABLE,
+            (self._node.address, tid, src, src_tid, loc_spec),
+        )
+        self._table.insert(row)
+
+    def retained(self) -> int:
+        """Number of memoized tuples currently held."""
+        return len(self._memo)

@@ -1,0 +1,60 @@
+"""The paper's §3 monitoring applications, as installable rule sets.
+
+Every monitor is a small OverLog program plus a Python handle that
+collects its alarm tuples.  Monitors install on-line — on a running
+Chord deployment, at any point in its life — exactly the usage model
+the paper argues for:
+
+- :mod:`repro.monitors.ring` — ring well-formedness (§3.1.1): active
+  probing (rp1-rp3) and the passive stabilization check (rp4);
+- :mod:`repro.monitors.ordering` — ring ID ordering (§3.1.2): the
+  opportunistic check (ri1) and the token-traversal wrap-around counter
+  (ri2-ri6);
+- :mod:`repro.monitors.oscillation` — state oscillation detectors
+  (§3.1.3): single (os1-os2), repeated (os3-os4), and collaborative
+  (os5-os9);
+- :mod:`repro.monitors.consistency` — proactive routing-consistency
+  probes (§3.1.4, cs1-cs12);
+- :mod:`repro.monitors.profiling` — execution profiling by walking
+  ruleExec/tupleTable backwards (§3.2, ep1-ep6);
+- :mod:`repro.monitors.snapshot` — Chandy-Lamport consistent snapshots
+  (§3.3, bp1-bp2 + sr1-sr16) and snapshot-scoped lookups (l1s-l3s) with
+  snapshot-consistent probes (cs4s/cs5s).
+"""
+
+from repro.monitors.base import Monitor, MonitorHandle
+from repro.monitors.ring import (
+    RingProbeMonitor,
+    PassiveRingMonitor,
+    SuccessorProbeMonitor,
+)
+from repro.monitors.ordering import (
+    OpportunisticOrderingMonitor,
+    RingTraversalMonitor,
+)
+from repro.monitors.oscillation import OscillationMonitor
+from repro.monitors.consistency import ConsistencyProbeMonitor
+from repro.monitors.profiling import ExecutionProfiler
+from repro.monitors.snapshot import SnapshotMonitor, SnapshotConsistencyProbes
+from repro.monitors.reactive import ReactiveWatchpoint
+from repro.monitors.regression import RegressionReport, RegressionSuite
+from repro.monitors.traversal import GraphTraversalMonitor
+
+__all__ = [
+    "GraphTraversalMonitor",
+    "ReactiveWatchpoint",
+    "RegressionSuite",
+    "RegressionReport",
+    "Monitor",
+    "MonitorHandle",
+    "RingProbeMonitor",
+    "PassiveRingMonitor",
+    "SuccessorProbeMonitor",
+    "OpportunisticOrderingMonitor",
+    "RingTraversalMonitor",
+    "OscillationMonitor",
+    "ConsistencyProbeMonitor",
+    "ExecutionProfiler",
+    "SnapshotMonitor",
+    "SnapshotConsistencyProbes",
+]

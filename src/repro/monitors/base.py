@@ -1,0 +1,100 @@
+"""Monitor base machinery.
+
+A :class:`Monitor` wraps an OverLog rule set with named alarm events.
+Installing it on a set of nodes compiles the program once and returns a
+:class:`MonitorHandle` whose ``alarms`` dict accumulates every alarm
+tuple raised anywhere in the population — the Python-side equivalent of
+the paper's "distributed watchpoints and triggers".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.overlog.program import Program
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+
+class MonitorHandle:
+    """Collected alarms from one monitor installation.
+
+    Also the removal handle: :meth:`remove` deactivates the monitor's
+    rules on every node (tables and their soft-state contents remain,
+    per :meth:`repro.runtime.node.P2Node.uninstall`).
+    """
+
+    def __init__(
+        self,
+        monitor: "Monitor",
+        nodes: List[P2Node],
+        compiled: Optional[dict] = None,
+    ) -> None:
+        self.monitor = monitor
+        self.nodes = nodes
+        self.alarms: Dict[str, List[Tuple]] = {
+            name: [] for name in monitor.alarm_events
+        }
+        self._compiled = compiled or {}
+        self._subscriptions = []
+        for node in nodes:
+            for name in monitor.alarm_events:
+                sink = self.alarms[name].append
+                node.subscribe(name, sink)
+                self._subscriptions.append((node, name, sink))
+        self.removed = False
+
+    def remove(self) -> None:
+        """Uninstall the monitor's rules and stop collecting alarms."""
+        if self.removed:
+            return
+        self.removed = True
+        for node, name, sink in self._subscriptions:
+            node.unsubscribe(name, sink)
+        for node in self.nodes:
+            compiled = self._compiled.get(node.address)
+            if compiled is not None and compiled in node.programs:
+                node.uninstall(compiled)
+
+    def count(self, name: Optional[str] = None) -> int:
+        """Alarms seen, for one event name or all of them."""
+        if name is not None:
+            return len(self.alarms[name])
+        return sum(len(v) for v in self.alarms.values())
+
+    def clear(self) -> None:
+        for sink in self.alarms.values():
+            sink.clear()
+
+    def __repr__(self) -> str:
+        counts = {k: len(v) for k, v in self.alarms.items()}
+        return f"<MonitorHandle {self.monitor.name} alarms={counts}>"
+
+
+class Monitor:
+    """A named OverLog rule set with declared alarm events."""
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        alarm_events: Iterable[str],
+        bindings: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.alarm_events = list(alarm_events)
+        self.bindings = dict(bindings or {})
+
+    def program(self) -> Program:
+        """Compile the monitor's rules with its parameter bindings."""
+        return Program.compile(
+            self.source, name=self.name, bindings=self.bindings
+        )
+
+    def install(self, nodes: Iterable[P2Node]) -> MonitorHandle:
+        """Install on every node and return the alarm-collecting handle."""
+        nodes = list(nodes)
+        program = self.program()
+        compiled = {node.address: node.install(program) for node in nodes}
+        return MonitorHandle(self, nodes, compiled)

@@ -1,0 +1,75 @@
+"""Proactive routing-consistency probes (§3.1.4, rules cs1-cs12).
+
+Every ``tProbe`` seconds a node picks a random key, asks each of its
+unique fingers to run a lookup for that key, clusters the responses by
+answer, and emits a ``consistency`` tuple: size of the largest agreeing
+cluster divided by the number of lookups issued (1.0 = perfectly
+consistent).  cs12 turns low values into ``consAlarm`` watchpoint
+events.
+
+Normalizations against the paper's listing (whose ``materialize`` keys
+would collapse distinct probes): per-probe tables are keyed by probe or
+request ID; everything else is verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.base import Monitor
+
+CONSISTENCY_SOURCE = """
+materialize(conLookupTable, 100, 1000, keys(2,3)).
+materialize(conRespTable, 100, 1000, keys(2,3)).
+materialize(respCluster, 100, 1000, keys(2,3)).
+materialize(maxCluster, 100, 1000, keys(2)).
+materialize(lookupCluster, 100, 1000, keys(2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, tProbe),
+    K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :-
+    conProbe@NAddr(ProbeID, K, T), uniqueFinger@NAddr(FAddr, FID),
+    ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :-
+    conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs4 lookup@SrcAddr(K, NAddr, ReqID) :-
+    conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs5 conRespTable@NAddr(ProbeID, ReqID, SAddr) :-
+    lookupResults@NAddr(K, SID, SAddr, ReqID, Responder),
+    conLookupTable@NAddr(ProbeID, ReqID, T).
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :-
+    conRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :-
+    respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :-
+    conLookupTable@NAddr(ProbeID, ReqID, T).
+cs9 consistency@NAddr(ProbeID, RespCount / LookupCount) :-
+    periodic@NAddr(E, tTally), lookupCluster@NAddr(ProbeID, T, LookupCount),
+    T < f_now() - tTally, maxCluster@NAddr(ProbeID, RespCount).
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :-
+     consistency@NAddr(ProbeID, Consistency).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :-
+     consistency@NAddr(ProbeID, Consistency),
+     conLookupTable@NAddr(ProbeID, ReqID, T).
+cs12 consAlarm@NAddr(PrID) :- consistency@NAddr(PrID, Cons),
+     Cons < alarmThresh.
+"""
+
+
+class ConsistencyProbeMonitor(Monitor):
+    """cs1-cs12 with the paper's defaults (probe 40 s, tally 20 s)."""
+
+    def __init__(
+        self,
+        probe_period: float = 40.0,
+        tally_period: float = 20.0,
+        alarm_threshold: float = 0.5,
+    ) -> None:
+        super().__init__(
+            name="consistency-probes",
+            source=CONSISTENCY_SOURCE,
+            alarm_events=["consistency", "consAlarm"],
+            bindings={
+                "tProbe": probe_period,
+                "tTally": tally_period,
+                "alarmThresh": alarm_threshold,
+            },
+        )

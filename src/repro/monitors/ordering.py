@@ -1,0 +1,80 @@
+"""Ring ID-ordering detectors (§3.1.2).
+
+Opportunistic check (ri1): whenever a lookup result arrives carrying a
+node whose ID falls strictly between the local node's predecessor and
+successor, somebody closer exists that the local node does not know
+about — a ``closerID`` alarm.  (We additionally exclude the local node
+itself, which legitimately sits in that interval when it is the lookup
+answer; the paper's rule as printed would alarm on every self-answer.)
+
+Token traversal (ri2-ri6): a token walks successor pointers around the
+ring counting ID wrap-arounds; a full circle with a wrap count other
+than exactly 1 proves an ordering violation and raises
+``orderingProblem`` at the initiator.  Start a traversal with
+:meth:`RingTraversalMonitor.start_traversal`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.monitors.base import Monitor, MonitorHandle
+from repro.runtime.node import P2Node
+
+OPPORTUNISTIC_SOURCE = """
+ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :-
+    lookupResults@NAddr(Key, ResltNodeID, ResltNodeAddr, ReqNo, RespAddr),
+    pred@NAddr(PID, PAddr), bestSucc@NAddr(SID, SAddr),
+    ResltNodeID in (PID, SID), ResltNodeAddr != NAddr.
+"""
+
+TRAVERSAL_SOURCE = """
+ri2 ordering@NAddr(E, NAddr, NID, 0) :- orderingEvent@NAddr(E),
+    node@NAddr(NID).
+ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps) :-
+    ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr),
+    MyID < SID.
+ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1) :-
+    ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr),
+    MyID >= SID.
+ri5 ordering@SAddr(E, SrcAddr, SID, Wraps) :-
+    countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr != SrcAddr.
+ri6 orderingProblem@SAddr(E, SAddr, SID, Wraps) :-
+    countWraps@NAddr(SAddr, E, SAddr, SID, Wraps), Wraps != 1.
+ri7 orderingOK@SAddr(E, Wraps) :-
+    countWraps@NAddr(SAddr, E, SAddr, SID, Wraps), Wraps == 1.
+"""
+
+
+class OpportunisticOrderingMonitor(Monitor):
+    """Passive ID-ordering check on lookup responses (ri1)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="ordering-opportunistic",
+            source=OPPORTUNISTIC_SOURCE,
+            alarm_events=["closerID"],
+        )
+
+
+class RingTraversalMonitor(Monitor):
+    """Token-passing wrap-around counter (ri2-ri6).
+
+    ri7 (an addition to the paper's rule set) reports a clean traversal
+    back to the initiator, so callers can distinguish "ring verified"
+    from "token lost" — the paper leaves traversal-loss handling open.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="ordering-traversal",
+            source=TRAVERSAL_SOURCE,
+            alarm_events=["orderingProblem", "orderingOK"],
+        )
+
+    def start_traversal(self, initiator: P2Node) -> int:
+        """Inject an ``orderingEvent`` at ``initiator``; returns the
+        traversal ID so results can be correlated."""
+        nonce = initiator.rng.randrange(1 << 31)
+        initiator.inject("orderingEvent", (initiator.address, nonce))
+        return nonce

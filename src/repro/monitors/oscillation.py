@@ -1,0 +1,68 @@
+"""State-oscillation detectors (§3.1.3) — the recycled-dead-neighbor bug.
+
+Three granularities, exactly as the paper develops them:
+
+- **single oscillation** (os1-os2): a successor-insertion message
+  (``sendPred`` / ``returnSucc``) carrying a node still remembered in
+  ``faultyNode`` signals one oscillation;
+- **repeat oscillation** (os3-os4): a 120 s window of ``oscill``
+  proclamations is counted every 60 s; three or more for the same node
+  raises ``repeatOscill``;
+- **collaborative detection** (os5-os9): repeat oscillators are gossiped
+  to ring neighbors; a node reported by more than ``chaoticThresh``
+  neighborhood members is declared ``chaotic``.
+
+Our Chord gossip messages carry the sender address (needed by the
+snapshot monitor), so the os1/os2 patterns here have one more field than
+the paper's listing; the logic is identical.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.base import Monitor
+
+OSCILLATION_SOURCE = """
+materialize(oscill, 120, infinity, keys(2,3)).
+materialize(nbrOscill, 120, infinity, keys(2,3)).
+
+os1 oscill@NAddr(SAddr, T) :- faultyNode@NAddr(SAddr, T1),
+    sendPred@NAddr(SID, SAddr, Src), T := f_now().
+os2 oscill@NAddr(SAddr, T) :- faultyNode@NAddr(SAddr, T1),
+    returnSucc@NAddr(SID, SAddr, Src), T := f_now().
+
+os3 countOscill@NAddr(OscillAddr, count<*>) :- periodic@NAddr(E, tOscCheck),
+    oscill@NAddr(OscillAddr, Time).
+os4 repeatOscill@NAddr(OscillAddr) :- countOscill@NAddr(OscillAddr, Count),
+    Count >= repeatThresh.
+
+os5 nbrOscill@NAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr).
+os6 nbrOscill@SAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    succ@NAddr(SID, SAddr).
+os7 nbrOscill@PAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-".
+os8 nbrOscillCount@NAddr(OscillAddr, count<*>) :-
+    nbrOscill@NAddr(OscillAddr, ReporterAddr).
+os9 chaotic@NAddr(OscillAddr) :- nbrOscillCount@NAddr(OscillAddr, Count),
+    Count > chaoticThresh.
+"""
+
+
+class OscillationMonitor(Monitor):
+    """os1-os9 with the paper's thresholds as defaults."""
+
+    def __init__(
+        self,
+        check_period: float = 60.0,
+        repeat_threshold: int = 3,
+        chaotic_threshold: int = 3,
+    ) -> None:
+        super().__init__(
+            name="oscillation",
+            source=OSCILLATION_SOURCE,
+            alarm_events=["oscill", "repeatOscill", "chaotic"],
+            bindings={
+                "tOscCheck": check_period,
+                "repeatThresh": repeat_threshold,
+                "chaoticThresh": chaotic_threshold,
+            },
+        )

@@ -1,0 +1,94 @@
+"""Higher-order monitoring: watchpoints that install more watchpoints.
+
+§1.3 of the paper: "the results of such watchpoints ... are themselves
+tuples which in turn can be the subject of queries.  This leads to
+higher-order automatic tracing of distributed execution, whereby the
+system can be programmed to react to events by installing new triggers
+itself, for example to provide more detailed information about a
+particular area of the system."
+
+:class:`ReactiveWatchpoint` implements exactly that: it watches a named
+alarm event across a node population and, when the alarm fires, installs
+a *reaction monitor* — by default only on the node that raised the alarm
+(zooming in), optionally on the whole population.  Each node gets the
+reaction at most once, so a noisy alarm cannot pile up duplicate rules.
+
+Example: escalate a failed consistency probe into fast ring probing::
+
+    escalation = ReactiveWatchpoint(
+        trigger_event="consAlarm",
+        reaction_factory=lambda: RingProbeMonitor(probe_period=2.0),
+    )
+    escalation.arm(nodes)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.monitors.base import Monitor, MonitorHandle
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+
+class ReactiveWatchpoint:
+    """Install a reaction monitor wherever (and when) an alarm fires."""
+
+    def __init__(
+        self,
+        trigger_event: str,
+        reaction_factory: Callable[[], Monitor],
+        scope: str = "node",
+        max_installs: Optional[int] = None,
+    ) -> None:
+        """``scope`` is "node" (install only on the alarming node) or
+        "all" (install on every armed node on the first alarm).
+        ``max_installs`` caps how many reactions may ever fire."""
+        if scope not in ("node", "all"):
+            raise ValueError(f"scope must be 'node' or 'all': {scope!r}")
+        self.trigger_event = trigger_event
+        self.reaction_factory = reaction_factory
+        self.scope = scope
+        self.max_installs = max_installs
+        self.installed: Dict[str, MonitorHandle] = {}
+        self.triggers_seen: List[Tuple] = []
+        self._armed: Dict[str, P2Node] = {}
+
+    def arm(self, nodes: Iterable[P2Node]) -> "ReactiveWatchpoint":
+        """Subscribe to the trigger event on every node; returns self."""
+        for node in nodes:
+            self._armed[node.address] = node
+            node.subscribe(
+                self.trigger_event,
+                lambda tup, _node=node: self._fired(_node, tup),
+            )
+        return self
+
+    def _fired(self, node: P2Node, tup: Tuple) -> None:
+        self.triggers_seen.append(tup)
+        if self.max_installs is not None:
+            if len(self.installed) >= self.max_installs:
+                return
+        if self.scope == "node":
+            targets = [node]
+        else:
+            targets = list(self._armed.values())
+        fresh = [t for t in targets if t.address not in self.installed]
+        if not fresh:
+            return
+        monitor = self.reaction_factory()
+        for target in fresh:
+            self.installed[target.address] = monitor.install([target])
+
+    def reaction_alarms(self, name: str) -> List[Tuple]:
+        """All alarms of ``name`` collected by installed reactions."""
+        out: List[Tuple] = []
+        for handle in self.installed.values():
+            out.extend(handle.alarms.get(name, ()))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReactiveWatchpoint on {self.trigger_event!r} "
+            f"installed={sorted(self.installed)}>"
+        )

@@ -1,0 +1,154 @@
+"""On-line regression suites (§1.3).
+
+"Watchpoints installed during debugging can be left permanently in the
+system as an evolving set of on-line regression tests."  A
+:class:`RegressionSuite` is exactly that artifact: a named collection
+of monitors with *expectations* —
+
+- ``expect_quiet(monitor, events)``: these alarms firing is a
+  regression (e.g. ``inconsistentPred`` on a ring believed fixed);
+- ``expect_active(monitor, event, min_count)``: this event *not*
+  firing is a regression (liveness: consistency probes must keep
+  producing verdicts; a silent monitor is a broken monitor).
+
+Evaluation is windowed: each :meth:`evaluate` judges only what happened
+since the previous one, so the suite can run forever and be polled at
+any cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.monitors.base import Monitor, MonitorHandle
+from repro.runtime.node import P2Node
+
+
+@dataclass
+class Expectation:
+    """One monitor with its pass criterion."""
+
+    monitor: Monitor
+    kind: str                 # "quiet" | "active"
+    events: List[str]
+    min_count: int = 1        # for "active"
+    handle: Optional[MonitorHandle] = None
+    _baseline: Dict[str, int] = field(default_factory=dict)
+
+    def fresh_counts(self) -> Dict[str, int]:
+        out = {}
+        for event in self.events:
+            total = len(self.handle.alarms[event])
+            out[event] = total - self._baseline.get(event, 0)
+        return out
+
+    def rebase(self) -> None:
+        for event in self.events:
+            self._baseline[event] = len(self.handle.alarms[event])
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of one evaluation window."""
+
+    suite: str
+    at: float
+    violations: List[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"[{status}] regression suite {self.suite!r} @ t={self.at:.1f}s"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class RegressionSuite:
+    """A permanently installed, windowed-evaluated monitor set."""
+
+    def __init__(self, name: str = "regressions") -> None:
+        self.name = name
+        self._expectations: List[Expectation] = []
+        self._installed = False
+        self.reports: List[RegressionReport] = []
+
+    # ------------------------------------------------------------------
+    # Declaration
+
+    def expect_quiet(
+        self, monitor: Monitor, events: Optional[List[str]] = None
+    ) -> "RegressionSuite":
+        """Any of these alarms firing is a regression."""
+        self._expectations.append(
+            Expectation(
+                monitor=monitor,
+                kind="quiet",
+                events=list(events or monitor.alarm_events),
+            )
+        )
+        return self
+
+    def expect_active(
+        self, monitor: Monitor, event: str, min_count: int = 1
+    ) -> "RegressionSuite":
+        """Fewer than ``min_count`` of these events per window is a
+        regression (the monitored path — or the monitor — died)."""
+        self._expectations.append(
+            Expectation(
+                monitor=monitor,
+                kind="active",
+                events=[event],
+                min_count=min_count,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def install(self, nodes: Iterable[P2Node]) -> "RegressionSuite":
+        nodes = list(nodes)
+        for expectation in self._expectations:
+            expectation.handle = expectation.monitor.install(nodes)
+            expectation.rebase()
+        self._installed = True
+        return self
+
+    def evaluate(self, now: float = 0.0) -> RegressionReport:
+        """Judge the window since the last evaluate; record the report."""
+        if not self._installed:
+            raise RuntimeError(f"suite {self.name!r} is not installed")
+        violations: List[str] = []
+        for expectation in self._expectations:
+            fresh = expectation.fresh_counts()
+            if expectation.kind == "quiet":
+                for event, count in fresh.items():
+                    if count > 0:
+                        sample = expectation.handle.alarms[event][-1]
+                        violations.append(
+                            f"{expectation.monitor.name}: {count}x {event} "
+                            f"(latest: {sample})"
+                        )
+            else:
+                (event,) = expectation.events
+                if fresh[event] < expectation.min_count:
+                    violations.append(
+                        f"{expectation.monitor.name}: only {fresh[event]} "
+                        f"{event} this window "
+                        f"(expected >= {expectation.min_count})"
+                    )
+            expectation.rebase()
+        report = RegressionReport(self.name, now, violations)
+        self.reports.append(report)
+        return report
+
+    def remove(self) -> None:
+        """Uninstall every monitor in the suite."""
+        for expectation in self._expectations:
+            if expectation.handle is not None:
+                expectation.handle.remove()
+        self._installed = False

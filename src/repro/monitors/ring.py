@@ -1,0 +1,82 @@
+"""Ring well-formedness detectors (§3.1.1).
+
+Active probing (rules rp1-rp3, verbatim from the paper): every
+``tProbe`` seconds a node asks its predecessor for the predecessor's
+best successor; if the reply is not the asking node, the ring link
+between them is flawed and an ``inconsistentPred`` alarm is raised.
+
+Passive checking (rule rp4): Chord's own ``stabilizeRequest`` messages
+are sent to immediate successors by definition, so a recipient whose
+predecessor differs from the sender raises the same alarm — at zero
+added message cost, but only at stabilization rate (the trade-off the
+paper discusses).
+"""
+
+from __future__ import annotations
+
+from repro.monitors.base import Monitor
+
+RING_PROBE_SOURCE = """
+rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, tProbe),
+    pred@NAddr(PID, PAddr), PAddr != "-".
+rp2 respBestSucc@ReqAddr(NAddr, SAddr) :- reqBestSucc@NAddr(ReqAddr),
+    bestSucc@NAddr(SID, SAddr).
+rp3 inconsistentPred@NAddr(PAddr, Successor) :-
+    respBestSucc@NAddr(PAddr, Successor), pred@NAddr(PID, PAddr),
+    Successor != NAddr.
+"""
+
+PASSIVE_RING_SOURCE = """
+rp4 inconsistentPred@NAddr(SomeAddr, PAddr) :-
+    stabilizeRequest@NAddr(SomeID, SomeAddr), pred@NAddr(PID, PAddr),
+    SomeAddr != PAddr.
+"""
+
+# The symmetric direction the paper mentions in passing ("Similar rules
+# can also check that a node is its immediate successor's predecessor"):
+# ask the successor for its predecessor; anything but ourselves means
+# the forward edge is flawed.
+SUCC_PROBE_SOURCE = """
+rp5 reqPred@SAddr(NAddr) :- periodic@NAddr(E, tProbe),
+    bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+rp6 respPred@ReqAddr(NAddr, PAddr) :- reqPred@NAddr(ReqAddr),
+    pred@NAddr(PID, PAddr).
+rp7 inconsistentSucc@NAddr(SAddr, Pred) :- respPred@NAddr(SAddr, Pred),
+    bestSucc@NAddr(SID, SAddr), Pred != NAddr.
+"""
+
+
+class RingProbeMonitor(Monitor):
+    """Active ring-link probing (rp1-rp3)."""
+
+    def __init__(self, probe_period: float = 15.0) -> None:
+        super().__init__(
+            name="ring-probe",
+            source=RING_PROBE_SOURCE,
+            alarm_events=["inconsistentPred"],
+            bindings={"tProbe": probe_period},
+        )
+
+
+class PassiveRingMonitor(Monitor):
+    """Passive ring check piggybacking on stabilization (rp4)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="ring-passive",
+            source=PASSIVE_RING_SOURCE,
+            alarm_events=["inconsistentPred"],
+        )
+
+
+class SuccessorProbeMonitor(Monitor):
+    """Active probing of the forward edge (rp5-rp7): am I my
+    successor's predecessor?"""
+
+    def __init__(self, probe_period: float = 15.0) -> None:
+        super().__init__(
+            name="succ-probe",
+            source=SUCC_PROBE_SOURCE,
+            alarm_events=["inconsistentSucc"],
+            bindings={"tProbe": probe_period},
+        )

@@ -1,0 +1,240 @@
+"""Consistent distributed snapshots — Chandy-Lamport over Chord (§3.3).
+
+The algorithm, as the paper adapts it for an overlay that knows its
+outgoing links (``pingNode``) but not its incoming ones:
+
+- incoming links are *learned*: every ping request sender is recorded
+  in ``backPointer`` (bp1), counted by ``numBackPointers`` (bp2), and a
+  marker's sender is added on arrival (sr10b);
+- the initiator periodically advances a snapshot ID and snaps (sr1);
+  snapping copies ``bestSucc`` / ``finger`` / ``pred`` into per-snapshot
+  tables (sr4-sr6) and sends markers on all outgoing links (sr7);
+- a first marker for a snapshot ID triggers the same snap (sr8-sr9) and
+  starts recording on every other incoming channel (sr10); a marker on
+  a recording channel closes it (sr11);
+- gossip messages (``sendPred`` / ``returnSucc``) arriving on channels
+  in the "Start" state are dumped into per-snapshot channel tables
+  (sr15-sr16) — these are the only message types that mutate the
+  snapped state, per the paper's structure-stable assumption;
+- when every incoming channel is closed, the snapshot is Done (sr12-13)
+  and a ``snapDone`` event fires (sr17, our addition, so harnesses can
+  await completion).
+
+Snapshot-scoped lookups (the paper's l1s-l3s) route over the *snapped*
+routing state while the live system keeps running; the snapshot-scoped
+consistency probes (cs4s/cs5s + the shared cs machinery) then measure
+consistency 1.0 where live probes can report less under churn.
+
+FIFO channels are assumed, as in the paper; our network guarantees them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.monitors.base import Monitor, MonitorHandle
+from repro.overlog.program import Program
+from repro.runtime.node import P2Node
+from repro.runtime.tuples import Tuple
+
+BACKPOINTER_SOURCE = """
+materialize(backPointer, 30, 1600, keys(1,2)).
+materialize(numBackPointers, infinity, 1, keys(1)).
+
+bp1 backPointer@NAddr(RemoteAddr) :- pingReq@NAddr(RemoteAddr).
+bp2 numBackPointers@NAddr(count<*>) :- backPointer@NAddr(RemoteAddr).
+bp0 bpEval@NAddr(E) :- periodic@NAddr(E, tBpEval).
+bp3 numBackPointers@NAddr(count<*>) :- bpEval@NAddr(E),
+    backPointer@NAddr(RemoteAddr).
+"""
+
+SNAPSHOT_COMMON_SOURCE = """
+materialize(snapState, 100, 100, keys(1,2)).
+materialize(currentSnap, infinity, 1, keys(1)).
+materialize(snapBestSucc, 100, 50, keys(1,2)).
+materialize(snapFingers, 100, 1600, keys(1,2,4)).
+materialize(snapPred, 100, 10, keys(1,2)).
+materialize(channelState, 100, 1600, keys(1,2,3)).
+materialize(channelSendPredDump, 100, 100, keys(1,2,3,4,5,6)).
+materialize(channelReturnSuccDump, 100, 100, keys(1,2,3,4,5,6)).
+
+sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I).
+sr3 currentSnap@NAddr(I) :- snap@NAddr(I).
+sr4 snapBestSucc@NAddr(I, SID, SAddr) :- snap@NAddr(I),
+    bestSucc@NAddr(SID, SAddr).
+sr5 snapFingers@NAddr(I, FPos, FID, FAddr) :- snap@NAddr(I),
+    finger@NAddr(FPos, FID, FAddr).
+sr6 snapPred@NAddr(I, PID, PAddr) :- snap@NAddr(I), pred@NAddr(PID, PAddr).
+sr7 marker@RemoteAddr(NAddr, I) :- snap@NAddr(I), pingNode@NAddr(RemoteAddr).
+
+sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- snapState@NAddr(I, State),
+    marker@NAddr(SrcAddr, I).
+sr9 snap@NAddr(I) :- haveSnap@NAddr(Src, I, 0), currentSnap@NAddr(Cur),
+    I > Cur.
+sr10 channelState@NAddr(Remote, E, "Start") :- haveSnap@NAddr(Src, E, 0),
+     backPointer@NAddr(Remote), Remote != Src, currentSnap@NAddr(Cur),
+     E > Cur.
+sr10b backPointer@NAddr(Src) :- marker@NAddr(Src, E).
+sr11 channelState@NAddr(Src, E, "Done") :- haveSnap@NAddr(Src, E, C).
+
+sr12 doneChannels@NAddr(E, count<*>) :-
+     channelState@NAddr(Remote, E, "Done").
+sr12b doneChannels@NAddr(E, count<*>) :- numBackPointers@NAddr(C),
+      channelState@NAddr(Remote, E, "Done").
+sr13 snapState@NAddr(E, "Done") :- doneChannels@NAddr(E, C),
+     snapState@NAddr(E, "Snapping"), numBackPointers@NAddr(C).
+sr17 snapDone@NAddr(E) :- snapState@NAddr(E, "Done").
+sr18 delete channelState@NAddr(Remote, E, State) :- snapDone@NAddr(E).
+
+sr15 channelSendPredDump@NAddr(E, Src, PID, PAddr, T) :-
+     sendPred@NAddr(PID, PAddr, Src), channelState@NAddr(Src, E, "Start"),
+     T := f_now().
+sr16 channelReturnSuccDump@NAddr(E, Src, SID, SAddr, T) :-
+     returnSucc@NAddr(SID, SAddr, Src), channelState@NAddr(Src, E, "Start"),
+     T := f_now().
+"""
+
+INITIATOR_SOURCE = """
+sr1 snap@NAddr(I + 1) :- periodic@NAddr(E, tSnapFreq),
+    currentSnap@NAddr(I).
+"""
+
+SNAP_LOOKUP_SOURCE = """
+l1s sLookupResults@ReqAddr(SnapID, K, SID, SAddr, E, NAddr) :-
+    node@NAddr(NID), sLookup@NAddr(SnapID, K, ReqAddr, E),
+    snapBestSucc@NAddr(SnapID, SID, SAddr), K in (NID, SID].
+l2s sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, min<D>) :-
+    node@NAddr(NID), sLookup@NAddr(SnapID, K, ReqAddr, E),
+    snapFingers@NAddr(SnapID, FPos, FID, FAddr), D := K - FID - 1,
+    FID in (NID, K).
+l3s sLookup@FAddr(SnapID, K, ReqAddr, E) :- node@NAddr(NID),
+    sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, D),
+    snapFingers@NAddr(SnapID, FPos, FID, FAddr), D == K - FID - 1,
+    FID in (NID, K).
+"""
+
+SNAP_PROBE_SOURCE = """
+materialize(conLookupTable, 100, 1000, keys(2,3)).
+materialize(conRespTable, 100, 1000, keys(2,3)).
+materialize(respCluster, 100, 1000, keys(2,3)).
+materialize(maxCluster, 100, 1000, keys(2)).
+materialize(lookupCluster, 100, 1000, keys(2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, tProbe),
+    K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :-
+    conProbe@NAddr(ProbeID, K, T), uniqueFinger@NAddr(FAddr, FID),
+    ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :-
+    conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs4s sLookup@SrcAddr(SnapID, K, NAddr, ReqID) :-
+     conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T),
+     currentSnap@NAddr(SnapID).
+cs5s conRespTable@NAddr(ProbeID, ReqID, SAddr) :-
+     sLookupResults@NAddr(SnapID, K, SID, SAddr, ReqID, Responder),
+     conLookupTable@NAddr(ProbeID, ReqID, T).
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :-
+    conRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :-
+    respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :-
+    conLookupTable@NAddr(ProbeID, ReqID, T).
+cs9 consistency@NAddr(ProbeID, RespCount / LookupCount) :-
+    periodic@NAddr(E, tTally), lookupCluster@NAddr(ProbeID, T, LookupCount),
+    T < f_now() - tTally, maxCluster@NAddr(ProbeID, RespCount).
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :-
+     consistency@NAddr(ProbeID, Consistency).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :-
+     consistency@NAddr(ProbeID, Consistency),
+     conLookupTable@NAddr(ProbeID, ReqID, T).
+"""
+
+
+class SnapshotMonitor(Monitor):
+    """Chandy-Lamport snapshots: bp + sr rules (+ snapshot lookups).
+
+    Install with :meth:`install_with_initiator`, naming the node that
+    periodically starts snapshots.  All nodes get the common rules; the
+    initiator also gets sr1 and a seed ``snapState`` row.
+    """
+
+    def __init__(
+        self, snap_period: float = 30.0, with_lookup_rules: bool = True
+    ) -> None:
+        source = BACKPOINTER_SOURCE + SNAPSHOT_COMMON_SOURCE
+        if with_lookup_rules:
+            source += SNAP_LOOKUP_SOURCE
+        super().__init__(
+            name="snapshot",
+            source=source,
+            alarm_events=["snapDone"],
+            bindings={
+                "tSnapFreq": snap_period,
+                # Re-derive the incoming-link count periodically: a dead
+                # node's backPointer row expires silently, and a stale
+                # count would leave sr13's termination check unsatisfiable.
+                "tBpEval": min(snap_period, 5.0),
+            },
+        )
+        self._initiator_program = Program.compile(
+            INITIATOR_SOURCE,
+            name="snapshot-initiator",
+            bindings={"tSnapFreq": snap_period},
+        )
+
+    def install_with_initiator(
+        self, nodes: Iterable[P2Node], initiator: P2Node
+    ) -> MonitorHandle:
+        nodes = list(nodes)
+        handle = self.install(nodes)
+        # Every node needs a currentSnap row for the stale-marker guard
+        # in sr9/sr10 (markers carrying an ID <= currentSnap are late
+        # duplicates and must not restart an old snapshot).
+        for node in nodes:
+            node.inject("currentSnap", (node.address, 0))
+        initiator.install(self._initiator_program)
+        # Seed the snapshot counter so sr1 has a row to advance.
+        initiator.inject("snapState", (initiator.address, 0, "Done"))
+        return handle
+
+    @staticmethod
+    def snapped_state(node: P2Node, snap_id: int) -> dict:
+        """The recorded state of ``node`` for one snapshot ID."""
+
+        def rows(table: str) -> List[Tuple]:
+            return [
+                t for t in node.query(table) if t.values[1] == snap_id
+            ]
+
+        return {
+            "bestSucc": rows("snapBestSucc"),
+            "fingers": rows("snapFingers"),
+            "pred": rows("snapPred"),
+            "sendPredMessages": rows("channelSendPredDump"),
+            "returnSuccMessages": rows("channelReturnSuccDump"),
+        }
+
+    @staticmethod
+    def snapshot_complete(node: P2Node, snap_id: int) -> bool:
+        for tup in node.query("snapState"):
+            if tup.values[1] == snap_id and tup.values[2] == "Done":
+                return True
+        return False
+
+
+class SnapshotConsistencyProbes(Monitor):
+    """Consistency probes over the snapped state (cs4s/cs5s rewrite).
+
+    Requires :class:`SnapshotMonitor` to be installed first (it owns the
+    snap tables these rules join).
+    """
+
+    def __init__(
+        self, probe_period: float = 40.0, tally_period: float = 20.0
+    ) -> None:
+        super().__init__(
+            name="snapshot-consistency-probes",
+            source=SNAP_PROBE_SOURCE,
+            alarm_events=["consistency"],
+            bindings={"tProbe": probe_period, "tTally": tally_period},
+        )

@@ -1,0 +1,116 @@
+"""Generic graph traversal — §3.4's reusable building block.
+
+"The traversal algorithms embodied in our examples have wide utility
+... such traversal algorithms, combined with a per-hop soundness
+evaluation check, can be applied to other overlay topologies and also
+to execution graphs, snapshot graphs, or even application-defined
+graphs."
+
+:class:`GraphTraversalMonitor` generates the token-passing rules for an
+*arbitrary* single-successor edge relation: give it the table name, its
+arity, and which field holds the next-hop address, and it produces a
+traversal that
+
+- follows the edge from node to node, counting hops;
+- reports ``<table>TravDone(E, hops)`` at the initiator when the token
+  returns — on a ring, the hop count *is* the population size, so this
+  doubles as a decentralized census;
+- reports ``<table>TravLost(E, lastAddr, hops)`` when the hop budget is
+  exhausted — the token entered a cycle that excludes the initiator
+  (the failure mode a bare wrap-count traversal cannot see).
+
+The ring ID-ordering monitor (ri2-ri6) is the specialised ancestor of
+this; an optional per-hop condition hook recovers it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.monitors.base import Monitor
+from repro.runtime.node import P2Node
+
+_instances = itertools.count()
+
+
+class GraphTraversalMonitor(Monitor):
+    """Token traversal over ``edge_table``'s next-hop field.
+
+    Event names are instance-unique: two traversal monitors installed
+    on the same nodes must not consume each other's tokens (a shared
+    Step event would multiply every hop by the number of instances).
+    """
+
+    def __init__(
+        self,
+        edge_table: str,
+        arity: int,
+        next_index: int,
+        max_hops: int = 128,
+        per_hop_condition: str = "",
+    ) -> None:
+        """``arity`` counts all fields including the location;
+        ``next_index`` is the 0-based field holding the next address.
+        ``per_hop_condition`` is an optional OverLog condition over the
+        edge row's fields ``F1..Fn`` (F0 is the location), evaluated at
+        every hop; a failing condition drops the token (reported as
+        lost when the budget would have been reached — or use the
+        events below to detect silence)."""
+        if not 1 <= next_index < arity:
+            raise ReproError(
+                f"next_index {next_index} out of range for arity {arity}"
+            )
+        prefix = f"{edge_table}Trav{next(_instances)}"
+        fields = [
+            f"F{i}" if i != next_index else "Next"
+            for i in range(1, arity)
+        ]
+        edge_args = ", ".join(fields)
+        condition = f", {per_hop_condition}" if per_hop_condition else ""
+        source = f"""
+gt1 {prefix}Step@NAddr(E, NAddr, 0) :- {prefix}Start@NAddr(E).
+gt2 {prefix}Hop@Next(E, Src, H) :- {prefix}Step@NAddr(E, Src, H0),
+    {edge_table}@NAddr({edge_args}), H := H0 + 1, Next != NAddr{condition}.
+gt3 {prefix}Done@Src(E, H) :- {prefix}Hop@NAddr(E, Src, H), NAddr == Src.
+gt4 {prefix}Step@NAddr(E, Src, H) :- {prefix}Hop@NAddr(E, Src, H),
+    NAddr != Src, H < {max_hops}.
+gt5 {prefix}Lost@Src(E, NAddr, H) :- {prefix}Hop@NAddr(E, Src, H),
+    NAddr != Src, H >= {max_hops}.
+"""
+        super().__init__(
+            name=f"traversal-{edge_table}",
+            source=source,
+            alarm_events=[f"{prefix}Done", f"{prefix}Lost"],
+        )
+        self.edge_table = edge_table
+        self.prefix = prefix
+        self.max_hops = max_hops
+
+    def start_traversal(self, initiator: P2Node) -> int:
+        """Launch a token from ``initiator``; returns the traversal ID."""
+        nonce = initiator.rng.randrange(1 << 31)
+        initiator.inject(
+            f"{self.prefix}Start", (initiator.address, nonce)
+        )
+        return nonce
+
+    def results_for(self, handle, nonce: int) -> dict:
+        """Summarize one traversal's outcome from a MonitorHandle."""
+        done = [
+            t
+            for t in handle.alarms[f"{self.prefix}Done"]
+            if t.values[1] == nonce
+        ]
+        lost = [
+            t
+            for t in handle.alarms[f"{self.prefix}Lost"]
+            if t.values[1] == nonce
+        ]
+        return {
+            "completed": bool(done),
+            "hops": done[0].values[2] if done else None,
+            "lost": bool(lost),
+            "last_seen": lost[0].values[2] if lost else None,
+        }

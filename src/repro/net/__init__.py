@@ -1,0 +1,24 @@
+"""Simulated network substrate.
+
+Provides per-(src, dst) FIFO channels with configurable latency, loss, and
+partitions.  FIFO delivery matters: the paper's Chandy-Lamport snapshot
+implementation assumes in-order channels, and this package guarantees it
+even when latency is randomized (delivery times are made monotone per
+channel).
+"""
+
+from repro.net.address import Address, make_address
+from repro.net.channel import Channel
+from repro.net.network import Network, Message
+from repro.net.topology import LatencyModel, UniformLatency, ConstantLatency
+
+__all__ = [
+    "Address",
+    "make_address",
+    "Channel",
+    "Network",
+    "Message",
+    "LatencyModel",
+    "UniformLatency",
+    "ConstantLatency",
+]

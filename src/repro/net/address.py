@@ -1,0 +1,19 @@
+"""Node addresses.
+
+An address is a plain string (e.g. ``"n3:10000"``) so it can live inside
+OverLog tuples, be compared for equality in rules, and be printed in
+traces exactly as the paper shows (``NAddr``, ``SAddr``, ...).  The helper
+below builds the conventional form used by the Chord harness.
+"""
+
+from __future__ import annotations
+
+Address = str
+
+EMPTY_ADDRESS: Address = "-"
+"""The paper's convention for "no address" (e.g. an unset predecessor)."""
+
+
+def make_address(index: int, base_port: int = 10000) -> Address:
+    """Build the conventional address for the ``index``-th virtual node."""
+    return f"n{index}:{base_port + index}"

@@ -1,0 +1,28 @@
+"""A unidirectional FIFO channel between two addresses.
+
+The channel tracks the latest scheduled delivery time and clamps each new
+message's delivery to be no earlier, so even a randomized latency model
+cannot reorder messages.  This is the property the Chandy-Lamport
+snapshot rules rely on.
+"""
+
+from __future__ import annotations
+
+from repro.net.address import Address
+
+
+class Channel:
+    """Delivery-time bookkeeping for one (src, dst) pair."""
+
+    def __init__(self, src: Address, dst: Address) -> None:
+        self.src = src
+        self.dst = dst
+        self._last_delivery = 0.0
+        self.messages_sent = 0
+
+    def next_delivery_time(self, now: float, delay: float) -> float:
+        """Compute (and record) the FIFO-respecting delivery time."""
+        when = max(now + delay, self._last_delivery)
+        self._last_delivery = when
+        self.messages_sent += 1
+        return when

@@ -1,0 +1,102 @@
+"""Tuple marshaling — the wire format between nodes.
+
+P2's network preamble/postamble marshal tuples onto UDP; this module is
+the simulated equivalent: a canonical, self-describing byte encoding
+(tagged JSON) for every OverLog value type.  Routing real bytes (rather
+than passing Python object references) keeps nodes honestly isolated —
+a value that cannot survive the wire fails loudly at send time — and
+gives the bandwidth accounting exact message sizes.
+
+Encodable values: str, bool, int, float, None, NodeID, and (nested)
+sequences thereof.  Sequences decode as tuples (OverLog lists are
+immutable values).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple as PyTuple
+
+from repro.errors import NetworkError
+from repro.overlog.types import NodeID
+from repro.runtime.tuples import Tuple
+
+_NODE_ID_TAG = "nodeid"
+
+
+def _encode_value(value: Any):
+    if isinstance(value, NodeID):
+        return {_NODE_ID_TAG: [value.value, value.bits]}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    raise NetworkError(
+        f"value of type {type(value).__name__} cannot be marshaled: "
+        f"{value!r}"
+    )
+
+
+def _decode_value(value: Any):
+    if isinstance(value, dict):
+        if _NODE_ID_TAG in value:
+            raw, bits = value[_NODE_ID_TAG]
+            return NodeID(raw, bits)
+        raise NetworkError(f"unknown tagged value on the wire: {value!r}")
+    if isinstance(value, list):
+        return tuple(_decode_value(item) for item in value)
+    return value
+
+
+def encode_message(
+    tup: Tuple,
+    src: str,
+    src_tid: Optional[int],
+) -> bytes:
+    """Marshal a tuple (plus trace identity) for transmission."""
+    body = {
+        "kind": "tuple",
+        "name": tup.name,
+        "values": [_encode_value(v) for v in tup.values],
+        "src": src,
+        "src_tid": src_tid,
+    }
+    return json.dumps(body, separators=(",", ":")).encode()
+
+
+def encode_delete(name: str, pattern: PyTuple) -> bytes:
+    """Marshal a remote-delete request (None entries are wildcards)."""
+    body = {
+        "kind": "delete",
+        "name": name,
+        "pattern": [_encode_value(v) for v in pattern],
+    }
+    return json.dumps(body, separators=(",", ":")).encode()
+
+
+def decode_message(data: bytes) -> Dict[str, Any]:
+    """Unmarshal a wire message into a payload dict.
+
+    For "tuple" messages the dict has name/values/src/src_tid; for
+    "delete" messages name/pattern.
+    """
+    try:
+        body = json.loads(data.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise NetworkError(f"undecodable message: {exc}") from exc
+    kind = body.get("kind")
+    if kind == "tuple":
+        return {
+            "kind": "tuple",
+            "name": body["name"],
+            "values": tuple(_decode_value(v) for v in body["values"]),
+            "src": body.get("src"),
+            "src_tid": body.get("src_tid"),
+        }
+    if kind == "delete":
+        return {
+            "kind": "delete",
+            "name": body["name"],
+            "pattern": tuple(_decode_value(v) for v in body["pattern"]),
+        }
+    raise NetworkError(f"unknown message kind on the wire: {kind!r}")

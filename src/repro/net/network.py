@@ -1,0 +1,160 @@
+"""The simulated network connecting virtual P2 nodes.
+
+Nodes register a receive callback under their address.  ``send`` schedules
+delivery through a per-(src, dst) FIFO channel; loss and partitions drop
+messages before scheduling.  The network also keeps global and per-node
+message counters — these are the "Tx messages" series plotted in the
+paper's Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.net.address import Address
+from repro.net.channel import Channel
+from repro.net.topology import ConstantLatency, LatencyModel
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Message:
+    """An in-flight network message (a marshaled tuple payload)."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    sent_at: float
+    size: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmark harness samples."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_node_sent: Dict[Address, int] = field(default_factory=dict)
+    per_node_received: Dict[Address, int] = field(default_factory=dict)
+
+
+class Network:
+    """FIFO message fabric with loss and partition injection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1): {loss_rate}")
+        self._sim = sim
+        self._latency = latency if latency is not None else ConstantLatency(0.01)
+        self._loss_rate = loss_rate
+        self._receivers: Dict[Address, Callable[[Message], None]] = {}
+        self._channels: Dict[Tuple[Address, Address], Channel] = {}
+        self._blocked: Set[frozenset] = set()
+        self._down: Set[Address] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def attach(self, address: Address, receiver: Callable[[Message], None]) -> None:
+        """Register a node's receive callback under its address."""
+        if address in self._receivers:
+            raise NetworkError(f"address already attached: {address}")
+        self._receivers[address] = receiver
+
+    def detach(self, address: Address) -> None:
+        """Remove a node from the network (future messages to it drop)."""
+        self._receivers.pop(address, None)
+
+    def is_attached(self, address: Address) -> bool:
+        return address in self._receivers
+
+    @property
+    def addresses(self) -> list:
+        return sorted(self._receivers)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def partition(self, a: Address, b: Address) -> None:
+        """Block traffic in both directions between ``a`` and ``b``."""
+        self._blocked.add(frozenset((a, b)))
+
+    def heal(self, a: Address, b: Address) -> None:
+        """Remove a partition between ``a`` and ``b``."""
+        self._blocked.discard(frozenset((a, b)))
+
+    def take_down(self, address: Address) -> None:
+        """Silently drop all traffic to and from ``address``."""
+        self._down.add(address)
+
+    def bring_up(self, address: Address) -> None:
+        self._down.discard(address)
+
+    def set_loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1): {rate}")
+        self._loss_rate = rate
+
+    # ------------------------------------------------------------------
+    # Sending
+
+    def send(self, src: Address, dst: Address, payload: Any, size: int = 0) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` over the FIFO channel.
+
+        Messages to unknown/down/partitioned destinations are counted as
+        sent and dropped — matching a UDP-like transport where the sender
+        cannot tell.
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        self.stats.per_node_sent[src] = self.stats.per_node_sent.get(src, 0) + 1
+
+        message = Message(src, dst, payload, self._sim.now, size)
+        if self._should_drop(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        channel = self._channel(src, dst)
+        delay = self._latency.delay(src, dst)
+        when = channel.next_delivery_time(self._sim.now, delay)
+        self._sim.schedule_at(when, lambda: self._deliver(message))
+
+    def _should_drop(self, src: Address, dst: Address) -> bool:
+        if src in self._down or dst in self._down:
+            return True
+        if frozenset((src, dst)) in self._blocked:
+            return True
+        if self._loss_rate > 0.0:
+            if self._sim.random.stream("net.loss").random() < self._loss_rate:
+                return True
+        return False
+
+    def _channel(self, src: Address, dst: Address) -> Channel:
+        key = (src, dst)
+        if key not in self._channels:
+            self._channels[key] = Channel(src, dst)
+        return self._channels[key]
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check faults at delivery time: a node that crashed while the
+        # message was in flight must not receive it.
+        if message.dst in self._down or message.src in self._down:
+            self.stats.messages_dropped += 1
+            return
+        receiver = self._receivers.get(message.dst)
+        if receiver is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        per_node = self.stats.per_node_received
+        per_node[message.dst] = per_node.get(message.dst, 0) + 1
+        receiver(message)

@@ -1,0 +1,52 @@
+"""Latency models for simulated channels.
+
+The paper does not shape network topology for its experiments (none of its
+measurements involve latency), so :class:`ConstantLatency` is the default.
+:class:`UniformLatency` is available for churn/robustness experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.net.address import Address
+from repro.sim.rand import SimRandom
+
+
+class LatencyModel:
+    """Base class: maps a (src, dst) pair to a one-way delay in seconds."""
+
+    def delay(self, src: Address, dst: Address) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes the same one-way delay."""
+
+    def __init__(self, seconds: float = 0.01) -> None:
+        if seconds < 0:
+            raise NetworkError(f"latency must be non-negative: {seconds}")
+        self.seconds = seconds
+
+    def delay(self, src: Address, dst: Address) -> float:
+        return self.seconds
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high) per message.
+
+    Draws come from a named stream of the simulation's random source, so
+    runs stay reproducible.  FIFO ordering is still enforced per channel
+    by the network layer (delivery times are made monotone).
+    """
+
+    def __init__(self, rand: SimRandom, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise NetworkError(f"invalid latency range [{low}, {high})")
+        self._rng = rand.stream("net.latency")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: Address, dst: Address) -> float:
+        if self.high == self.low:
+            return self.low
+        return self._rng.uniform(self.low, self.high)

@@ -1,0 +1,23 @@
+"""The OverLog language: the Datalog variant P2 programs are written in.
+
+This package contains everything needed to go from OverLog source text to
+a validated program the runtime planner can compile:
+
+- :mod:`repro.overlog.types` — the value model, notably :class:`NodeID`
+  (an integer on the Chord ring, with modular arithmetic and interval
+  membership so the paper's lookup rules run verbatim);
+- :mod:`repro.overlog.lexer` / :mod:`repro.overlog.parser` — source text
+  to AST;
+- :mod:`repro.overlog.ast` — AST node definitions;
+- :mod:`repro.overlog.builtins` — ``f_now()``, ``f_rand()``,
+  ``f_randID()`` and friends;
+- :mod:`repro.overlog.expr` — the expression evaluator;
+- :mod:`repro.overlog.program` — :class:`Program` container plus semantic
+  validation (variable safety, location specifiers, aggregate placement).
+"""
+
+from repro.overlog.types import NodeID, INFINITY
+from repro.overlog.parser import parse
+from repro.overlog.program import Program
+
+__all__ = ["NodeID", "INFINITY", "parse", "Program"]

@@ -1,0 +1,313 @@
+"""AST node definitions for OverLog.
+
+The parser produces a :class:`ProgramAST` holding statements, each of
+which is a :class:`Materialize` declaration or a :class:`Rule`.  A rule
+head is a :class:`Functor` whose first argument is, by P2 convention, the
+location specifier (``name@Loc(A, B)`` and ``name(Loc, A, B)`` both parse
+to args ``[Loc, A, B]``).  Rule bodies are ordered lists of body terms:
+functors (joins against tables or the trigger event), assignments
+(``X := expr``) and conditions (boolean expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+class Expr:
+    """Base class for OverLog expressions."""
+
+    def variables(self) -> set:
+        """The set of variable names appearing in this expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable (identifier starting with an upper-case letter)."""
+
+    name: str
+
+    def variables(self) -> set:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant: number, string, boolean."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymbolicConst(Expr):
+    """A lower-case identifier used as a value (e.g. ``tProbe``, ``mysnap``).
+
+    Resolved against the program's binding table at install time; an
+    unbound symbolic constant evaluates to its own name as a string,
+    matching the paper's convention that lower-case terms are constants.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: ``-`` or ``!``."""
+
+    op: str
+    operand: Expr
+
+    def variables(self) -> set:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator: arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A built-in function call, e.g. ``f_now()`` or ``f_randID()``."""
+
+    name: str
+    args: Sequence[Expr] = field(default_factory=tuple)
+
+    def variables(self) -> set:
+        out: set = set()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """A list literal, e.g. ``[B, A]`` in the path-vector rule."""
+
+    items: Sequence[Expr]
+
+    def variables(self) -> set:
+        out: set = set()
+        for item in self.items:
+            out |= item.variables()
+        return out
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(i) for i in self.items) + "]"
+
+
+@dataclass(frozen=True)
+class RangeCheck(Expr):
+    """Circular interval membership: ``X in (A, B]`` and variants."""
+
+    subject: Expr
+    low: Expr
+    high: Expr
+    low_closed: bool
+    high_closed: bool
+
+    def variables(self) -> set:
+        return (
+            self.subject.variables()
+            | self.low.variables()
+            | self.high.variables()
+        )
+
+    def __str__(self) -> str:
+        lo = "[" if self.low_closed else "("
+        hi = "]" if self.high_closed else ")"
+        return f"{self.subject} in {lo}{self.low}, {self.high}{hi}"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """A head aggregate: ``count<*>``, ``min<D>``, ``max<Count>``, ...
+
+    Only legal as a head argument.  ``var`` is None for ``count<*>``.
+    """
+
+    func: str
+    var: Optional[str]
+
+    def variables(self) -> set:
+        return {self.var} if self.var else set()
+
+    def __str__(self) -> str:
+        return f"{self.func}<{self.var if self.var else '*'}>"
+
+
+AGGREGATE_FUNCS = ("count", "min", "max", "sum", "avg")
+
+
+# ---------------------------------------------------------------------------
+# Body terms and statements
+
+
+@dataclass
+class Functor:
+    """A predicate occurrence: ``name@Loc(A, B)`` with args [Loc, A, B]."""
+
+    name: str
+    args: List[Expr]
+
+    def variables(self) -> set:
+        out: set = set()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    @property
+    def location(self) -> Expr:
+        """The location specifier (first argument, P2 convention)."""
+        return self.args[0]
+
+    def aggregates(self) -> List[Aggregate]:
+        return [a for a in self.args if isinstance(a, Aggregate)]
+
+    def __str__(self) -> str:
+        rest = ", ".join(str(a) for a in self.args[1:])
+        return f"{self.name}@{self.args[0]}({rest})"
+
+
+@dataclass
+class Assign:
+    """An assignment body term: ``X := expr``."""
+
+    var: str
+    expr: Expr
+
+    def variables(self) -> set:
+        return {self.var} | self.expr.variables()
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass
+class Cond:
+    """A filter body term: any boolean expression."""
+
+    expr: Expr
+
+    def variables(self) -> set:
+        return self.expr.variables()
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+BodyTerm = Union[Functor, Assign, Cond]
+
+
+@dataclass
+class Rule:
+    """A deductive rule: ``[ruleID] [delete] head :- body terms.``"""
+
+    head: Functor
+    body: List[BodyTerm]
+    rule_id: Optional[str] = None
+    delete: bool = False
+    source: str = ""
+
+    def body_functors(self) -> List[Functor]:
+        return [t for t in self.body if isinstance(t, Functor)]
+
+    def __str__(self) -> str:
+        prefix = f"{self.rule_id} " if self.rule_id else ""
+        if self.delete:
+            prefix += "delete "
+        body = ", ".join(str(t) for t in self.body)
+        return f"{prefix}{self.head} :- {body}."
+
+
+@dataclass
+class Materialize:
+    """A ``materialize(name, lifetime, size, keys(...))`` declaration.
+
+    ``lifetime`` is seconds (or INFINITY); ``max_size`` is a tuple count
+    (or INFINITY); ``keys`` are 1-based field positions per the paper.
+    """
+
+    name: str
+    lifetime: Any
+    max_size: Any
+    keys: List[int]
+
+    def __str__(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return (
+            f"materialize({self.name}, {self.lifetime}, "
+            f"{self.max_size}, keys({keys}))."
+        )
+
+
+@dataclass
+class Watch:
+    """A ``watch(name).`` statement: observe every ``name`` tuple.
+
+    P2's debugging primitive — watched tuples are recorded by the node
+    (and by the event logger when attached) without writing a rule.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"watch({self.name})."
+
+
+Statement = Union[Rule, Materialize, Watch]
+
+
+@dataclass
+class ProgramAST:
+    """The parsed form of an OverLog source text."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    @property
+    def rules(self) -> List[Rule]:
+        return [s for s in self.statements if isinstance(s, Rule)]
+
+    @property
+    def materializations(self) -> List[Materialize]:
+        return [s for s in self.statements if isinstance(s, Materialize)]
+
+    @property
+    def watches(self) -> List[Watch]:
+        return [s for s in self.statements if isinstance(s, Watch)]
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)

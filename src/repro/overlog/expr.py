@@ -1,0 +1,202 @@
+"""Expression evaluation over variable bindings.
+
+The evaluator walks an expression AST under a bindings dict (variable
+name -> value) and an :class:`EvalContext` (clock/randomness/ring size
+for builtins).  Unbound variables raise :class:`EvaluationError` — the
+program validator catches unsafe rules before they reach here, so a
+raised error indicates an engine bug or an intentionally unbound delete
+wildcard (handled by the caller, not here).
+
+Semantics worth noting:
+
+- ``+`` concatenates lists/strings as well as adding numbers; NodeID
+  arithmetic is modular (delegated to :class:`NodeID`);
+- ``==``/``!=`` never raise on type mismatch (distinct types compare
+  unequal), matching Datalog's value semantics;
+- ``&&``/``||`` are short-circuiting;
+- ``X in (A, B]`` uses circular interval membership when any operand is
+  a NodeID, and plain ordering otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import EvaluationError
+from repro.overlog import ast
+from repro.overlog.builtins import EvalContext, call_builtin
+from repro.overlog.types import NodeID
+
+Bindings = Dict[str, Any]
+
+
+def evaluate(expr: ast.Expr, bindings: Bindings, ctx: EvalContext) -> Any:
+    """Evaluate ``expr`` under ``bindings``; raises on unbound variables."""
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        if expr.name not in bindings:
+            raise EvaluationError(f"unbound variable {expr.name}")
+        return bindings[expr.name]
+    if isinstance(expr, ast.SymbolicConst):
+        # Unresolved lower-case identifiers evaluate to their own name —
+        # the paper's "lower-case terms are constants" convention.
+        return expr.name
+    if isinstance(expr, ast.UnaryOp):
+        return _unary(expr, bindings, ctx)
+    if isinstance(expr, ast.BinOp):
+        return _binary(expr, bindings, ctx)
+    if isinstance(expr, ast.FuncCall):
+        args = [evaluate(a, bindings, ctx) for a in expr.args]
+        return call_builtin(expr.name, ctx, args)
+    if isinstance(expr, ast.ListExpr):
+        return tuple(evaluate(item, bindings, ctx) for item in expr.items)
+    if isinstance(expr, ast.RangeCheck):
+        return _range_check(expr, bindings, ctx)
+    if isinstance(expr, ast.Aggregate):
+        raise EvaluationError("aggregates are only legal in rule heads")
+    raise EvaluationError(f"cannot evaluate expression node {expr!r}")
+
+
+def _unary(expr: ast.UnaryOp, bindings: Bindings, ctx: EvalContext) -> Any:
+    value = evaluate(expr.operand, bindings, ctx)
+    if expr.op == "-":
+        if isinstance(value, NodeID):
+            return NodeID(-value.value, value.bits)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+        raise EvaluationError(f"cannot negate {value!r}")
+    if expr.op == "!":
+        return not _truthy(value)
+    raise EvaluationError(f"unknown unary operator {expr.op!r}")
+
+
+def _binary(expr: ast.BinOp, bindings: Bindings, ctx: EvalContext) -> Any:
+    op = expr.op
+
+    # Short-circuit boolean connectives.
+    if op == "&&":
+        if not _truthy(evaluate(expr.left, bindings, ctx)):
+            return False
+        return _truthy(evaluate(expr.right, bindings, ctx))
+    if op == "||":
+        if _truthy(evaluate(expr.left, bindings, ctx)):
+            return True
+        return _truthy(evaluate(expr.right, bindings, ctx))
+
+    left = evaluate(expr.left, bindings, ctx)
+    right = evaluate(expr.right, bindings, ctx)
+
+    if op == "==":
+        return values_equal(left, right)
+    if op == "!=":
+        return not values_equal(left, right)
+    if op in ("<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        return _arith(op, left, right)
+    raise EvaluationError(f"unknown binary operator {op!r}")
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Datalog-style equality: mismatched types are unequal, not errors."""
+    try:
+        result = left == right
+    except Exception:
+        return False
+    if result is NotImplemented:
+        return False
+    return bool(result)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    try:
+        if op == "<":
+            result = left < right
+        elif op == "<=":
+            result = left <= right
+        elif op == ">":
+            result = left > right
+        else:
+            result = left >= right
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compare {left!r} {op} {right!r}"
+        ) from exc
+    if result is NotImplemented:
+        raise EvaluationError(f"cannot compare {left!r} {op} {right!r}")
+    return bool(result)
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        # List / string concatenation ("[B,A] + P" builds paths).
+        if isinstance(left, (tuple, list)) or isinstance(right, (tuple, list)):
+            return _as_tuple(left) + _as_tuple(right)
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                return left // right if left % right == 0 else left / right
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+    except EvaluationError:
+        raise
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compute {left!r} {op} {right!r}"
+        ) from exc
+    raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def _as_tuple(value: Any):
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, list):
+        return tuple(value)
+    return (value,)
+
+
+def _range_check(
+    expr: ast.RangeCheck, bindings: Bindings, ctx: EvalContext
+) -> bool:
+    subject = evaluate(expr.subject, bindings, ctx)
+    low = evaluate(expr.low, bindings, ctx)
+    high = evaluate(expr.high, bindings, ctx)
+
+    if isinstance(subject, NodeID):
+        return subject.in_interval(low, high, expr.low_closed, expr.high_closed)
+    if isinstance(low, NodeID) or isinstance(high, NodeID):
+        bits = low.bits if isinstance(low, NodeID) else high.bits
+        return NodeID(int(subject), bits).in_interval(
+            low, high, expr.low_closed, expr.high_closed
+        )
+
+    # Plain linear interval for non-ring values.
+    above = subject >= low if expr.low_closed else subject > low
+    below = subject <= high if expr.high_closed else subject < high
+    return bool(above and below)
+
+
+def _truthy(value: Any) -> bool:
+    """OverLog truthiness: the string "true"/"false" convention plus bool."""
+    if isinstance(value, str):
+        if value == "true":
+            return True
+        if value == "false":
+            return False
+    return bool(value)

@@ -1,0 +1,170 @@
+"""Tokenizer for OverLog source text.
+
+Produces a flat list of :class:`Token`.  Identifier case matters in
+OverLog: an identifier starting with an upper-case letter (or ``_``) is a
+variable; lower-case identifiers are predicate names, keywords, or
+symbolic constants — the parser decides which from context.
+
+Comments: ``//`` and ``#`` to end of line, ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+# Token kinds
+IDENT = "IDENT"          # lower-case identifier
+VARIABLE = "VARIABLE"    # upper-case identifier
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"          # operators and punctuation, value holds the lexeme
+EOF = "EOF"
+
+_TWO_CHAR = (":-", ":=", "==", "!=", "<=", ">=", "||", "&&")
+_ONE_CHAR = "@(),.<>+-*/%[]!="
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, lexeme: str) -> bool:
+        return self.kind == PUNCT and self.value == lexeme
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on invalid input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+
+        # Whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+
+        # Line comments
+        if source.startswith("//", i) or ch == "#":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+
+        # Block comments
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+
+        # Strings
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    advance(1)
+                    escape = source[i]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    advance(1)
+                else:
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)  # closing quote
+            tokens.append(Token(STRING, "".join(chars), start_line, start_col))
+            continue
+
+        # Numbers (int or float; a '.' is only part of the number when
+        # followed by a digit, since '.' also terminates statements)
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if (
+                j < n
+                and source[j] == "."
+                and j + 1 < n
+                and source[j + 1].isdigit()
+            ):
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(NUMBER, text, start_line, start_col))
+            continue
+
+        # Identifiers and variables
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = VARIABLE if (text[0].isupper() or text[0] == "_") else IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+
+        # Two-character operators
+        matched = False
+        for op in _TWO_CHAR:
+            if source.startswith(op, i):
+                tokens.append(Token(PUNCT, op, line, col))
+                advance(2)
+                matched = True
+                break
+        if matched:
+            continue
+
+        # Single-character punctuation
+        if ch in _ONE_CHAR:
+            tokens.append(Token(PUNCT, ch, line, col))
+            advance(1)
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,384 @@
+"""Recursive-descent parser for OverLog.
+
+Entry point: :func:`parse`, which returns a :class:`ProgramAST`.
+
+Grammar notes (matching the paper's usage):
+
+- A statement is a ``materialize(...)`` declaration or a rule, ending
+  with ``.``.
+- A rule may start with an optional rule identifier (``rp1``, ``cs2``,
+  ...) and an optional ``delete`` keyword.
+- ``name@Loc(A, B)`` and ``name(Loc, A, B)`` are equivalent; both yield
+  a functor with args ``[Loc, A, B]``.
+- Head arguments may be aggregates (``count<*>``, ``min<D>``, ...).
+- Body terms are functors, assignments (``X := expr``) or boolean
+  conditions; ``X in (A, B]`` is circular interval membership.
+- Built-in function calls are identifiers starting with ``f_``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.overlog import ast
+from repro.overlog.ast import AGGREGATE_FUNCS
+from repro.overlog.lexer import (
+    EOF,
+    IDENT,
+    NUMBER,
+    PUNCT,
+    STRING,
+    VARIABLE,
+    Token,
+    tokenize,
+)
+from repro.overlog.types import INFINITY
+
+
+def parse(source: str) -> ast.ProgramAST:
+    """Parse OverLog source text into a :class:`ProgramAST`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token if token is not None else self._peek()
+        return ParseError(
+            f"{message}, got {token.kind}({token.value!r})",
+            token.line,
+            token.column,
+        )
+
+    def _expect_punct(self, lexeme: str) -> Token:
+        token = self._next()
+        if not token.is_punct(lexeme):
+            raise self._error(f"expected {lexeme!r}", token)
+        return token
+
+    def _expect_kind(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise self._error(f"expected {kind}", token)
+        return token
+
+    def _accept_punct(self, lexeme: str) -> bool:
+        if self._peek().is_punct(lexeme):
+            self._next()
+            return True
+        return False
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAST:
+        program = ast.ProgramAST()
+        while self._peek().kind != EOF:
+            program.statements.append(self._statement())
+        return program
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.kind == IDENT and token.value == "materialize":
+            return self._materialize()
+        if (
+            token.kind == IDENT
+            and token.value == "watch"
+            and self._peek(1).is_punct("(")
+            and self._peek(2).kind == IDENT
+            and self._peek(3).is_punct(")")
+            and self._peek(4).is_punct(".")
+        ):
+            return self._watch()
+        return self._rule()
+
+    def _watch(self) -> ast.Watch:
+        self._next()  # 'watch'
+        self._expect_punct("(")
+        name = self._expect_kind(IDENT).value
+        self._expect_punct(")")
+        self._expect_punct(".")
+        return ast.Watch(name)
+
+    # -- materialize -------------------------------------------------------
+
+    def _materialize(self) -> ast.Materialize:
+        self._next()  # 'materialize'
+        self._expect_punct("(")
+        name = self._expect_kind(IDENT).value
+        self._expect_punct(",")
+        lifetime = self._bound()
+        self._expect_punct(",")
+        max_size = self._bound()
+        self._expect_punct(",")
+        keys_token = self._expect_kind(IDENT)
+        if keys_token.value != "keys":
+            raise self._error("expected 'keys'", keys_token)
+        self._expect_punct("(")
+        keys = [self._key_position()]
+        while self._accept_punct(","):
+            keys.append(self._key_position())
+        self._expect_punct(")")
+        self._expect_punct(")")
+        self._expect_punct(".")
+        return ast.Materialize(name, lifetime, max_size, keys)
+
+    def _bound(self):
+        token = self._next()
+        if token.kind == NUMBER:
+            return _number_value(token.value)
+        if token.kind == IDENT and token.value == "infinity":
+            return INFINITY
+        raise self._error("expected a number or 'infinity'", token)
+
+    def _key_position(self) -> int:
+        token = self._expect_kind(NUMBER)
+        value = _number_value(token.value)
+        if not isinstance(value, int) or value < 1:
+            raise self._error("key positions are 1-based integers", token)
+        return value
+
+    # -- rules --------------------------------------------------------------
+
+    def _rule(self) -> ast.Rule:
+        rule_id: Optional[str] = None
+        delete = False
+
+        # A leading identifier followed by another identifier is a rule id
+        # (e.g. "rp1 reqBestSucc@..." or "cs10 delete lookupCluster@...").
+        # "delete" itself is always the keyword, never a rule id.
+        token = self._peek()
+        if (
+            token.kind == IDENT
+            and token.value != "delete"
+            and self._peek(1).kind == IDENT
+        ):
+            rule_id = self._next().value
+
+        # After an optional rule id, allow the delete keyword.
+        token = self._peek()
+        if token.kind == IDENT and token.value == "delete":
+            if self._peek(1).kind == IDENT:
+                self._next()
+                delete = True
+
+        head = self._functor(in_head=True)
+        self._expect_punct(":-")
+        body: List[ast.BodyTerm] = [self._body_term()]
+        while self._accept_punct(","):
+            body.append(self._body_term())
+        self._expect_punct(".")
+        rule = ast.Rule(head=head, body=body, rule_id=rule_id, delete=delete)
+        rule.source = str(rule)
+        return rule
+
+    def _functor(self, in_head: bool = False) -> ast.Functor:
+        name = self._expect_kind(IDENT).value
+        args: List[ast.Expr] = []
+        explicit_location: Optional[ast.Expr] = None
+        if self._accept_punct("@"):
+            explicit_location = self._primary()
+        self._expect_punct("(")
+        if not self._peek().is_punct(")"):
+            args.append(self._argument(in_head))
+            while self._accept_punct(","):
+                args.append(self._argument(in_head))
+        self._expect_punct(")")
+        if explicit_location is not None:
+            args = [explicit_location] + args
+        if not args:
+            raise ParseError(
+                f"functor {name!r} needs a location specifier "
+                "(either name@Loc(...) or a first argument)"
+            )
+        return ast.Functor(name, args)
+
+    def _argument(self, in_head: bool) -> ast.Expr:
+        if in_head and self._looks_like_aggregate():
+            return self._aggregate()
+        return self._expression()
+
+    def _looks_like_aggregate(self) -> bool:
+        token = self._peek()
+        if token.kind != IDENT or token.value not in AGGREGATE_FUNCS:
+            return False
+        if not self._peek(1).is_punct("<"):
+            return False
+        inner = self._peek(2)
+        if not (inner.is_punct("*") or inner.kind == VARIABLE):
+            return False
+        return self._peek(3).is_punct(">")
+
+    def _aggregate(self) -> ast.Aggregate:
+        func = self._next().value
+        self._expect_punct("<")
+        token = self._next()
+        var = None if token.is_punct("*") else token.value
+        self._expect_punct(">")
+        return ast.Aggregate(func, var)
+
+    # -- body terms -----------------------------------------------------------
+
+    def _body_term(self) -> ast.BodyTerm:
+        token = self._peek()
+        # Assignment: VARIABLE := expr
+        if token.kind == VARIABLE and self._peek(1).is_punct(":="):
+            var = self._next().value
+            self._next()  # :=
+            return ast.Assign(var, self._expression())
+        # Functor: IDENT followed by '@' or '(' (but f_* calls are exprs).
+        if token.kind == IDENT and not token.value.startswith("f_"):
+            follower = self._peek(1)
+            if follower.is_punct("@") or follower.is_punct("("):
+                return self._functor()
+        return ast.Cond(self._expression())
+
+    # -- expressions -------------------------------------------------------------
+    #
+    # Precedence (loosest first): || , && , in , comparison , + - , * / % ,
+    # unary, primary.
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._peek().is_punct("||"):
+            self._next()
+            left = ast.BinOp("||", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._in_expr()
+        while self._peek().is_punct("&&"):
+            self._next()
+            left = ast.BinOp("&&", left, self._in_expr())
+        return left
+
+    def _in_expr(self) -> ast.Expr:
+        left = self._cmp_expr()
+        token = self._peek()
+        if token.kind == IDENT and token.value == "in":
+            self._next()
+            return self._interval(left)
+        return left
+
+    def _interval(self, subject: ast.Expr) -> ast.RangeCheck:
+        open_token = self._next()
+        if open_token.is_punct("("):
+            low_closed = False
+        elif open_token.is_punct("["):
+            low_closed = True
+        else:
+            raise self._error("expected '(' or '[' after 'in'", open_token)
+        low = self._expression()
+        self._expect_punct(",")
+        high = self._expression()
+        close_token = self._next()
+        if close_token.is_punct(")"):
+            high_closed = False
+        elif close_token.is_punct("]"):
+            high_closed = True
+        else:
+            raise self._error("expected ')' or ']'", close_token)
+        return ast.RangeCheck(subject, low, high, low_closed, high_closed)
+
+    def _cmp_expr(self) -> ast.Expr:
+        left = self._add_expr()
+        token = self._peek()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if token.is_punct(op):
+                self._next()
+                return ast.BinOp(op, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> ast.Expr:
+        left = self._mul_expr()
+        while True:
+            token = self._peek()
+            if token.is_punct("+") or token.is_punct("-"):
+                self._next()
+                left = ast.BinOp(token.value, left, self._mul_expr())
+            else:
+                return left
+
+    def _mul_expr(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.is_punct("*") or token.is_punct("/") or token.is_punct("%"):
+                self._next()
+                left = ast.BinOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("-"):
+            self._next()
+            return ast.UnaryOp("-", self._unary())
+        if token.is_punct("!"):
+            self._next()
+            return ast.UnaryOp("!", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._next()
+        if token.kind == NUMBER:
+            return ast.Const(_number_value(token.value))
+        if token.kind == STRING:
+            return ast.Const(token.value)
+        if token.kind == VARIABLE:
+            return ast.Var(token.value)
+        if token.is_punct("("):
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+        if token.is_punct("["):
+            items: List[ast.Expr] = []
+            if not self._peek().is_punct("]"):
+                items.append(self._expression())
+                while self._accept_punct(","):
+                    items.append(self._expression())
+            self._expect_punct("]")
+            return ast.ListExpr(tuple(items))
+        if token.kind == IDENT:
+            if token.value == "true":
+                return ast.Const(True)
+            if token.value == "false":
+                return ast.Const(False)
+            if token.value == "infinity":
+                return ast.Const(INFINITY)
+            if token.value.startswith("f_"):
+                self._expect_punct("(")
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self._expression())
+                    while self._accept_punct(","):
+                        args.append(self._expression())
+                self._expect_punct(")")
+                return ast.FuncCall(token.value, tuple(args))
+            return ast.SymbolicConst(token.value)
+        raise self._error("expected an expression", token)
+
+
+def _number_value(text: str):
+    """Convert a NUMBER lexeme to int or float."""
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)

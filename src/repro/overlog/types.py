@@ -1,0 +1,201 @@
+"""The OverLog value model.
+
+Tuples carry plain Python values (str, int, float, bool, tuples-as-lists)
+plus :class:`NodeID`: an identifier on a ring of size 2**bits with modular
+arithmetic.  NodeID makes the paper's Chord rules work as written — e.g.
+rule ``l2``'s ``D := K - FID - 1`` needs subtraction mod 2**m, and ``FID
+in (NID, K)`` needs wrap-around interval membership.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+
+class _Infinity:
+    """Sentinel for the OverLog ``infinity`` keyword (table bounds)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "infinity"
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+
+INFINITY = _Infinity()
+
+DEFAULT_ID_BITS = 32
+"""Ring size exponent used by the Chord harness (2**32 identifiers)."""
+
+
+class NodeID:
+    """An identifier on the ring Z / 2**bits, with modular arithmetic.
+
+    Supports ``+``/``-`` with ints and other NodeIDs (mod 2**bits),
+    total ordering by raw value, and :meth:`in_interval` for circular
+    interval membership with either-end openness — the semantics of the
+    OverLog ``X in (A, B]`` expression.
+    """
+
+    __slots__ = ("value", "bits")
+
+    def __init__(self, value: int, bits: int = DEFAULT_ID_BITS) -> None:
+        self.bits = bits
+        self.value = value % (1 << bits)
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.bits
+
+    # -- arithmetic -----------------------------------------------------
+
+    def _coerce(self, other: Union["NodeID", int]) -> int:
+        if isinstance(other, NodeID):
+            return other.value
+        if isinstance(other, bool):  # bool is an int subclass; reject it
+            raise TypeError("cannot mix NodeID and bool arithmetic")
+        if isinstance(other, int):
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: Union["NodeID", int]) -> "NodeID":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return NodeID(self.value + value, self.bits)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["NodeID", int]) -> "NodeID":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return NodeID(self.value - value, self.bits)
+
+    def __rsub__(self, other: Union["NodeID", int]) -> "NodeID":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return NodeID(value - self.value, self.bits)
+
+    # -- comparison (raw value order, used by min/max aggregates) -------
+
+    def _cmp_value(self, other: Any) -> int:
+        if isinstance(other, NodeID):
+            return other.value
+        if isinstance(other, int) and not isinstance(other, bool):
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    def __eq__(self, other: Any) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self.value == value
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: Any) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self.value < value
+
+    def __le__(self, other: Any) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self.value <= value
+
+    def __gt__(self, other: Any) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self.value > value
+
+    def __ge__(self, other: Any) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self.value >= value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    # -- ring membership -------------------------------------------------
+
+    def in_interval(
+        self,
+        low: Union["NodeID", int],
+        high: Union["NodeID", int],
+        low_closed: bool = False,
+        high_closed: bool = False,
+    ) -> bool:
+        """Circular interval membership on the ring.
+
+        ``x.in_interval(a, b)`` is OverLog's ``X in (A, B)``; the closed
+        flags give the ``[``/``]`` variants.  When ``a == b`` the open
+        interval ``(a, a)`` is the whole ring minus the endpoint(s) —
+        Chord's convention, which makes a single-node ring route to
+        itself via ``K in (NID, SID]``.
+        """
+        a = low.value if isinstance(low, NodeID) else int(low) % self.modulus
+        b = high.value if isinstance(high, NodeID) else int(high) % self.modulus
+        x = self.value
+
+        if x == a:
+            hit_low = low_closed
+        else:
+            hit_low = None
+        if x == b:
+            hit_high = high_closed
+        else:
+            hit_high = None
+        if hit_low is not None or hit_high is not None:
+            # On an endpoint: inside iff any matching endpoint is closed.
+            return bool(hit_low) or bool(hit_high)
+
+        if a == b:
+            # Degenerate interval spans the whole ring (minus endpoints).
+            return True
+        if a < b:
+            return a < x < b
+        # Wrapped interval.
+        return x > a or x < b
+
+    def __repr__(self) -> str:
+        return f"NodeID({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def format_value(value: Any) -> str:
+    """Human-readable rendering of an OverLog value (for traces/logs)."""
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(format_value(v) for v in value) + "]"
+    return str(value)

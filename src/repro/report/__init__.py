@@ -1,0 +1,20 @@
+"""Operator-facing reports: text renderings of system state.
+
+The paper leaves the user interface as future work ("a visual user
+interface ... would be an invaluable addition"); this package is the
+terminal-grade version: deterministic text renderings suitable for
+logs, CI output, and incident write-ups.
+
+- :mod:`repro.report.ring` — the ring as each node sees it, annotated
+  with oracle disagreements;
+- :mod:`repro.report.chains` — causal chains as indented trees with
+  per-hop timing and preconditions;
+- :mod:`repro.report.dashboard` — a one-page monitoring dashboard:
+  node metrics plus per-monitor alarm counts.
+"""
+
+from repro.report.ring import render_ring
+from repro.report.chains import render_chain
+from repro.report.dashboard import Dashboard
+
+__all__ = ["render_ring", "render_chain", "Dashboard"]

@@ -1,0 +1,76 @@
+"""A one-page monitoring dashboard over a running system."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.system import System
+from repro.monitors.base import MonitorHandle
+
+
+class Dashboard:
+    """Aggregates node metrics and monitor alarms into a text page.
+
+    Register monitor handles as they are installed; ``render()`` at any
+    time produces a deterministic snapshot.  ``diff_since_last()``
+    highlights what changed between renders (new alarms), the piece an
+    operator actually scans for.
+    """
+
+    def __init__(self, system: System, title: str = "deployment") -> None:
+        self._system = system
+        self.title = title
+        self._handles: Dict[str, MonitorHandle] = {}
+        self._last_counts: Dict[str, Dict[str, int]] = {}
+
+    def add_monitor(self, handle: MonitorHandle) -> None:
+        self._handles[handle.monitor.name] = handle
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        system = self._system
+        lines: List[str] = [
+            f"== {self.title} @ t={system.now:.1f}s ==",
+            f"nodes: {len(system.live_nodes())} live / "
+            f"{len(system.nodes)} total   "
+            f"messages sent: {system.network.stats.messages_sent}   "
+            f"dropped: {system.network.stats.messages_dropped}",
+            "",
+            "node                 cpu%      tuples   rule-execs",
+        ]
+        for address in sorted(system.nodes):
+            node = system.nodes[address]
+            if node.stopped:
+                lines.append(f"{address:<18} (stopped)")
+                continue
+            lines.append(
+                f"{address:<18} {100 * node.cpu_utilization():7.3f}  "
+                f"{node.live_tuples():>9}   {node.rule_executions:>9}"
+            )
+        lines.append("")
+        lines.append("monitor alarms:")
+        if not self._handles:
+            lines.append("  (no monitors registered)")
+        for name in sorted(self._handles):
+            handle = self._handles[name]
+            counts = ", ".join(
+                f"{event}={len(tuples)}"
+                for event, tuples in sorted(handle.alarms.items())
+            )
+            lines.append(f"  {name:<24} {counts}")
+        return "\n".join(lines)
+
+    def diff_since_last(self) -> List[str]:
+        """New alarms since the previous call (empty = all quiet)."""
+        news: List[str] = []
+        for name, handle in sorted(self._handles.items()):
+            previous = self._last_counts.get(name, {})
+            for event, tuples in sorted(handle.alarms.items()):
+                fresh = len(tuples) - previous.get(event, 0)
+                if fresh > 0:
+                    news.append(f"{name}: +{fresh} {event}")
+            self._last_counts[name] = {
+                event: len(tuples) for event, tuples in handle.alarms.items()
+            }
+        return news

@@ -1,0 +1,48 @@
+"""Ring rendering: each node's edge view, checked against the oracle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.chord import ids as ring
+from repro.chord.harness import ChordNetwork
+
+
+def render_ring(net: ChordNetwork) -> str:
+    """One line per live node, clockwise, flagging oracle mismatches.
+
+    Example output::
+
+        ring of 5 nodes (clockwise by ID)
+          n3:10003  id=   29478696  succ=n2:10002  pred=n4:10004
+          n2:10002  id=   33825472  succ=n1:10001  pred=n3:10003
+          ...
+        1 disagreement:
+          n2:10002: bestSucc=n0:10000 expected=n1:10001
+    """
+    live = net.live_ids()
+    ordered = ring.ring_order(live)
+    expected_succ = ring.successor_map(live)
+    width = max((len(a) for a in ordered), default=0)
+
+    lines: List[str] = [f"ring of {len(ordered)} nodes (clockwise by ID)"]
+    errors: List[str] = []
+    for addr in ordered:
+        succ = net.best_succ_of(addr)
+        pred = net.pred_of(addr)
+        marker = ""
+        if succ != expected_succ[addr]:
+            marker = "  <-- WRONG successor"
+            errors.append(
+                f"{addr}: bestSucc={succ} expected={expected_succ[addr]}"
+            )
+        lines.append(
+            f"  {addr:<{width}}  id={live[addr].value:>11}  "
+            f"succ={succ}  pred={pred}{marker}"
+        )
+    if errors:
+        lines.append(f"{len(errors)} disagreement(s):")
+        lines.extend(f"  {error}" for error in errors)
+    else:
+        lines.append("ring is oracle-correct")
+    return "\n".join(lines)

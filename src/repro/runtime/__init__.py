@@ -1,0 +1,25 @@
+"""The P2 relational runtime: tuples, soft-state tables, and the per-node
+dataflow that executes compiled OverLog rules.
+
+Layering (bottom up):
+
+- :mod:`repro.runtime.tuples` — immutable tuples, the universal currency
+  for state, messages, events, and log entries;
+- :mod:`repro.runtime.table` / :mod:`repro.runtime.store` — soft-state
+  tables (TTL, max size, primary keys) with change callbacks;
+- :mod:`repro.runtime.elements` — dataflow element objects (the rule
+  strand operators: match, join, select, assign, project, aggregate);
+- :mod:`repro.runtime.strand` — a compiled rule strand: the executable
+  chain of elements for one (rule, trigger) pair;
+- :mod:`repro.runtime.planner` — OverLog rules to strands (and the
+  Figure-1-style dataflow description);
+- :mod:`repro.runtime.node` — a virtual P2 node: installs programs,
+  routes tuples, fires strands, owns introspection hooks.
+"""
+
+from repro.runtime.tuples import Tuple
+from repro.runtime.table import Table, InsertOutcome
+from repro.runtime.store import TableStore
+from repro.runtime.node import P2Node
+
+__all__ = ["Tuple", "Table", "InsertOutcome", "TableStore", "P2Node"]

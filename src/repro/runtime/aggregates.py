@@ -1,0 +1,69 @@
+"""Aggregate functions for rule heads (``count<*>``, ``min<D>``, ...).
+
+P2 computes head aggregates over all derivations of the rule body at
+trigger time, grouped by the non-aggregate head fields.  ``count``
+counts derivations; ``min``/``max``/``sum``/``avg`` fold the aggregate
+variable's values.  ``count`` over an empty group is 0 (and such a row
+is still emitted when the group key is determined by the trigger alone —
+the paper's rule ``sr8`` depends on receiving ``count == 0``); the other
+functions emit nothing for empty groups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import EvaluationError
+
+
+def _agg_count(values: List[Any]) -> int:
+    return len(values)
+
+
+def _agg_min(values: List[Any]) -> Any:
+    return min(values)
+
+
+def _agg_max(values: List[Any]) -> Any:
+    return max(values)
+
+
+def _agg_sum(values: List[Any]) -> Any:
+    total = values[0]
+    for value in values[1:]:
+        total = total + value
+    return total
+
+
+def _agg_avg(values: List[Any]) -> float:
+    return sum(float(v) for v in values) / len(values)
+
+
+_FUNCS: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": _agg_count,
+    "min": _agg_min,
+    "max": _agg_max,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+}
+
+EMPTY_GROUP_RESULTS = {"count": 0}
+"""Aggregates that produce a value over an empty group."""
+
+
+def apply_aggregate(func: str, values: List[Any]) -> Optional[Any]:
+    """Fold ``values`` with the named aggregate.
+
+    Returns None when the aggregate has no value for an empty group
+    (min/max/sum/avg of nothing).
+    """
+    if func not in _FUNCS:
+        raise EvaluationError(f"unknown aggregate function {func!r}")
+    if not values:
+        return EMPTY_GROUP_RESULTS.get(func)
+    try:
+        return _FUNCS[func](values)
+    except TypeError as exc:
+        raise EvaluationError(
+            f"aggregate {func} over incomparable values: {exc}"
+        ) from exc

@@ -1,0 +1,416 @@
+"""A virtual P2 node: program installation, tuple routing, rule firing.
+
+The node owns a table store, compiled strands indexed by trigger
+predicate, per-strand periodic timers, and a FIFO work queue.  Every
+tuple — application state, network message, event, log entry — moves
+through :meth:`_deliver_local`, which makes the introspection story
+uniform: the tracer and event subscribers observe everything.
+
+Tracing attachment is by composition to keep layering clean: the
+introspection package sets ``node.hooks`` (a
+:class:`repro.runtime.strand.TraceHooks`) and ``node.registry`` (tuple
+memoization); the node calls them when present and works fine without.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Dict, List, Optional, Tuple as PyTuple
+
+from repro.errors import RuntimeStateError
+from repro.net.address import Address
+from repro.net.marshal import decode_message, encode_delete, encode_message
+from repro.net.network import Message, Network
+from repro.overlog.builtins import EvalContext
+from repro.overlog.program import Program
+from repro.overlog.types import DEFAULT_ID_BITS
+from repro.runtime.planner import CompiledProgram, Planner
+from repro.runtime.store import TableStore
+from repro.runtime.strand import (
+    Action,
+    DeleteAction,
+    EmitAction,
+    RuleStrand,
+    TraceHooks,
+)
+from repro.runtime.table import InsertOutcome, Table
+from repro.runtime.tuples import Tuple
+from repro.runtime.work import WorkModel
+from repro.sim.simulator import Simulator
+
+
+class P2Node:
+    """One participant in the simulated distributed system."""
+
+    def __init__(
+        self,
+        address: Address,
+        sim: Simulator,
+        network: Network,
+        id_bits: int = DEFAULT_ID_BITS,
+        sweep_interval: float = 1.0,
+    ) -> None:
+        self.address = address
+        self.sim = sim
+        self.network = network
+        self.id_bits = id_bits
+        self.rng = sim.random.stream(f"node.{address}")
+        self.store = TableStore(lambda: sim.now)
+        self.work = WorkModel()
+        self.ctx = EvalContext(self.work_clock, self.rng, id_bits)
+        self.planner = Planner(self.store, node_label=address)
+
+        self.programs: List[CompiledProgram] = []
+        self.strands: List[RuleStrand] = []
+        self._strands_by_trigger: Dict[str, List[RuleStrand]] = defaultdict(list)
+        self._observed_tables: Dict[str, Table] = {}
+        self._subscribers: Dict[str, List[Callable[[Tuple], None]]] = defaultdict(list)
+        self._timers: List[Any] = []
+        self._periodic_timers: Dict[RuleStrand, Any] = {}
+        self._watches: Dict[str, List[PyTuple]] = {}
+        self._queue: deque = deque()
+        self._pumping = False
+        self._stopped = False
+
+        # Introspection attachment points (set by repro.introspect).
+        self.hooks: Optional[TraceHooks] = None
+        self.registry = None  # repro.introspect.tuple_table.TupleRegistry
+        # Called with every locally delivered tuple (event logging).
+        self.on_deliver: List[Callable[[Tuple], None]] = []
+
+        # Counters beyond the work model.
+        self.tuples_delivered = 0
+        self.bytes_delivered = 0
+        self.rule_executions = 0
+
+        network.attach(address, self.receive)
+        self._timers.append(
+            sim.every(
+                sweep_interval,
+                self._sweep,
+                start_delay=sweep_interval,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Time
+
+    def work_clock(self) -> float:
+        """Virtual time plus intra-event micro-time (for trace timestamps)."""
+        return self.sim.now + self.work.micro_offset
+
+    # ------------------------------------------------------------------
+    # Program installation
+
+    def install(self, program: Program) -> CompiledProgram:
+        """Validate-compile ``program`` and activate its rules.
+
+        Tables materialize immediately; strands begin firing on future
+        deliveries (no retro-triggering over existing table contents,
+        matching P2).  Periodic strands get private timers with a random
+        initial phase so a population of nodes does not fire in lockstep.
+        """
+        if self._stopped:
+            raise RuntimeStateError(f"node {self.address} is stopped")
+        compiled = self.planner.plan(program)
+        self.programs.append(compiled)
+        for name in compiled.table_names:
+            self._observe_table(name)
+        for watch in program.tree.watches:
+            self.watch(watch.name)
+        for strand in compiled.strands:
+            self.strands.append(strand)
+            if strand.periodic is not None:
+                self._install_periodic(strand)
+            else:
+                self._strands_by_trigger[strand.trigger_name].append(strand)
+                # Delta strands need their trigger table observed even if
+                # a different program materialized it.
+                if self.store.has(strand.trigger_name):
+                    self._observe_table(strand.trigger_name)
+        return compiled
+
+    def install_source(
+        self,
+        source: str,
+        name: str = "program",
+        bindings: Optional[Dict[str, Any]] = None,
+    ) -> CompiledProgram:
+        """Convenience: compile OverLog source text and install it."""
+        return self.install(Program.compile(source, name=name, bindings=bindings))
+
+    def uninstall(self, compiled: CompiledProgram) -> None:
+        """Deactivate a previously installed program on-line.
+
+        Strands stop firing and their private timers are cancelled;
+        already-queued firings are dropped.  Tables the program
+        materialized remain (they are shared state other programs may
+        reference; their soft-state contents expire naturally).
+        """
+        if compiled not in self.programs:
+            raise RuntimeStateError(
+                f"program {compiled.name!r} is not installed on "
+                f"{self.address}"
+            )
+        self.programs.remove(compiled)
+        removed = set(compiled.strands)
+        for strand in compiled.strands:
+            if strand in self.strands:
+                self.strands.remove(strand)
+            triggered = self._strands_by_trigger.get(strand.trigger_name)
+            if triggered and strand in triggered:
+                triggered.remove(strand)
+            timer = self._periodic_timers.pop(strand, None)
+            if timer is not None:
+                timer.cancel()
+        self._queue = deque(
+            (strand, tup)
+            for strand, tup in self._queue
+            if strand not in removed
+        )
+
+    def _observe_table(self, name: str) -> None:
+        if name in self._observed_tables:
+            return
+        table = self.store.get(name)
+        self._observed_tables[name] = table
+        table.on_insert.append(
+            lambda tup, outcome, _name=name: self._on_table_insert(tup)
+        )
+
+    def _install_periodic(self, strand: RuleStrand) -> None:
+        nonce_var, period = strand.periodic
+        start = self.rng.uniform(0, period)
+        timer = self.sim.every(
+            period,
+            lambda s=strand: self._fire_periodic(s),
+            start_delay=start,
+        )
+        self._timers.append(timer)
+        self._periodic_timers[strand] = timer
+
+    def _fire_periodic(self, strand: RuleStrand) -> None:
+        if self._stopped:
+            return
+        self.work.charge("timer")
+        nonce = self.rng.randrange(1 << 31)
+        period = strand.periodic[1]
+        tup = Tuple("periodic", (self.address, nonce, period))
+        if self.registry is not None:
+            self.registry.ensure(tup, loc_spec=self.address)
+        self._queue.append((strand, tup))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Tuple entry points
+
+    def receive(self, message: Message) -> None:
+        """Network delivery callback: unmarshal and deliver."""
+        if self._stopped:
+            return
+        self.work.reset_micro()
+        self.work.charge("receive")
+        payload = decode_message(message.payload)
+        kind = payload["kind"]
+        if kind == "delete":
+            table = (
+                self.store.get(payload["name"])
+                if self.store.has(payload["name"])
+                else None
+            )
+            if table is not None:
+                removed = table.delete_matching(list(payload["pattern"]))
+                self.work.charge("delete", max(1, removed))
+            self._pump()
+            return
+        tup = Tuple(payload["name"], tuple(payload["values"]))
+        if self.registry is not None:
+            self.registry.on_arrival(
+                tup, payload.get("src"), payload.get("src_tid")
+            )
+        self._deliver_local(tup)
+        self._pump()
+
+    def inject(self, name: str, values: PyTuple) -> None:
+        """Introduce a tuple from outside (tests, harnesses, consoles).
+
+        The tuple is routed by its location specifier, so injecting a
+        tuple whose first field names another node sends it there.
+        """
+        if self._stopped:
+            raise RuntimeStateError(f"node {self.address} is stopped")
+        self.work.reset_micro()
+        tup = Tuple(name, tuple(values))
+        self._route(EmitAction(tup))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Delivery and the pump
+
+    def _deliver_local(self, tup: Tuple) -> None:
+        self.tuples_delivered += 1
+        self.bytes_delivered += tup.estimated_size()
+        if self.registry is not None:
+            self.registry.ensure(tup, loc_spec=tup.location)
+        for callback in self.on_deliver:
+            callback(tup)
+        if self.store.has(tup.name):
+            self.work.charge("insert")
+            self.store.get(tup.name).insert(tup)
+            # Strand triggering happens via the table observer so that
+            # direct table inserts (e.g. from harness code) also fire.
+        else:
+            self._enqueue_strands(tup)
+            self._notify(tup)
+
+    def _on_table_insert(self, tup: Tuple) -> None:
+        self._enqueue_strands(tup)
+        self._notify(tup)
+        # Table observers can fire outside the pump (direct inserts).
+        self._pump()
+
+    def _enqueue_strands(self, tup: Tuple) -> None:
+        for strand in self._strands_by_trigger.get(tup.name, ()):
+            self._queue.append((strand, tup))
+
+    def _notify(self, tup: Tuple) -> None:
+        for callback in self._subscribers.get(tup.name, ()):
+            callback(tup)
+
+    def _pump(self) -> None:
+        if self._pumping or self._stopped:
+            return
+        self._pumping = True
+        try:
+            while self._queue:
+                strand, trigger = self._queue.popleft()
+                self.rule_executions += 1
+                actions = strand.fire(
+                    trigger, self.ctx, hooks=self.hooks, charge=self.work.charge
+                )
+                for action in actions:
+                    self._route(action)
+        finally:
+            self._pumping = False
+
+    def _route(self, action: Action) -> None:
+        if isinstance(action, EmitAction):
+            tup = action.tuple
+            if tup.location == self.address:
+                self._deliver_local(tup)
+            else:
+                self._send_tuple(tup)
+            return
+        if isinstance(action, DeleteAction):
+            if action.location == self.address:
+                if self.store.has(action.name):
+                    removed = self.store.get(action.name).delete_matching(
+                        list(action.pattern)
+                    )
+                    self.work.charge("delete", max(1, removed))
+            else:
+                self.work.charge("send")
+                wire = encode_delete(action.name, tuple(action.pattern))
+                self.network.send(
+                    self.address, str(action.location), wire, size=len(wire)
+                )
+            return
+        raise TypeError(f"unknown action {action!r}")
+
+    def _send_tuple(self, tup: Tuple) -> None:
+        self.work.charge("send")
+        src_tid = None
+        if self.registry is not None:
+            src_tid = self.registry.on_send(tup, str(tup.location))
+        wire = encode_message(tup, self.address, src_tid)
+        self.network.send(
+            self.address, str(tup.location), wire, size=len(wire)
+        )
+
+    # ------------------------------------------------------------------
+    # Observation helpers
+
+    def watch(self, name: str, capacity: int = 1000) -> List[PyTuple]:
+        """Activate a P2-style watchpoint on ``name`` tuples.
+
+        Every delivery is recorded as ``(virtual_time, tuple)`` in a
+        bounded buffer, returned here and via :meth:`watched`.  The
+        ``watch(name).`` OverLog statement calls this on install.
+        """
+        if name in self._watches:
+            return self._watches[name]
+        buffer: List[PyTuple] = []
+        self._watches[name] = buffer
+
+        def record(tup: Tuple) -> None:
+            buffer.append((self.sim.now, tup))
+            if len(buffer) > capacity:
+                del buffer[: len(buffer) - capacity]
+
+        self.subscribe(name, record)
+        return buffer
+
+    def watched(self, name: str) -> List[PyTuple]:
+        """The (time, tuple) buffer of a watchpoint (empty if not set)."""
+        return self._watches.get(name, [])
+
+    def subscribe(self, name: str, callback: Callable[[Tuple], None]) -> None:
+        """Observe every delivery of ``name`` tuples on this node."""
+        self._subscribers[name].append(callback)
+
+    def unsubscribe(self, name: str, callback: Callable[[Tuple], None]) -> None:
+        """Remove a subscription added with :meth:`subscribe` (no-op if
+        absent)."""
+        callbacks = self._subscribers.get(name)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def collect(self, name: str) -> List[Tuple]:
+        """Subscribe and return the (live) list future deliveries append to."""
+        sink: List[Tuple] = []
+        self.subscribe(name, sink.append)
+        return sink
+
+    def query(self, name: str) -> List[Tuple]:
+        """Current contents of a table (empty list if not materialized)."""
+        if not self.store.has(name):
+            return []
+        return list(self.store.get(name).scan())
+
+    # ------------------------------------------------------------------
+    # Lifecycle and metrics
+
+    def _sweep(self) -> None:
+        if not self._stopped:
+            self.store.sweep()
+            self._pump()
+
+    def stop(self) -> None:
+        """Crash/stop the node: cancel timers and leave the network."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._queue.clear()
+        if self.network.is_attached(self.address):
+            self.network.detach(self.address)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def live_tuples(self) -> int:
+        return self.store.live_tuples()
+
+    def memory_bytes(self) -> int:
+        return self.store.estimated_bytes()
+
+    def cpu_utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction (work-model seconds / elapsed virtual seconds)."""
+        window = elapsed if elapsed is not None else max(self.sim.now, 1e-9)
+        return self.work.utilization(window)
+
+    def __repr__(self) -> str:
+        return f"<P2Node {self.address} tables={len(self.store.names())}>"

@@ -1,0 +1,242 @@
+"""Soft-state tables.
+
+A table is declared by ``materialize(name, lifetime, size, keys(...))``:
+tuples expire ``lifetime`` seconds after their last (re-)insertion, the
+table holds at most ``size`` tuples (oldest evicted first), and the
+``keys`` positions form the primary key — inserting a tuple whose key
+matches an existing row replaces that row.
+
+Change callbacks drive the rest of the system: delta rule triggering,
+event logging, and tupleTable reference counting all hang off
+``on_insert`` / ``on_remove`` observers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
+
+from repro.errors import SchemaError
+from repro.overlog.types import INFINITY
+from repro.runtime.tuples import Tuple
+
+
+class InsertOutcome(enum.Enum):
+    """What an insert did; only NEW and REPLACED count as changes."""
+
+    NEW = "new"            # key was absent
+    REPLACED = "replaced"  # key present with different values
+    REFRESHED = "refreshed"  # identical tuple re-inserted (TTL renewed)
+
+
+class RemoveReason(enum.Enum):
+    """Why a tuple left the table (passed to on_remove observers)."""
+
+    DELETED = "deleted"    # explicit delete (rule or API)
+    EXPIRED = "expired"    # lifetime elapsed
+    EVICTED = "evicted"    # displaced by the size bound
+    REPLACED = "replaced"  # overwritten by a same-key insert
+
+
+class _Row:
+    __slots__ = ("tuple", "inserted_at", "expires_at", "seq")
+
+    def __init__(self, tup: Tuple, now: float, expires_at: float, seq: int):
+        self.tuple = tup
+        self.inserted_at = now
+        self.expires_at = expires_at
+        self.seq = seq
+
+
+class Table:
+    """One materialized soft-state relation on one node."""
+
+    def __init__(
+        self,
+        name: str,
+        lifetime: Any,
+        max_size: Any,
+        key_positions: List[int],
+        now: Callable[[], float],
+    ) -> None:
+        """``key_positions`` are 1-based per the OverLog declaration."""
+        if not key_positions:
+            raise SchemaError(f"table {name!r} needs at least one key field")
+        if any(k < 1 for k in key_positions):
+            raise SchemaError(f"table {name!r}: key positions are 1-based")
+        self.name = name
+        self.lifetime = lifetime
+        self.max_size = max_size
+        self.key_positions = list(key_positions)
+        self._key_idx = [k - 1 for k in key_positions]
+        self._now = now
+        self._rows: Dict[PyTuple, _Row] = {}
+        self._seq = 0
+        self.on_insert: List[Callable[[Tuple, InsertOutcome], None]] = []
+        self.on_remove: List[Callable[[Tuple, RemoveReason], None]] = []
+        # Lifetime counters for introspection.
+        self.total_inserts = 0
+        self.total_removals = 0
+
+    # ------------------------------------------------------------------
+
+    def key_of(self, tup: Tuple) -> PyTuple:
+        """The primary-key projection of ``tup``."""
+        try:
+            return tuple(tup.values[i] for i in self._key_idx)
+        except IndexError:
+            raise SchemaError(
+                f"tuple {tup!r} too short for key positions "
+                f"{self.key_positions} of table {self.name!r}"
+            )
+
+    def insert(self, tup: Tuple) -> InsertOutcome:
+        """Insert/refresh ``tup``; fires observers; enforces bounds."""
+        if tup.name != self.name:
+            raise SchemaError(
+                f"tuple {tup.name!r} inserted into table {self.name!r}"
+            )
+        self._expire_now()
+        key = self.key_of(tup)
+        now = self._now()
+        expires = (
+            float("inf")
+            if self.lifetime is INFINITY
+            else now + float(self.lifetime)
+        )
+        existing = self._rows.get(key)
+        if existing is not None:
+            if existing.tuple == tup:
+                existing.expires_at = expires
+                existing.inserted_at = now
+                return InsertOutcome.REFRESHED
+            old = existing.tuple
+            self._seq += 1
+            self._rows[key] = _Row(tup, now, expires, self._seq)
+            self.total_inserts += 1
+            self.total_removals += 1
+            self._notify_remove(old, RemoveReason.REPLACED)
+            self._notify_insert(tup, InsertOutcome.REPLACED)
+            return InsertOutcome.REPLACED
+
+        self._seq += 1
+        self._rows[key] = _Row(tup, now, expires, self._seq)
+        self.total_inserts += 1
+        self._enforce_size(protect=key)
+        self._notify_insert(tup, InsertOutcome.NEW)
+        return InsertOutcome.NEW
+
+    def delete(self, tup: Tuple) -> bool:
+        """Remove the row whose key matches ``tup``; True if removed."""
+        self._expire_now()
+        key = self.key_of(tup)
+        row = self._rows.get(key)
+        if row is None or row.tuple != tup:
+            return False
+        del self._rows[key]
+        self.total_removals += 1
+        self._notify_remove(row.tuple, RemoveReason.DELETED)
+        return True
+
+    def delete_matching(self, values: List[Any]) -> int:
+        """Delete all rows matching a pattern with None wildcards.
+
+        Used by OverLog ``delete`` rules: unbound head variables become
+        None entries and match any value.  Returns the removal count.
+        """
+        self._expire_now()
+        victims = []
+        for row in self._rows.values():
+            tup = row.tuple
+            if len(values) != len(tup.values):
+                continue
+            if all(
+                pattern is None or _eq(pattern, actual)
+                for pattern, actual in zip(values, tup.values)
+            ):
+                victims.append(tup)
+        for tup in victims:
+            del self._rows[self.key_of(tup)]
+            self.total_removals += 1
+            self._notify_remove(tup, RemoveReason.DELETED)
+        return len(victims)
+
+    def scan(self) -> Iterator[Tuple]:
+        """Iterate live tuples (expired rows are dropped first)."""
+        self._expire_now()
+        # Snapshot so rules may insert/delete while iterating.
+        return iter([row.tuple for row in self._rows.values()])
+
+    def lookup_key(self, key_values: PyTuple) -> Optional[Tuple]:
+        """Fetch the live row with this primary key, if any."""
+        self._expire_now()
+        row = self._rows.get(tuple(key_values))
+        return row.tuple if row is not None else None
+
+    def __len__(self) -> int:
+        self._expire_now()
+        return len(self._rows)
+
+    def __contains__(self, tup: Tuple) -> bool:
+        self._expire_now()
+        row = self._rows.get(self.key_of(tup))
+        return row is not None and row.tuple == tup
+
+    def estimated_bytes(self) -> int:
+        """Approximate memory footprint of live tuples."""
+        self._expire_now()
+        return sum(row.tuple.estimated_size() for row in self._rows.values())
+
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Force expiry processing; returns number of tuples expired."""
+        return self._expire_now()
+
+    def _expire_now(self) -> int:
+        if self.lifetime is INFINITY:
+            return 0
+        now = self._now()
+        expired = [
+            key for key, row in self._rows.items() if row.expires_at <= now
+        ]
+        for key in expired:
+            row = self._rows.pop(key)
+            self.total_removals += 1
+            self._notify_remove(row.tuple, RemoveReason.EXPIRED)
+        return len(expired)
+
+    def _enforce_size(self, protect: PyTuple) -> None:
+        if self.max_size is INFINITY:
+            return
+        limit = int(self.max_size)
+        while len(self._rows) > limit:
+            # Evict the least-recently (re-)inserted row: refreshing a
+            # tuple keeps it alive, which is the soft-state contract the
+            # Chord stabilization rules rely on.
+            victim_key = min(
+                (k for k in self._rows if k != protect),
+                key=lambda k: (self._rows[k].inserted_at, self._rows[k].seq),
+                default=None,
+            )
+            if victim_key is None:
+                return
+            row = self._rows.pop(victim_key)
+            self.total_removals += 1
+            self._notify_remove(row.tuple, RemoveReason.EVICTED)
+
+    def _notify_insert(self, tup: Tuple, outcome: InsertOutcome) -> None:
+        for callback in list(self.on_insert):
+            callback(tup, outcome)
+
+    def _notify_remove(self, tup: Tuple, reason: RemoveReason) -> None:
+        for callback in list(self.on_remove):
+            callback(tup, reason)
+
+
+def _eq(a: Any, b: Any) -> bool:
+    try:
+        result = a == b
+    except Exception:
+        return False
+    return result is True

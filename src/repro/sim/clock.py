@@ -1,0 +1,36 @@
+"""Virtual clock for the discrete-event simulator.
+
+Time is a float in seconds, starting at 0.0.  Only the simulator advances
+the clock; all other components hold a reference and read it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`SimulationError` if ``when`` is in the past; the
+        simulator must never deliver events out of order.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {when} < {self._now}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

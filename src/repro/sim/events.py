@@ -1,0 +1,70 @@
+"""Ordered event queue for the discrete-event simulator.
+
+Events are ordered by (time, priority, sequence number).  The sequence
+number makes ordering total and deterministic: two events scheduled for
+the same instant fire in scheduling order.  Priority lets the network
+deliver messages before timers that fire at the same instant (or vice
+versa) in a controlled way; the default priority of 0 is fine for nearly
+all uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled to run at a virtual time.
+
+    Cancellation is lazy: :meth:`cancel` marks the event and the queue
+    skips it on pop, so cancelling is O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of :class:`ScheduledEvent` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at virtual time ``time``; returns a handle."""
+        event = ScheduledEvent(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

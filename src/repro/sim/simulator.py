@@ -1,0 +1,154 @@
+"""The discrete-event simulator driving all virtual nodes and channels.
+
+Usage::
+
+    sim = Simulator(seed=42)
+    sim.schedule(1.0, lambda: print("one second in"))
+    sim.run_until(10.0)
+
+Components receive the simulator at construction time and use
+:meth:`schedule` / :meth:`schedule_at` for one-shot callbacks, or
+:meth:`every` for fixed-period timers.  ``run_until`` processes events in
+deterministic order and leaves the clock exactly at the requested time so
+back-to-back runs compose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.rand import SimRandom
+
+
+class Simulator:
+    """Event loop over a virtual clock."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = Clock()
+        self.random = SimRandom(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self._queue.push(self.clock.now + delay, callback, priority)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], None], priority: int = 0
+    ) -> ScheduledEvent:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < {self.clock.now}"
+            )
+        return self._queue.push(when, callback, priority)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        stream: str = "timers",
+    ) -> "PeriodicTimer":
+        """Install a repeating timer; returns a handle with ``.cancel()``.
+
+        ``start_delay`` defaults to one full period.  ``jitter`` adds a
+        uniform random offset in ``[0, jitter)`` to each firing, drawn from
+        the named random stream (deterministic under the master seed).
+        """
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive: {period}")
+        timer = PeriodicTimer(self, period, callback, jitter, stream)
+        first = period if start_delay is None else start_delay
+        timer._arm(first)
+        return timer
+
+    def run_until(self, when: float) -> None:
+        """Process all events with time <= ``when``; leave clock at ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot run backwards: {when} < {self.clock.now}"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > when:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.clock.advance_to(event.time)
+                self._events_processed += 1
+                event.callback()
+            self.clock.advance_to(when)
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Process events for ``duration`` seconds of virtual time."""
+        self.run_until(self.clock.now + duration)
+
+
+class PeriodicTimer:
+    """Handle for a repeating timer created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        jitter: float,
+        stream: str,
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._stream = stream
+        self._cancelled = False
+        self._pending: Optional[ScheduledEvent] = None
+
+    def _arm(self, delay: float) -> None:
+        if self._jitter > 0:
+            delay += self._sim.random.stream(self._stream).uniform(0, self._jitter)
+        self._pending = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        # Re-arm first so the callback may cancel the timer.
+        self._arm(self._period)
+        self._callback()
+
+    def cancel(self) -> None:
+        """Stop the timer; any pending firing is dropped."""
+        self._cancelled = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None

@@ -1,0 +1,121 @@
+"""Global property detection on consistent snapshots (§3.4)."""
+
+import pytest
+
+from repro.analysis import (
+    gather_snapshot,
+    mutual_edges,
+    ring_properties,
+    single_points_of_failure,
+    snapshot_statistics,
+)
+from repro.analysis.snapshots import SnapshotGraph
+from repro.chord import ChordNetwork
+from repro.monitors import SnapshotMonitor
+
+
+@pytest.fixture(scope="module")
+def snapped():
+    net = ChordNetwork(num_nodes=6, seed=71)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    SnapshotMonitor(snap_period=20.0).install_with_initiator(
+        nodes, nodes[0]
+    )
+    net.run_for(50.0)
+    sid = nodes[0].query("currentSnap")[0].values[1]
+    # Use the newest snapshot that completed everywhere.
+    while not all(
+        SnapshotMonitor.snapshot_complete(n, sid) for n in nodes
+    ):
+        sid -= 1
+        assert sid > 0
+    return net, nodes, sid
+
+
+def test_gather_collects_all_participants(snapped):
+    net, nodes, sid = snapped
+    graph = gather_snapshot(nodes, sid)
+    assert graph.participants == set(net.live_addresses())
+    assert len(graph.succ_edges) == len(nodes)
+    assert graph.finger_edges
+
+
+def test_healthy_snapshot_is_a_single_ring(snapped):
+    net, nodes, sid = snapped
+    report = ring_properties(gather_snapshot(nodes, sid))
+    assert report.is_single_ring, (report.orphans, report.missing_edges)
+    assert len(report.cycle) == len(nodes)
+
+
+def test_mutual_edge_invariant_on_the_cut(snapped):
+    net, nodes, sid = snapped
+    assert mutual_edges(gather_snapshot(nodes, sid)) == []
+
+
+def test_statistics(snapped):
+    net, nodes, sid = snapped
+    stats = snapshot_statistics(gather_snapshot(nodes, sid))
+    assert stats.participants == len(nodes)
+    assert stats.mean_out_degree >= 1.0  # at least the successor edge
+    assert stats.most_pointed_at in set(net.live_addresses())
+
+
+def test_no_articulation_points_on_a_ring(snapped):
+    """A ring (plus fingers) has no single point of failure."""
+    net, nodes, sid = snapped
+    assert single_points_of_failure(gather_snapshot(nodes, sid)) == set()
+
+
+# ---------------------------------------------------------------------------
+# Detector behaviour on synthetic (broken) snapshots
+
+
+def synthetic(succ, pred=None, participants=None, fingers=()):
+    graph = SnapshotGraph(snap_id=1)
+    graph.succ_edges = dict(succ)
+    graph.pred_edges = dict(pred or {})
+    graph.participants = set(
+        participants
+        if participants is not None
+        else set(succ) | set(succ.values())
+    )
+    graph.finger_edges = list(fingers)
+    return graph
+
+
+def test_detects_split_rings():
+    graph = synthetic(
+        {"a": "b", "b": "a", "c": "d", "d": "c"},
+    )
+    report = ring_properties(graph)
+    assert not report.is_single_ring
+    assert report.orphans  # half the population is off the main cycle
+
+
+def test_detects_missing_successor():
+    graph = synthetic({"a": "b", "b": "c"}, participants={"a", "b", "c"})
+    report = ring_properties(graph)
+    assert not report.is_single_ring
+    assert report.missing_edges == {"c"}
+
+
+def test_detects_mutual_edge_violation():
+    graph = synthetic(
+        {"a": "b", "b": "a"},
+        pred={"a": "b", "b": "x"},  # b claims pred x, not a
+    )
+    violations = mutual_edges(graph)
+    assert len(violations) == 1
+    assert "b's snapped pred is x" in violations[0]
+
+
+def test_detects_articulation_point():
+    # a-b-c chain via b: b is a cut vertex.
+    graph = synthetic(
+        {"a": "b", "b": "c", "c": "b"},
+        participants={"a", "b", "c"},
+    )
+    assert "b" in single_points_of_failure(graph)

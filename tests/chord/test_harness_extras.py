@@ -1,0 +1,53 @@
+"""Chord harness coverage beyond ring formation."""
+
+import pytest
+
+from repro.chord import ChordNetwork, ChordParams
+
+
+def test_late_node_joins_established_ring():
+    net = ChordNetwork(num_nodes=4, seed=61)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    late = net.add_late_node()
+    assert len(net.addresses) == 5
+    assert net.wait_stable(max_time=200.0), net.ring_errors()
+    assert late in net.live_addresses()
+    # The late node is fully wired: its neighbors point at it.
+    assert net.pred_of(net.best_succ_of(late)) == late
+
+
+def test_buggy_variant_forms_a_ring_too():
+    """The recycled-dead-neighbor bug is latent: without failures, the
+    buggy variant behaves identically."""
+    net = ChordNetwork(num_nodes=5, seed=62, recycle_dead_bug=True)
+    net.start()
+    assert net.wait_stable(max_time=200.0), net.ring_errors()
+
+
+def test_custom_params_respected():
+    params = ChordParams(stabilize_period=2.0, succ_keep=3)
+    net = ChordNetwork(num_nodes=5, seed=63, params=params)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(30.0)
+    for addr in net.live_addresses():
+        # Trimming keeps the list near succ_keep (one insert can
+        # transiently exceed it before the evict rule fires).
+        assert len(net.node(addr).query("succ")) <= params.succ_keep + 1
+
+
+def test_live_addresses_excludes_unjoined_nodes():
+    net = ChordNetwork(num_nodes=4, seed=64)
+    # start() not called: nobody joined yet.
+    assert net.live_addresses() == []
+
+
+def test_lookup_before_join_times_out():
+    from repro.overlog.types import NodeID
+
+    net = ChordNetwork(num_nodes=3, seed=65)
+    for addr in net.addresses:
+        net._prepare(addr)  # identity, but no join event
+    result = net.lookup(net.addresses[0], NodeID(123), timeout=2.0)
+    assert result is None

@@ -1,0 +1,66 @@
+from hypothesis import given, strategies as st
+
+from repro.chord import ids as ring
+from repro.overlog.types import NodeID
+
+
+def make_ids(values):
+    return {f"n{i}": NodeID(v) for i, v in enumerate(values)}
+
+
+def test_node_id_deterministic():
+    assert ring.node_id_for("n1:10001") == ring.node_id_for("n1:10001")
+    assert ring.node_id_for("n1:10001") != ring.node_id_for("n2:10002")
+
+
+def test_ring_order_sorts_by_value():
+    ids = make_ids([30, 10, 20])
+    assert ring.ring_order(ids) == ["n1", "n2", "n0"]
+
+
+def test_successor_and_predecessor_maps_are_inverse():
+    ids = make_ids([5, 99, 42, 7])
+    succ = ring.successor_map(ids)
+    pred = ring.predecessor_map(ids)
+    for addr in ids:
+        assert pred[succ[addr]] == addr
+
+
+def test_owner_of_key():
+    ids = make_ids([10, 20, 30])
+    assert ring.owner_of(NodeID(15), ids) == "n1"  # id 20
+    assert ring.owner_of(NodeID(10), ids) == "n0"  # exact hit
+    assert ring.owner_of(NodeID(35), ids) == "n0"  # wraps around
+
+
+def test_owner_of_empty_population():
+    assert ring.owner_of(NodeID(1), {}) is None
+
+
+def test_count_wraps_correct_ring_is_one():
+    ids = make_ids([5, 10, 20, 200])
+    assert ring.count_wraps(ids) == 1
+
+
+def test_count_wraps_single_node():
+    assert ring.count_wraps(make_ids([5])) == 1
+
+
+@given(st.lists(st.integers(0, (1 << 32) - 1), min_size=2, max_size=20, unique=True))
+def test_correct_ring_always_has_one_wrap(values):
+    assert ring.count_wraps(make_ids(values)) == 1
+
+
+@given(st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=20, unique=True))
+def test_every_key_has_exactly_one_owner(values):
+    ids = make_ids(values)
+    key = NodeID(12345)
+    owner = ring.owner_of(key, ids)
+    assert owner in ids
+    # The owner is the first node at-or-after the key, circularly:
+    # no other node lies in (key, owner).
+    for addr, nid in ids.items():
+        if addr == owner:
+            continue
+        # No other node lies clockwise in [key, owner).
+        assert not nid.in_interval(key - 1, ids[owner])

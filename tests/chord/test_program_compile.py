@@ -1,0 +1,62 @@
+from repro.chord.program import ChordParams, chord_program, chord_source
+from repro.overlog import ast
+
+
+def test_default_program_compiles():
+    program = chord_program()
+    assert len(program.rules) > 30
+    table_names = {m.name for m in program.materializations}
+    for required in (
+        "node",
+        "succ",
+        "bestSucc",
+        "pred",
+        "finger",
+        "uniqueFinger",
+        "pingNode",
+        "faultyNode",
+    ):
+        assert required in table_names
+
+
+def test_buggy_variant_compiles_and_differs():
+    correct = chord_source()
+    buggy = chord_source(recycle_dead_bug=True)
+    assert correct != buggy
+    assert "predCand" in correct      # the count-guard
+    assert "predCand" not in buggy    # unconditional adoption
+    chord_program(recycle_dead_bug=True)  # must compile
+
+
+def test_params_flow_into_bindings():
+    params = ChordParams(stabilize_period=2.0, ping_period=3.0)
+    program = chord_program(params)
+    periods = set()
+    for rule in program.rules:
+        for term in rule.body:
+            if isinstance(term, ast.Functor) and term.name == "periodic":
+                periods.add(term.args[2].value)
+    assert 2.0 in periods
+    assert 3.0 in periods
+
+
+def test_paper_rule_names_present():
+    """The rules the paper's monitors hook (lookup l1-l3, stabilization
+    sb*, ping pg*) must exist under those names."""
+    program = chord_program()
+    rule_ids = {r.rule_id for r in program.rules}
+    for rid in ("l1", "l2", "l3", "sb1", "sb2", "sb4", "sb7", "bs2", "f1"):
+        assert rid in rule_ids, rid
+
+
+def test_message_schemas_match_monitors():
+    """Monitors pattern-match these heads; arities are load-bearing."""
+    program = chord_program()
+    heads = {}
+    for rule in program.rules:
+        heads.setdefault(rule.head.name, len(rule.head.args))
+    assert heads["lookupResults"] == 6   # loc + 5 fields (paper ri1)
+    assert heads["stabilizeRequest"] == 3  # loc + (NID, NAddr) (paper rp4)
+    assert heads["sendPred"] == 4        # loc + (PID, PAddr, Src)
+    assert heads["returnSucc"] == 4      # loc + (SID, SAddr, Src)
+    assert heads["pingReq"] == 2         # loc + sender (paper bp1)

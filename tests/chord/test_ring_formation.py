@@ -1,0 +1,114 @@
+"""Ring formation and lookup correctness (module-scoped network: these
+populations take real CPU to stabilize, so they are built once)."""
+
+import random
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.chord import ids as ring
+from repro.overlog.types import NodeID
+
+
+@pytest.fixture(scope="module")
+def stable_net():
+    net = ChordNetwork(num_nodes=8, seed=3)
+    net.start()
+    assert net.wait_stable(max_time=200.0), net.ring_errors()
+    # Ring pointers stabilize before fingers: a full finger-fix cycle
+    # (3 lookups at 10 s apart, plus eager fill) needs another ~60 s.
+    net.run_for(60.0)
+    return net
+
+
+def test_all_nodes_joined(stable_net):
+    assert len(stable_net.live_addresses()) == 8
+
+
+def test_ring_matches_oracle(stable_net):
+    expected = ring.successor_map(stable_net.live_ids())
+    for addr in stable_net.live_addresses():
+        assert stable_net.best_succ_of(addr) == expected[addr]
+
+
+def test_predecessors_match_oracle(stable_net):
+    expected = ring.predecessor_map(stable_net.live_ids())
+    for addr in stable_net.live_addresses():
+        assert stable_net.pred_of(addr) == expected[addr]
+
+
+def test_mutual_ring_edges(stable_net):
+    """Every node is its successor's predecessor (paper §3.1.1)."""
+    for addr in stable_net.live_addresses():
+        succ = stable_net.best_succ_of(addr)
+        assert stable_net.pred_of(succ) == addr
+
+
+def test_successor_lists_populated(stable_net):
+    for addr in stable_net.live_addresses():
+        succs = stable_net.node(addr).query("succ")
+        assert len(succs) >= 2
+
+
+def test_fingers_point_at_live_nodes(stable_net):
+    live = set(stable_net.live_addresses())
+    for addr in stable_net.live_addresses():
+        for finger in stable_net.node(addr).query("finger"):
+            assert finger.values[3] in live
+
+
+def test_finger_invariant(stable_net):
+    """finger[i] is the first live node at or after NID + 2**i."""
+    live_ids = stable_net.live_ids()
+    for addr in stable_net.live_addresses():
+        nid = stable_net.ids[addr]
+        for finger in stable_net.node(addr).query("finger"):
+            position = finger.values[1]
+            target = NodeID(nid.value + (1 << position))
+            assert finger.values[3] == ring.owner_of(target, live_ids), (
+                addr,
+                position,
+            )
+
+
+def test_lookups_agree_with_oracle(stable_net):
+    rng = random.Random(1)
+    for i in range(15):
+        key = NodeID(rng.randrange(1 << 32))
+        src = stable_net.live_addresses()[i % 8]
+        result = stable_net.lookup(src, key)
+        assert result is not None, (src, key)
+        assert result.values[3] == stable_net.lookup_owner(key)
+
+
+def test_lookup_for_own_id_returns_self_region(stable_net):
+    addr = stable_net.live_addresses()[0]
+    result = stable_net.lookup(addr, stable_net.ids[addr])
+    assert result is not None
+    assert result.values[3] == addr  # a node owns its own ID
+
+
+def test_routing_consistency_from_all_sources(stable_net):
+    """The paper's §3.1 property: same key, same answer, any asker."""
+    key = NodeID(0xDEADBEEF)
+    answers = set()
+    for src in stable_net.live_addresses():
+        result = stable_net.lookup(src, key)
+        assert result is not None
+        answers.add(result.values[3])
+    assert len(answers) == 1
+
+
+def test_deterministic_given_seed():
+    a = ChordNetwork(num_nodes=5, seed=9)
+    a.start()
+    a.run_for(40.0)
+    b = ChordNetwork(num_nodes=5, seed=9)
+    b.start()
+    b.run_for(40.0)
+    for addr in a.live_addresses():
+        assert a.best_succ_of(addr) == b.best_succ_of(addr)
+    assert (
+        a.system.network.stats.messages_sent
+        == b.system.network.stats.messages_sent
+    )

@@ -1,0 +1,35 @@
+"""The ``python -m repro`` demo runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "path@c" in out
+    assert "causal chain" in out
+
+
+def test_gossip_command(capsys):
+    assert main(["--seed", "2", "gossip", "--nodes", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "fully meshed: True" in out
+    assert "coverage: 6/6" in out
+
+
+def test_oscillation_command(capsys):
+    assert main(["--seed", "11", "oscillation", "--nodes", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "oscillations:" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,127 @@
+"""The operator query console (§1.3: querying state and logs in place)."""
+
+import pytest
+
+from repro.core.console import QueryConsole
+from repro.core.system import System
+
+
+@pytest.fixture
+def deployment():
+    system = System(seed=1)
+    nodes = [system.add_node(f"n{i}:1") for i in range(3)]
+    source = "materialize(stock, 100, 50, keys(1,2))."
+    for node in nodes:
+        node.install_source(source)
+    nodes[0].inject("stock", ("n0:1", "apples", 5))
+    nodes[0].inject("stock", ("n0:1", "pears", 1))
+    nodes[1].inject("stock", ("n1:1", "apples", 7))
+    return system, nodes
+
+
+def test_snapshot_reads_all_nodes(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    snap = console.snapshot("stock")
+    assert len(snap["n0:1"]) == 2
+    assert len(snap["n1:1"]) == 1
+    assert snap["n2:1"] == []
+
+
+def test_snapshot_with_filter(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    snap = console.snapshot("stock", where=lambda t: t.values[2] >= 5)
+    assert len(snap["n0:1"]) == 1
+    assert snap["n0:1"][0].values[1] == "apples"
+
+
+def test_counts(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    assert console.counts("stock") == {"n0:1": 2, "n1:1": 1, "n2:1": 0}
+
+
+def test_snapshot_excludes_console_and_dead_nodes(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    system.crash("n2:1")
+    snap = console.snapshot("stock")
+    assert set(snap) == {"n0:1", "n1:1"}
+
+
+def test_stream_ships_rows_to_console(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    handle = console.stream("stock", arity=3, period=2.0)
+    system.run_for(5.0)
+    origins = {row.values[1] for row in handle.rows}
+    assert origins == {"n0:1", "n1:1"}
+    # Row payload carries the table fields after (console, origin).
+    sample = [r for r in handle.rows if r.values[2] == "pears"][0]
+    assert sample.values[3] == 1
+
+
+def test_stream_where_condition(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    handle = console.stream("stock", arity=3, period=2.0, where="F2 >= 5")
+    system.run_for(5.0)
+    values = {row.values[3] for row in handle.rows}
+    assert values == {5, 7}
+
+
+def test_stream_sees_future_changes(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    handle = console.stream("stock", arity=3, period=1.0)
+    system.run_for(2.5)
+    nodes[2].inject("stock", ("n2:1", "plums", 3))
+    system.run_for(3.0)
+    assert any(row.values[1] == "n2:1" for row in handle.rows)
+
+
+def test_stream_stop_uninstalls(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    handle = console.stream("stock", arity=3, period=1.0)
+    system.run_for(3.0)
+    seen = len(handle.rows)
+    assert seen > 0
+    handle.stop()
+    system.run_for(10.0)
+    assert len(handle.rows) == seen
+    for node in nodes:
+        assert not [
+            s for s in node.strands if s.program_name == handle.event_name
+        ]
+
+
+def test_latest_by_origin(deployment):
+    system, nodes = deployment
+    console = QueryConsole(system)
+    handle = console.stream("stock", arity=3, period=1.0)
+    system.run_for(5.0)
+    latest = handle.latest_by_origin()
+    assert set(latest) == {"n0:1", "n1:1"}
+
+
+def test_console_queries_logs_in_place():
+    """The paper's motivating one-liner: query a node's event log
+    remotely, no printf insertion, no log shipping."""
+    system = System(seed=2)
+    node = system.add_node("app:1", logging=True)
+    node.install_source("r out@N(X) :- evt@N(X).")
+    node.inject("evt", ("app:1", "hello"))
+    console = QueryConsole(system)
+    logs = console.snapshot("tupleLog")["app:1"]
+    assert any("hello" in row.values[4] for row in logs)
+
+
+def test_bad_arity_rejected(deployment):
+    system, _ = deployment
+    console = QueryConsole(system)
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        console.stream("stock", arity=0)

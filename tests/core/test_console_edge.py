@@ -1,0 +1,64 @@
+"""Console edge cases."""
+
+import pytest
+
+from repro.core.console import QueryConsole
+from repro.core.system import System
+
+
+def test_stream_with_wrong_arity_collects_nothing():
+    system = System(seed=1)
+    node = system.add_node("n:1")
+    node.install_source("materialize(t, 100, 10, keys(1,2)).")
+    node.inject("t", ("n:1", "x"))
+    console = QueryConsole(system)
+    handle = console.stream("t", arity=4, period=1.0)  # table arity is 2
+    system.run_for(5.0)
+    assert handle.rows == []
+
+
+def test_stream_on_explicit_node_subset():
+    system = System(seed=1)
+    nodes = [system.add_node(f"n{i}:1") for i in range(3)]
+    for node in nodes:
+        node.install_source("materialize(t, 100, 10, keys(1,2)).")
+        node.inject("t", (node.address, 1))
+    console = QueryConsole(system)
+    handle = console.stream("t", arity=2, period=1.0, nodes=[nodes[0]])
+    system.run_for(4.0)
+    assert {row.values[1] for row in handle.rows} == {"n0:1"}
+
+
+def test_two_consoles_coexist():
+    system = System(seed=1)
+    node = system.add_node("n:1")
+    node.install_source("materialize(t, 100, 10, keys(1,2)).")
+    node.inject("t", ("n:1", 1))
+    first = QueryConsole(system)
+    second = QueryConsole(system)
+    assert first.address != second.address
+    h1 = first.stream("t", arity=2, period=1.0)
+    h2 = second.stream("t", arity=2, period=1.0)
+    system.run_for(4.0)
+    assert h1.rows and h2.rows
+
+
+def test_stream_stop_is_idempotent():
+    system = System(seed=1)
+    node = system.add_node("n:1")
+    node.install_source("materialize(t, 100, 10, keys(1,2)).")
+    console = QueryConsole(system)
+    handle = console.stream("t", arity=2, period=1.0)
+    handle.stop()
+    handle.stop()
+    assert handle.stopped
+
+
+def test_console_nodes_do_not_snapshot_each_other():
+    system = System(seed=1)
+    console_a = QueryConsole(system)
+    console_b = QueryConsole(system)
+    snap = console_a.snapshot("anything")
+    assert console_a.address not in snap
+    # Other consoles are ordinary nodes from a's perspective.
+    assert console_b.address in snap

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.core.metrics import Meter
+from repro.core.system import System
+from repro.errors import ReproError
+
+
+def busy_system():
+    system = System(seed=1)
+    node = system.add_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 60, 1000, keys(1,2)).
+        r t@N(E) :- periodic@N(E, 1).
+        """
+    )
+    return system
+
+
+def test_meter_measures_window():
+    system = busy_system()
+    system.run_for(10.0)
+    meter = Meter(system)
+    meter.start()
+    system.run_for(30.0)
+    sample = meter.stop()
+    assert sample.elapsed == pytest.approx(30.0)
+    assert sample.cpu_percent > 0
+    assert sample.live_tuples > 0
+    assert sample.memory_bytes > 0
+
+
+def test_meter_counts_only_window_work():
+    system = busy_system()
+    system.run_for(100.0)  # plenty of pre-window work
+    meter = Meter(system)
+    meter.start()
+    sample = meter.stop()  # zero-length-ish window
+    assert sample.cpu_percent < 1e6  # no pre-window busy time leaked
+    assert sample.tx_messages == 0
+
+
+def test_meter_tx_counts():
+    system = System(seed=1)
+    a = system.add_node("a:1")
+    system.add_node("b:1").install_source("r out@N(X) :- evt@N(X).")
+    a.install_source("r evt@Dst(X) :- go@N(Dst, X).")
+    meter = Meter(system)
+    meter.start()
+    for i in range(5):
+        a.inject("go", ("a:1", "b:1", i))
+    system.run_for(1.0)
+    sample = meter.stop()
+    assert sample.tx_messages == 5
+    assert sample.per_node_tx["a:1"] == 5
+
+
+def test_meter_subset_of_nodes():
+    system = busy_system()
+    system.add_node("idle:1")
+    meter = Meter(system, addresses=["idle:1"])
+    meter.start()
+    system.run_for(10.0)
+    sample = meter.stop()
+    assert sample.cpu_percent < 0.01  # idle node does nearly nothing
+
+
+def test_meter_double_start_rejected():
+    system = busy_system()
+    meter = Meter(system)
+    meter.start()
+    with pytest.raises(ReproError):
+        meter.start()
+
+
+def test_meter_stop_without_start_rejected():
+    with pytest.raises(ReproError):
+        Meter(busy_system()).stop()
+
+
+def test_churn_counts_delivered_bytes():
+    system = busy_system()
+    meter = Meter(system)
+    meter.start()
+    system.run_for(10.0)
+    sample = meter.stop()
+    assert sample.churn_bytes > 0
+    # Churn is windowed: a second meter over an idle... the workload is
+    # periodic so churn keeps accruing; instead check proportionality.
+    meter2 = Meter(system)
+    meter2.start()
+    system.run_for(20.0)
+    double = meter2.stop()
+    assert double.churn_bytes == pytest.approx(
+        2 * sample.churn_bytes, rel=0.4
+    )
+
+
+def test_memory_mb_property():
+    system = busy_system()
+    meter = Meter(system)
+    meter.start()
+    system.run_for(5.0)
+    sample = meter.stop()
+    assert sample.memory_mb == pytest.approx(
+        sample.memory_bytes / (1024 * 1024)
+    )

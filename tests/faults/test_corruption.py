@@ -1,0 +1,38 @@
+from repro.chord import ChordNetwork
+from repro.faults import corrupt_best_succ, corrupt_pred
+
+
+def test_corrupt_pred_changes_table():
+    net = ChordNetwork(num_nodes=4, seed=40)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    victim = net.live_addresses()[0]
+    wrong = net.live_addresses()[2]
+    corrupt_pred(net.node(victim), wrong)
+    assert net.pred_of(victim) == wrong
+
+
+def test_corrupt_best_succ_changes_routing_view():
+    net = ChordNetwork(num_nodes=4, seed=41)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    victim = net.live_addresses()[1]
+    wrong = [
+        a
+        for a in net.live_addresses()
+        if a not in (victim, net.best_succ_of(victim))
+    ][0]
+    corrupt_best_succ(net.node(victim), wrong)
+    assert net.best_succ_of(victim) == wrong
+
+
+def test_chord_self_heals_from_corruption():
+    """Soft state means lies die: the protocol repairs both pointers."""
+    net = ChordNetwork(num_nodes=4, seed=42)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    victim = net.live_addresses()[0]
+    wrong = net.live_addresses()[2]
+    corrupt_pred(net.node(victim), wrong)
+    corrupt_best_succ(net.node(victim), wrong)
+    assert net.wait_stable(max_time=120.0), net.ring_errors()

@@ -1,0 +1,67 @@
+from repro.core.system import System
+from repro.faults import FaultInjector
+
+
+def echo_pair():
+    system = System(seed=1)
+    a = system.add_node("a:1")
+    b = system.add_node("b:1")
+    b.install_source("r out@N(X) :- evt@N(X).")
+    a.install_source("r evt@Dst(X) :- go@N(Dst, X).")
+    return system, a, b
+
+
+def test_crash_stops_node():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    injector.crash("b:1")
+    assert system.node("b:1").stopped
+
+
+def test_crash_at_scheduled_time():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    injector.crash_at(5.0, "b:1")
+    system.run_for(4.0)
+    assert not system.node("b:1").stopped
+    system.run_for(2.0)
+    assert system.node("b:1").stopped
+
+
+def test_partition_and_heal():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    got = b.collect("out")
+    injector.partition("a:1", "b:1")
+    a.inject("go", ("a:1", "b:1", 1))
+    system.run_for(1.0)
+    assert got == []
+    injector.heal("a:1", "b:1")
+    a.inject("go", ("a:1", "b:1", 2))
+    system.run_for(1.0)
+    assert [t.values[1] for t in got] == [2]
+
+
+def test_isolate_and_rejoin():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    got = b.collect("out")
+    injector.isolate("b:1")
+    a.inject("go", ("a:1", "b:1", 1))
+    system.run_for(1.0)
+    assert got == []
+    injector.rejoin("b:1")
+    a.inject("go", ("a:1", "b:1", 2))
+    system.run_for(1.0)
+    assert len(got) == 1
+
+
+def test_injection_log_records_everything():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    injector.partition("a:1", "b:1")
+    injector.heal("a:1", "b:1")
+    injector.set_loss_rate(0.1)
+    injector.crash("b:1")
+    kinds = [kind for _, kind, _ in injector.log]
+    assert kinds == ["partition", "heal", "loss", "crash"]

@@ -1,0 +1,25 @@
+from repro.faults import OscillationScenario
+
+
+def test_oscillation_scenario_report_shape():
+    scenario = OscillationScenario(
+        num_nodes=6,
+        seed=11,
+        check_period=15.0,
+        repeat_threshold=2,
+        chaotic_threshold=2,
+    )
+    report = scenario.run(stabilize_time=120.0, observe_time=100.0)
+    assert report.victim
+    assert report.oscillations > 0
+    assert report.repeat_oscillators
+    # Reporters are live neighbors, never the dead node itself.
+    assert report.victim not in report.repeat_oscillators
+    assert report.victim not in report.chaotic
+
+
+def test_scenario_handle_exposes_raw_alarms():
+    scenario = OscillationScenario(num_nodes=6, seed=11, check_period=15.0)
+    scenario.run(stabilize_time=120.0, observe_time=60.0)
+    assert scenario.handle is not None
+    assert scenario.handle.count("oscill") > 0

@@ -1,0 +1,31 @@
+from repro.gossip import GossipParams, gossip_program, gossip_source
+from repro.overlog import ast
+
+
+def test_params_flow_into_periodics():
+    params = GossipParams(heartbeat_period=1.5, share_period=4.5)
+    program = gossip_program(params)
+    periods = set()
+    for rule in program.rules:
+        for term in rule.body:
+            if isinstance(term, ast.Functor) and term.name == "periodic":
+                periods.add(term.args[2].value)
+    assert periods == {1.5, 4.5}
+
+
+def test_table_bounds_from_params():
+    params = GossipParams(member_ttl=7.0, member_max=9)
+    program = gossip_program(params)
+    (member,) = [m for m in program.materializations if m.name == "member"]
+    assert member.lifetime == 7.0
+    assert member.max_size == 9
+
+
+def test_buggy_source_differs_only_in_sharing():
+    correct = gossip_source()
+    buggy = gossip_source(stale_share_bug=True)
+    assert "heard@NAddr(QAddr)" in correct
+    assert "heard@NAddr(QAddr)" not in buggy
+    # Broadcast rules are identical in both variants.
+    for fragment in ("b0 ", "b4 ", "b6 "):
+        assert fragment in correct and fragment in buggy

@@ -1,0 +1,57 @@
+"""The paper's exact §4 deployment: 20 nodes stabilize for 5 simulated
+minutes, then the 21st (measured) node joins.
+
+This is the costliest test in the suite (a couple of minutes of wall
+time); it validates the harness configuration every benchmark builds on.
+"""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.chord import ids as ring
+
+
+@pytest.fixture(scope="module")
+def paper_net():
+    net, measured = ChordNetwork.paper_setup(seed=1)
+    return net, measured
+
+
+def test_population_is_21_nodes(paper_net):
+    net, measured = paper_net
+    assert len(net.addresses) == 21
+    assert measured == net.addresses[-1]
+
+
+def test_measured_node_joined_the_ring(paper_net):
+    net, measured = paper_net
+    assert net.best_succ_of(measured) is not None
+    assert measured in net.live_addresses()
+
+
+def test_ring_is_oracle_correct_at_scale(paper_net):
+    net, measured = paper_net
+    assert net.wait_stable(max_time=120.0), net.ring_errors()
+
+
+def test_lookup_through_measured_node(paper_net):
+    net, measured = paper_net
+    net.wait_stable(max_time=120.0)
+    from repro.overlog.types import NodeID
+
+    key = NodeID(0xCAFEBABE)
+    result = net.lookup(measured, key)
+    assert result is not None
+    assert result.values[3] == net.lookup_owner(key)
+
+
+def test_every_node_is_its_successors_predecessor(paper_net):
+    net, measured = paper_net
+    net.wait_stable(max_time=120.0)
+    net.run_for(30.0)
+    live = net.live_ids()
+    expected_pred = ring.predecessor_map(live)
+    mismatches = [
+        a for a in live if net.pred_of(a) != expected_pred[a]
+    ]
+    assert not mismatches, mismatches

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.introspect.reflect import Reflector
+
+
+@pytest.fixture
+def node(make_node):
+    node = make_node("n:1")
+    node.install_source(
+        """
+        materialize(t, 60, 10, keys(1,2)).
+        r1 out@N(X) :- evt@N(X), t@N(X).
+        """
+    )
+    return node
+
+
+def test_sys_table_lists_application_tables(node):
+    Reflector(node, refresh_period=0)
+    names = {row.values[1] for row in node.query("sysTable")}
+    assert "t" in names
+    # Reflection tables do not describe themselves.
+    assert "sysTable" not in names
+
+
+def test_sys_table_row_contents(node):
+    Reflector(node, refresh_period=0)
+    (row,) = [r for r in node.query("sysTable") if r.values[1] == "t"]
+    _, name, lifetime, size, live, inserts = row.values
+    assert (lifetime, size, live) == (60.0, 10, 0)
+
+
+def test_sys_rule_lists_strands(node):
+    Reflector(node, refresh_period=0)
+    rows = node.query("sysRule")
+    assert any(r.values[1] == "r1" for r in rows)
+    (r1,) = [r for r in rows if r.values[1] == "r1"]
+    assert r1.values[4] == "evt"  # trigger name
+    assert "out@" in r1.values[5]  # source text
+
+
+def test_sys_element_lists_dataflow(node):
+    Reflector(node, refresh_period=0)
+    rows = node.query("sysElement")
+    kinds = [r.values[3] for r in rows]
+    assert "match" in kinds and "join" in kinds and "project" in kinds
+
+
+def test_refresh_updates_live_counts(node):
+    reflector = Reflector(node, refresh_period=0)
+    node.inject("t", ("n:1", 5))
+    reflector.refresh()
+    (row,) = [r for r in node.query("sysTable") if r.values[1] == "t"]
+    assert row.values[4] == 1
+
+
+def test_periodic_refresh(sim, node):
+    Reflector(node, refresh_period=2.0)
+    node.inject("t", ("n:1", 5))
+    sim.run_for(3.0)
+    (row,) = [r for r in node.query("sysTable") if r.values[1] == "t"]
+    assert row.values[4] == 1
+
+
+def test_reflection_is_queryable_from_overlog(node):
+    Reflector(node, refresh_period=0)
+    node.install_source(
+        "w bigTable@N(Name, Live) :- sysTable@N(Name, L, S, Live, I), "
+        "Live > 0."
+    )
+    got = node.collect("bigTable")
+    node.inject("t", ("n:1", 5))
+    # Trigger a refresh through another insert cycle:
+    Reflector(node, refresh_period=0).refresh()
+    assert any(row.values[1] == "t" for row in got)
+
+
+def test_dataflow_text_rendering(node):
+    reflector = Reflector(node, refresh_period=0)
+    text = reflector.dataflow_text()
+    assert "strand r1" in text
+    assert "[match:evt]" in text
+    assert "network-in" in text
+
+
+def test_sys_node_summary(node):
+    Reflector(node, refresh_period=0)
+    (row,) = node.query("sysNode")
+    assert row.values[1] >= 1  # tables
+    assert row.values[2] >= 1  # strands

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.introspect.tuple_table import TupleRegistry
+from repro.runtime.tuples import Tuple
+
+
+@pytest.fixture
+def node(make_node):
+    return make_node("n:1")
+
+
+@pytest.fixture
+def registry(node):
+    return TupleRegistry(node, lifetime=50.0)
+
+
+def t(name="evt", *values):
+    return Tuple(name, values or ("n:1", 1))
+
+
+def test_ids_are_content_addressed(registry):
+    a = registry.id_of(Tuple("e", ("n:1", 1)))
+    b = registry.id_of(Tuple("e", ("n:1", 1)))
+    c = registry.id_of(Tuple("e", ("n:1", 2)))
+    assert a == b
+    assert a != c
+
+
+def test_row_schema_matches_paper(node, registry):
+    tup = Tuple("e", ("n:1", 5))
+    tid = registry.ensure(tup, loc_spec="n:1")
+    rows = node.query("tupleTable")
+    assert len(rows) == 1
+    assert rows[0].values == ("n:1", tid, "n:1", tid, "n:1")
+
+
+def test_arrival_records_source_identity(node, registry):
+    tup = Tuple("e", ("z:1", 5))
+    tid = registry.on_arrival(tup, src="m:1", src_tid=42)
+    assert registry.source_of(tid) == ("m:1", 42)
+
+
+def test_send_records_destination(node, registry):
+    tup = Tuple("e", ("z:1", 5))
+    tid = registry.on_send(tup, "z:1")
+    row = node.store.get("tupleTable").lookup_key((tid,))
+    assert row.values[4] == "z:1"
+
+
+def test_tuple_table_rows_not_self_registered(node, registry):
+    registry.ensure(Tuple("e", ("n:1", 1)), loc_spec="n:1")
+    for row in node.query("tupleTable"):
+        assert registry.ensure(row, loc_spec="n:1") == -1
+    assert len(node.query("tupleTable")) == 1
+
+
+def test_refcount_discards_at_zero(node, registry):
+    tup = Tuple("e", ("n:1", 1))
+    tid = registry.id_of(tup)
+    registry.incref(tid)
+    registry.incref(tid)
+    registry.decref(tid)
+    assert registry.lookup(tid) is not None
+    registry.decref(tid)
+    assert registry.lookup(tid) is None
+    assert node.store.get("tupleTable").lookup_key((tid,)) is None
+
+
+def test_ttl_expiry_drops_memo(sim, node, registry):
+    tup = Tuple("e", ("n:1", 1))
+    tid = registry.id_of(tup)
+    sim.run_for(60.0)  # beyond the 50 s lifetime; sweeper runs each 1 s
+    assert registry.lookup(tid) is None
+    assert registry.retained() == 0
+
+
+def test_id_reused_after_discard_gets_fresh_identity(registry):
+    tup = Tuple("e", ("n:1", 1))
+    first = registry.id_of(tup)
+    registry.incref(first)
+    registry.decref(first)
+    second = registry.id_of(tup)
+    assert second != first
+    assert registry.lookup(second) == tup

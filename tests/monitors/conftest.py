@@ -1,0 +1,23 @@
+"""Shared stabilized Chord populations for monitor tests.
+
+Session-scoped: the healthy ring is read-only for most monitor tests,
+so one stabilization pays for the whole directory.  Tests that mutate
+the population (kill nodes, corrupt state) build their own networks.
+"""
+
+import pytest
+
+from repro.chord import ChordNetwork
+
+
+@pytest.fixture(scope="module")
+def healthy_net():
+    net = ChordNetwork(num_nodes=6, seed=3)
+    net.start()
+    assert net.wait_stable(max_time=200.0), net.ring_errors()
+    net.run_for(60.0)  # let fingers converge too
+    return net
+
+
+def live_nodes(net):
+    return [net.node(a) for a in net.live_addresses()]

@@ -1,0 +1,116 @@
+"""Proactive consistency probes (§3.1.4)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.monitors import ConsistencyProbeMonitor
+
+from tests.monitors.conftest import live_nodes
+
+
+@pytest.fixture(scope="module")
+def probed_net(healthy_net):
+    handle = ConsistencyProbeMonitor(
+        probe_period=20.0, tally_period=10.0
+    ).install(live_nodes(healthy_net))
+    healthy_net.run_for(120.0)
+    return healthy_net, handle
+
+
+def test_probes_produce_consistency_tuples(probed_net):
+    _, handle = probed_net
+    assert handle.count("consistency") > 0
+
+
+def test_healthy_ring_is_fully_consistent(probed_net):
+    _, handle = probed_net
+    values = [t.values[2] for t in handle.alarms["consistency"]]
+    assert values
+    assert all(v == 1 for v in values)
+
+
+def test_no_alarms_above_threshold(probed_net):
+    _, handle = probed_net
+    assert handle.count("consAlarm") == 0
+
+
+def test_probe_state_is_cleaned_up(probed_net):
+    net, _ = probed_net
+    # cs10/cs11 delete tallied probe state; the tables must not grow
+    # without bound (TTL also caps them, but deletion is the mechanism).
+    for addr in net.live_addresses():
+        assert len(net.node(addr).query("lookupCluster")) <= 4
+        assert len(net.node(addr).query("conLookupTable")) <= 40
+
+
+def test_consistency_drops_when_answers_disagree():
+    """Force disagreement by injecting conflicting responses for an
+    in-flight probe: the metric must come out below 1."""
+    net = ChordNetwork(num_nodes=6, seed=31)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = {a: net.node(a) for a in net.live_addresses()}
+    monitor = ConsistencyProbeMonitor(probe_period=15.0, tally_period=8.0)
+    handle = monitor.install(nodes.values())
+
+    # Watch one node's conLookup fan-out and answer two of its request
+    # IDs with different (fabricated) responders.
+    prober_addr = net.live_addresses()[0]
+    prober = nodes[prober_addr]
+    fanouts = prober.collect("conLookup")
+    # Step in small increments so the fakes land right after the fan-out,
+    # well before the probe's tally deadline.
+    for _ in range(40):
+        net.run_for(0.5)
+        if len(fanouts) >= 2:
+            break
+    assert len(fanouts) >= 2
+    req_a, req_b = fanouts[0].values[4], fanouts[1].values[4]
+    fake_a, fake_b = net.live_addresses()[1], net.live_addresses()[2]
+    key = fanouts[0].values[2]
+    probe_id = fanouts[0].values[1]
+    prober.inject(
+        "lookupResults", (prober_addr, key, net.ids[fake_a], fake_a, req_a, fake_a)
+    )
+    prober.inject(
+        "lookupResults", (prober_addr, key, net.ids[fake_b], fake_b, req_b, fake_b)
+    )
+    net.run_for(30.0)
+    values = [
+        t.values[2]
+        for t in handle.alarms["consistency"]
+        if t.values[1] == probe_id
+    ]
+    assert values
+    assert values[0] < 1
+
+
+def test_alarm_fires_below_threshold():
+    """cs12 with a high threshold turns any imperfection into an alarm."""
+    net = ChordNetwork(num_nodes=5, seed=32)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = {a: net.node(a) for a in net.live_addresses()}
+    monitor = ConsistencyProbeMonitor(
+        probe_period=15.0, tally_period=8.0, alarm_threshold=0.99
+    )
+    handle = monitor.install(nodes.values())
+    prober_addr = net.live_addresses()[0]
+    prober = nodes[prober_addr]
+    fanouts = prober.collect("conLookup")
+    for _ in range(40):
+        net.run_for(0.5)
+        if fanouts:
+            break
+    assert fanouts
+    req = fanouts[0].values[4]
+    key = fanouts[0].values[2]
+    genuine = {t.values[3] for t in prober.query("conRespTable")}
+    fake = [a for a in net.live_addresses() if a not in genuine][0]
+    prober.inject(
+        "lookupResults", (prober_addr, key, net.ids[fake], fake, req, fake)
+    )
+    net.run_for(30.0)
+    assert handle.count("consAlarm") >= 1

@@ -1,0 +1,132 @@
+"""Ring ID-ordering monitors (§3.1.2)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.faults import corrupt_best_succ
+from repro.monitors import (
+    OpportunisticOrderingMonitor,
+    RingTraversalMonitor,
+)
+
+from tests.monitors.conftest import live_nodes
+
+
+def test_traversal_reports_ok_on_healthy_ring(healthy_net):
+    monitor = RingTraversalMonitor()
+    handle = monitor.install(live_nodes(healthy_net))
+    initiator = live_nodes(healthy_net)[2]
+    nonce = monitor.start_traversal(initiator)
+    healthy_net.run_for(5.0)
+    oks = [t for t in handle.alarms["orderingOK"] if t.values[1] == nonce]
+    assert len(oks) == 1
+    assert oks[0].values[0] == initiator.address
+    assert oks[0].values[2] == 1  # exactly one wrap-around
+    assert handle.alarms["orderingProblem"] == []
+
+
+def test_concurrent_traversals_are_independent(healthy_net):
+    monitor = RingTraversalMonitor()
+    # Reuse the rules installed by the previous test?  No — a fresh
+    # network keeps installs independent.
+    net = ChordNetwork(num_nodes=5, seed=21)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    handle = monitor.install(nodes)
+    nonce_a = monitor.start_traversal(nodes[0])
+    nonce_b = monitor.start_traversal(nodes[3])
+    net.run_for(5.0)
+    got = {t.values[1] for t in handle.alarms["orderingOK"]}
+    assert got == {nonce_a, nonce_b}
+
+
+def test_traversal_detects_misordered_cycle():
+    """A cycle whose IDs are not monotone has more than one descent.
+
+    One corrupted pointer only *skips* nodes (wrap count stays 1 — the
+    check's documented blind spot), so this builds a 3-node cycle
+    visited out of ID order: n1 -> n3 -> n2 -> n1 has two descents and
+    the token reports wraps == 2 back at the initiator.
+    """
+    net = ChordNetwork(num_nodes=6, seed=22)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = {a: net.node(a) for a in net.live_addresses()}
+    monitor = RingTraversalMonitor()
+    handle = monitor.install(nodes.values())
+
+    ordered = sorted(net.live_addresses(), key=lambda a: net.ids[a].value)
+    n1, n2, n3 = ordered[1], ordered[2], ordered[3]
+    corrupt_best_succ(nodes[n1], n3)
+    corrupt_best_succ(nodes[n3], n2)
+    corrupt_best_succ(nodes[n2], n1)
+    nonce = monitor.start_traversal(nodes[n1])
+    net.run_for(2.0)
+    problems = [
+        t for t in handle.alarms["orderingProblem"] if t.values[1] == nonce
+    ]
+    assert problems
+    # Fields: (initiator, traversalID, initiator, lastSID, wraps).
+    assert problems[0].values[4] == 2
+
+
+def test_single_skip_is_the_checks_documented_blind_spot():
+    """One corrupted pointer that skips nodes still yields wraps == 1 —
+    the traversal check alone cannot see it (the paper's rp/ri checks
+    are complementary for this reason)."""
+    net = ChordNetwork(num_nodes=6, seed=24)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = {a: net.node(a) for a in net.live_addresses()}
+    monitor = RingTraversalMonitor()
+    handle = monitor.install(nodes.values())
+    ordered = sorted(net.live_addresses(), key=lambda a: net.ids[a].value)
+    # ordered[1] skips ordered[2]; the token route stays ID-monotone.
+    corrupt_best_succ(nodes[ordered[1]], ordered[3])
+    nonce = monitor.start_traversal(nodes[ordered[1]])
+    net.run_for(2.0)
+    oks = [t for t in handle.alarms["orderingOK"] if t.values[1] == nonce]
+    assert oks and oks[0].values[2] == 1
+
+
+def test_opportunistic_check_quiet_on_healthy_lookups(healthy_net):
+    handle = OpportunisticOrderingMonitor().install(
+        live_nodes(healthy_net)
+    )
+    import random
+
+    from repro.overlog.types import NodeID
+
+    rng = random.Random(5)
+    for i in range(6):
+        src = healthy_net.live_addresses()[
+            i % len(healthy_net.live_addresses())
+        ]
+        healthy_net.lookup(src, NodeID(rng.randrange(1 << 32)))
+    assert handle.count("closerID") == 0
+
+
+def test_opportunistic_check_flags_unknown_closer_node():
+    """A lookup result naming a node between my pred and succ that is
+    not me means my neighborhood view is wrong."""
+    net = ChordNetwork(num_nodes=6, seed=23)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = {a: net.node(a) for a in net.live_addresses()}
+    handle = OpportunisticOrderingMonitor().install(nodes.values())
+
+    ordered = sorted(net.live_addresses(), key=lambda a: net.ids[a].value)
+    observer = ordered[0]
+    hidden = ordered[1]  # the observer's true successor
+    far = ordered[3]
+    # Corrupt the observer's view: it believes its successor is `far`,
+    # so `hidden` now falls strictly inside (pred, bestSucc).
+    corrupt_best_succ(nodes[observer], far)
+    # Deliver a (synthetic) lookup result naming the hidden node.
+    nodes[observer].inject(
+        "lookupResults",
+        (observer, net.ids[hidden], net.ids[hidden], hidden, 999, hidden),
+    )
+    alarms = handle.alarms["closerID"]
+    assert any(t.values[2] == hidden for t in alarms)

@@ -1,0 +1,70 @@
+"""Oscillation detectors (§3.1.3) against the recycled-dead-neighbor bug."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.faults import OscillationScenario
+from repro.monitors import OscillationMonitor
+
+from tests.monitors.conftest import live_nodes
+
+
+@pytest.fixture(scope="module")
+def buggy_report():
+    scenario = OscillationScenario(
+        num_nodes=8,
+        seed=11,
+        check_period=15.0,
+        repeat_threshold=3,
+        chaotic_threshold=2,
+    )
+    report = scenario.run(stabilize_time=120.0, observe_time=150.0)
+    return scenario, report
+
+
+def test_quiet_on_correct_chord(healthy_net):
+    handle = OscillationMonitor(check_period=10.0).install(
+        live_nodes(healthy_net)
+    )
+    healthy_net.run_for(60.0)
+    assert handle.count("oscill") == 0
+    assert handle.count("repeatOscill") == 0
+    assert handle.count("chaotic") == 0
+
+
+def test_buggy_chord_oscillates(buggy_report):
+    _, report = buggy_report
+    assert report.oscillations > 0
+
+
+def test_repeat_oscillators_detected(buggy_report):
+    _, report = buggy_report
+    # The victim's ring neighbors keep recycling it.
+    assert len(report.repeat_oscillators) >= 2
+
+
+def test_collaborative_detection_declares_chaotic(buggy_report):
+    _, report = buggy_report
+    assert report.chaotic  # neighborhood consensus reached
+
+
+def test_oscillation_alarms_name_the_dead_node(buggy_report):
+    scenario, report = buggy_report
+    for tup in scenario.handle.alarms["oscill"]:
+        # (reporter, oscillatingAddr, time): only the victim oscillates.
+        assert tup.values[1] == report.victim
+
+
+def test_correct_chord_survives_crash_without_oscillation():
+    """The count-guarded adoption rules are the paper's suggested fix
+    ('remembering recently deceased neighbors'): same crash, no churn."""
+    net = ChordNetwork(num_nodes=8, seed=11)  # correct variant
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    handle = OscillationMonitor(check_period=15.0).install(nodes)
+    victim = net.live_addresses()[4]
+    net.kill(victim)
+    net.run_for(150.0)
+    assert handle.count("repeatOscill") == 0
+    assert handle.count("chaotic") == 0

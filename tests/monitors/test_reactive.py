@@ -1,0 +1,125 @@
+"""Higher-order watchpoints (§1.3): alarms that install monitors."""
+
+import pytest
+
+from repro.core.system import System
+from repro.monitors import Monitor, ReactiveWatchpoint
+
+
+def alarm_monitor():
+    """A monitor whose alarm fires on any 'bad' event."""
+    return Monitor(
+        name="bad-watch",
+        source="w1 badAlarm@N(X) :- bad@N(X).",
+        alarm_events=["badAlarm"],
+    )
+
+
+def detail_monitor():
+    """The reaction: watch 'detail' events (stands in for deep tracing)."""
+    return Monitor(
+        name="detail-watch",
+        source="w2 detailAlarm@N(X) :- detail@N(X).",
+        alarm_events=["detailAlarm"],
+    )
+
+
+@pytest.fixture
+def population():
+    system = System(seed=1)
+    nodes = [system.add_node(f"n{i}:1") for i in range(3)]
+    for node in nodes:
+        alarm_monitor().install([node])
+    return system, nodes
+
+
+def test_reaction_installs_on_alarming_node_only(population):
+    system, nodes = population
+    watch = ReactiveWatchpoint("badAlarm", detail_monitor).arm(nodes)
+    nodes[1].inject("bad", (nodes[1].address, "x"))
+    assert sorted(watch.installed) == [nodes[1].address]
+    # The reaction is live: detail events now raise detail alarms there.
+    nodes[1].inject("detail", (nodes[1].address, "d"))
+    assert len(watch.reaction_alarms("detailAlarm")) == 1
+    # ...but not on un-alarmed nodes.
+    nodes[0].inject("detail", (nodes[0].address, "d"))
+    assert len(watch.reaction_alarms("detailAlarm")) == 1
+
+
+def test_scope_all_installs_everywhere(population):
+    system, nodes = population
+    watch = ReactiveWatchpoint(
+        "badAlarm", detail_monitor, scope="all"
+    ).arm(nodes)
+    nodes[0].inject("bad", (nodes[0].address, "x"))
+    assert sorted(watch.installed) == sorted(n.address for n in nodes)
+
+
+def test_no_duplicate_installs(population):
+    system, nodes = population
+    watch = ReactiveWatchpoint("badAlarm", detail_monitor).arm(nodes)
+    for _ in range(5):
+        nodes[1].inject("bad", (nodes[1].address, "x"))
+    assert len(watch.installed) == 1
+    assert len(watch.triggers_seen) == 5
+    # Exactly one strand for the reaction rule on that node.
+    strands = [
+        s for s in nodes[1].strands if s.program_name == "detail-watch"
+    ]
+    assert len(strands) == 1
+
+
+def test_max_installs_cap(population):
+    system, nodes = population
+    watch = ReactiveWatchpoint(
+        "badAlarm", detail_monitor, max_installs=1
+    ).arm(nodes)
+    nodes[0].inject("bad", (nodes[0].address, "x"))
+    nodes[1].inject("bad", (nodes[1].address, "x"))
+    assert len(watch.installed) == 1
+
+
+def test_invalid_scope_rejected():
+    with pytest.raises(ValueError):
+        ReactiveWatchpoint("x", detail_monitor, scope="galaxy")
+
+
+def test_escalation_over_chord():
+    """End to end: a consistency alarm escalates into fast ring probes
+    on the alarming node."""
+    from repro.chord import ChordNetwork
+    from repro.monitors import ConsistencyProbeMonitor, RingProbeMonitor
+
+    net = ChordNetwork(num_nodes=5, seed=33)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    ConsistencyProbeMonitor(
+        probe_period=15.0, tally_period=8.0, alarm_threshold=0.99
+    ).install(nodes)
+    watch = ReactiveWatchpoint(
+        "consAlarm", lambda: RingProbeMonitor(probe_period=2.0)
+    ).arm(nodes)
+
+    # Force a below-threshold consistency verdict on one node.
+    prober = nodes[0]
+    fanouts = prober.collect("conLookup")
+    for _ in range(40):
+        net.run_for(0.5)
+        if fanouts:
+            break
+    req, key = fanouts[0].values[4], fanouts[0].values[2]
+    genuine = {t.values[3] for t in prober.query("conRespTable")}
+    fake = [a for a in net.live_addresses() if a not in genuine][0]
+    prober.inject(
+        "lookupResults",
+        (prober.address, key, net.ids[fake], fake, req, fake),
+    )
+    net.run_for(30.0)
+
+    assert prober.address in watch.installed
+    # The escalated probe runs (and, the ring being healthy, is quiet).
+    net.run_for(10.0)
+    handle = watch.installed[prober.address]
+    assert handle.monitor.name == "ring-probe"

@@ -1,0 +1,123 @@
+"""On-line regression suites (§1.3's permanent watchpoints)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.faults import corrupt_pred
+from repro.monitors import (
+    ConsistencyProbeMonitor,
+    PassiveRingMonitor,
+    RegressionSuite,
+    RingProbeMonitor,
+)
+
+
+@pytest.fixture()
+def rig():
+    net = ChordNetwork(num_nodes=5, seed=51)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(30.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    return net, nodes
+
+
+def build_suite():
+    return (
+        RegressionSuite("ring-invariants")
+        .expect_quiet(RingProbeMonitor(probe_period=3.0))
+        .expect_quiet(PassiveRingMonitor())
+        .expect_active(
+            ConsistencyProbeMonitor(probe_period=10.0, tally_period=5.0),
+            "consistency",
+        )
+    )
+
+
+def test_suite_passes_on_healthy_ring(rig):
+    net, nodes = rig
+    suite = build_suite().install(nodes)
+    net.run_for(60.0)
+    report = suite.evaluate(now=net.system.now)
+    assert report.passed, report.violations
+    assert "PASS" in str(report)
+
+
+def test_quiet_violation_on_corruption(rig):
+    net, nodes = rig
+    suite = build_suite().install(nodes)
+    victim = net.live_addresses()[0]
+    wrong = [
+        a
+        for a in net.live_addresses()
+        if a not in (victim, net.pred_of(victim))
+    ][0]
+    for _ in range(8):
+        corrupt_pred(net.node(victim), wrong)
+        net.run_for(2.0)
+    report = suite.evaluate(now=net.system.now)
+    assert not report.passed
+    assert any("inconsistentPred" in v for v in report.violations)
+    assert "FAIL" in str(report)
+
+
+def test_windows_are_independent(rig):
+    """A violation in one window does not taint the next."""
+    net, nodes = rig
+    suite = build_suite().install(nodes)
+    victim = net.live_addresses()[0]
+    wrong = [
+        a
+        for a in net.live_addresses()
+        if a not in (victim, net.pred_of(victim))
+    ][0]
+    for _ in range(8):
+        corrupt_pred(net.node(victim), wrong)
+        net.run_for(2.0)
+    assert not suite.evaluate(now=net.system.now).passed
+    # Ring repairs itself; the next window is clean.
+    assert net.wait_stable(max_time=120.0)
+    net.run_for(40.0)
+    report = suite.evaluate(now=net.system.now)
+    assert report.passed, report.violations
+
+
+def test_active_violation_when_monitor_goes_silent(rig):
+    """An expect_active entry flags a silent monitor: here, the window
+    is simply too short for any consistency verdict to be produced."""
+    net, nodes = rig
+    suite = RegressionSuite("liveness").expect_active(
+        ConsistencyProbeMonitor(probe_period=10.0, tally_period=5.0),
+        "consistency",
+    )
+    suite.install(nodes)
+    net.run_for(1.0)  # far less than a probe+tally cycle
+    report = suite.evaluate(now=net.system.now)
+    assert not report.passed
+    assert "only 0 consistency" in report.violations[0]
+
+
+def test_evaluate_requires_install():
+    with pytest.raises(RuntimeError):
+        RegressionSuite().expect_quiet(PassiveRingMonitor()).evaluate()
+
+
+def test_remove_uninstalls_everything(rig):
+    net, nodes = rig
+    suite = build_suite().install(nodes)
+    names = {e.monitor.name for e in suite._expectations}
+    suite.remove()
+    for node in nodes:
+        assert not [
+            s for s in node.strands if s.program_name in names
+        ]
+
+
+def test_reports_accumulate(rig):
+    net, nodes = rig
+    suite = build_suite().install(nodes)
+    net.run_for(40.0)
+    suite.evaluate(now=net.system.now)
+    net.run_for(40.0)
+    suite.evaluate(now=net.system.now)
+    assert len(suite.reports) == 2

@@ -1,0 +1,149 @@
+"""Ring well-formedness monitors (§3.1.1).
+
+Chord's own stabilization repairs corrupted pointers within a few
+seconds, so the detection tests re-inject the corruption across several
+probe periods — the monitor only needs one probe to land inside a
+corrupted window.
+"""
+
+from repro.chord import ChordNetwork
+from repro.faults import corrupt_best_succ, corrupt_pred
+from repro.monitors import PassiveRingMonitor, RingProbeMonitor
+
+from tests.monitors.conftest import live_nodes
+
+
+def repeat_corruption(net, apply, rounds=10, gap=2.0):
+    for _ in range(rounds):
+        apply()
+        net.run_for(gap)
+
+
+def test_no_alarms_on_healthy_ring(healthy_net):
+    handle_active = RingProbeMonitor(probe_period=5.0).install(
+        live_nodes(healthy_net)
+    )
+    handle_passive = PassiveRingMonitor().install(live_nodes(healthy_net))
+    healthy_net.run_for(30.0)
+    assert handle_active.count() == 0
+    assert handle_passive.count() == 0
+
+
+def test_active_probe_detects_corrupted_pred():
+    net = ChordNetwork(num_nodes=6, seed=7)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    handle = RingProbeMonitor(probe_period=2.0).install(nodes)
+
+    # Point one node's pred at the wrong neighbor: its probes now ask a
+    # node whose bestSucc is not the prober.
+    victim = net.live_addresses()[0]
+    wrong = [
+        a
+        for a in net.live_addresses()
+        if a not in (victim, net.pred_of(victim))
+    ][0]
+    repeat_corruption(net, lambda: corrupt_pred(net.node(victim), wrong))
+    alarms = handle.alarms["inconsistentPred"]
+    assert any(t.values[0] == victim for t in alarms)
+    # Diagnostic fields: (victim, allegedPred, predsActualSuccessor).
+    hit = [t for t in alarms if t.values[0] == victim][0]
+    assert hit.values[1] == wrong
+
+
+def test_passive_check_detects_wrong_stabilize_sender():
+    net = ChordNetwork(num_nodes=6, seed=8)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    handle = PassiveRingMonitor().install(nodes)
+
+    # Corrupt a node's *successor* pointer: it now sends its periodic
+    # stabilizeRequest to a node whose predecessor is someone else.
+    liar = net.live_addresses()[1]
+    correct_succ = net.best_succ_of(liar)
+    wrong = [
+        a for a in net.live_addresses() if a not in (liar, correct_succ)
+    ][0]
+    repeat_corruption(
+        net, lambda: corrupt_best_succ(net.node(liar), wrong), rounds=15
+    )
+    # The alarm fires on the *recipient* of the misdirected request.
+    assert any(
+        t.values[1] == liar for t in handle.alarms["inconsistentPred"]
+    )
+
+
+def test_passive_check_is_message_free():
+    """rp4 must not add messages beyond Chord's own (§3.1.1 trade-off)."""
+    a = ChordNetwork(num_nodes=5, seed=12)
+    a.start()
+    a.wait_stable(max_time=200.0)
+    base_window_start = a.system.network.stats.messages_sent
+    a.run_for(30.0)
+    baseline = a.system.network.stats.messages_sent - base_window_start
+
+    b = ChordNetwork(num_nodes=5, seed=12)
+    b.start()
+    b.wait_stable(max_time=200.0)
+    PassiveRingMonitor().install([b.node(x) for x in b.live_addresses()])
+    monitored_start = b.system.network.stats.messages_sent
+    b.run_for(30.0)
+    monitored = b.system.network.stats.messages_sent - monitored_start
+    assert monitored == baseline
+
+
+def test_successor_probe_quiet_on_healthy_ring():
+    from repro.monitors import SuccessorProbeMonitor
+
+    net = ChordNetwork(num_nodes=5, seed=13)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    handle = SuccessorProbeMonitor(probe_period=3.0).install(
+        [net.node(a) for a in net.live_addresses()]
+    )
+    net.run_for(20.0)
+    assert handle.count("inconsistentSucc") == 0
+
+
+def test_successor_probe_detects_corrupted_succ():
+    from repro.monitors import SuccessorProbeMonitor
+
+    net = ChordNetwork(num_nodes=6, seed=14)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    handle = SuccessorProbeMonitor(probe_period=2.0).install(
+        [net.node(a) for a in net.live_addresses()]
+    )
+    victim = net.live_addresses()[0]
+    wrong = [
+        a
+        for a in net.live_addresses()
+        if a not in (victim, net.best_succ_of(victim))
+    ][0]
+    repeat_corruption(
+        net, lambda: corrupt_best_succ(net.node(victim), wrong)
+    )
+    alarms = handle.alarms["inconsistentSucc"]
+    assert any(t.values[0] == victim for t in alarms)
+    # Fields: (victim, allegedSucc, succsActualPred).
+    hit = [t for t in alarms if t.values[0] == victim][0]
+    assert hit.values[1] == wrong
+
+
+def test_active_probe_does_add_messages():
+    net = ChordNetwork(num_nodes=5, seed=12)
+    net.start()
+    net.wait_stable(max_time=200.0)
+    start = net.system.network.stats.messages_sent
+    net.run_for(30.0)
+    baseline = net.system.network.stats.messages_sent - start
+
+    RingProbeMonitor(probe_period=2.0).install(
+        [net.node(x) for x in net.live_addresses()]
+    )
+    start = net.system.network.stats.messages_sent
+    net.run_for(30.0)
+    with_probe = net.system.network.stats.messages_sent - start
+    assert with_probe > baseline

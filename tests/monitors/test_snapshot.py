@@ -1,0 +1,134 @@
+"""Chandy-Lamport consistent snapshots (§3.3)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.monitors import SnapshotConsistencyProbes, SnapshotMonitor
+from repro.overlog.types import NodeID
+
+
+@pytest.fixture(scope="module")
+def snap_net():
+    net = ChordNetwork(num_nodes=6, seed=13)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)  # fingers + backpointers need ping rounds
+    nodes = [net.node(a) for a in net.live_addresses()]
+    monitor = SnapshotMonitor(snap_period=20.0)
+    handle = monitor.install_with_initiator(nodes, nodes[0])
+    net.run_for(70.0)  # several snapshot rounds
+    return net, monitor, handle, nodes
+
+
+def current_snap(node):
+    rows = node.query("currentSnap")
+    return rows[0].values[1] if rows else 0
+
+
+def test_snapshots_advance(snap_net):
+    net, monitor, handle, nodes = snap_net
+    assert current_snap(nodes[0]) >= 2
+
+
+def test_markers_propagate_to_all_nodes(snap_net):
+    net, monitor, handle, nodes = snap_net
+    sid = current_snap(nodes[0])
+    for node in nodes:
+        assert current_snap(node) == sid
+
+
+def test_snapshots_complete_everywhere(snap_net):
+    net, monitor, handle, nodes = snap_net
+    sid = current_snap(nodes[0])
+    for node in nodes:
+        assert SnapshotMonitor.snapshot_complete(node, sid), node.address
+
+
+def test_snap_done_events_observed(snap_net):
+    net, monitor, handle, nodes = snap_net
+    assert handle.count("snapDone") >= len(nodes)
+
+
+def test_snapped_state_matches_live_state_on_stable_ring(snap_net):
+    """With no churn, the snapshot of the routing state equals the live
+    routing state — the paper's structure-stable assumption."""
+    net, monitor, handle, nodes = snap_net
+    sid = current_snap(nodes[0])
+    for node in nodes:
+        state = SnapshotMonitor.snapped_state(node, sid)
+        (snap_best,) = state["bestSucc"]
+        live_best = node.query("bestSucc")[0]
+        assert snap_best.values[3] == live_best.values[2]  # same SAddr
+
+
+def test_snapshot_has_pred_and_fingers(snap_net):
+    net, monitor, handle, nodes = snap_net
+    sid = current_snap(nodes[0])
+    for node in nodes:
+        state = SnapshotMonitor.snapped_state(node, sid)
+        assert state["pred"]
+        assert state["fingers"]
+
+
+def test_backpointers_learned_from_pings(snap_net):
+    net, monitor, handle, nodes = snap_net
+    for node in nodes:
+        assert len(node.query("backPointer")) >= 2
+        (count_row,) = node.query("numBackPointers")
+        assert count_row.values[1] == len(node.query("backPointer"))
+
+
+def test_snapshot_lookups_route_over_snapped_state(snap_net):
+    net, monitor, handle, nodes = snap_net
+    sid = current_snap(nodes[0])
+    src = nodes[1]
+    results = src.collect("sLookupResults")
+    key = NodeID(0x12345678)
+    nonce = 4242
+    src.inject("sLookup", (src.address, sid, key, src.address, nonce))
+    net.run_for(3.0)
+    assert results
+    assert results[0].values[1] == sid
+    assert results[0].values[4] == net.lookup_owner(key)
+
+
+def test_snapshot_consistency_probes_report_one():
+    net = ChordNetwork(num_nodes=5, seed=14)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    monitor = SnapshotMonitor(snap_period=15.0)
+    monitor.install_with_initiator(nodes, nodes[0])
+    net.run_for(40.0)  # at least one complete snapshot
+    probes = SnapshotConsistencyProbes(probe_period=15.0, tally_period=8.0)
+    handle = probes.install(nodes)
+    net.run_for(60.0)
+    values = [t.values[2] for t in handle.alarms["consistency"]]
+    assert values
+    assert all(v == 1 for v in values)
+
+
+def test_channel_recording_captures_inflight_gossip():
+    """Messages that arrive on a recording channel are dumped into the
+    snapshot's channel tables — the Chandy-Lamport channel state."""
+    net = ChordNetwork(num_nodes=6, seed=13)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    net.run_for(60.0)
+    nodes = [net.node(a) for a in net.live_addresses()]
+    monitor = SnapshotMonitor(snap_period=20.0)
+    monitor.install_with_initiator(nodes, nodes[0])
+
+    # Simulate a recording channel by hand: mark a channel Start, then
+    # deliver gossip from that peer.
+    receiver, peer = nodes[2], nodes[3]
+    receiver.inject(
+        "channelState", (receiver.address, peer.address, 999, "Start")
+    )
+    receiver.inject(
+        "returnSucc",
+        (receiver.address, net.ids[peer.address], peer.address, peer.address),
+    )
+    dumps = receiver.query("channelReturnSuccDump")
+    assert any(d.values[1] == 999 and d.values[2] == peer.address for d in dumps)

@@ -1,0 +1,115 @@
+"""The generic traversal building block (§3.4)."""
+
+import pytest
+
+from repro.chord import ChordNetwork
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.faults import corrupt_best_succ
+from repro.monitors import GraphTraversalMonitor
+
+
+@pytest.fixture(scope="module")
+def ring():
+    net = ChordNetwork(num_nodes=6, seed=81)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    return net
+
+
+def test_census_by_traversal(ring):
+    """On a correct ring, the hop count of a completed traversal is
+    exactly the population size — a decentralized census."""
+    monitor = GraphTraversalMonitor("bestSucc", arity=3, next_index=2)
+    handle = monitor.install([ring.node(a) for a in ring.live_addresses()])
+    nonce = monitor.start_traversal(ring.node(ring.live_addresses()[0]))
+    ring.run_for(3.0)
+    outcome = monitor.results_for(handle, nonce)
+    assert outcome["completed"]
+    assert outcome["hops"] == len(ring.live_addresses())
+    assert not outcome["lost"]
+
+
+def test_lost_token_reported_with_budget(ring):
+    """A cycle that excludes the initiator exhausts the hop budget and
+    reports Lost — the blind spot of a bare wrap-count traversal."""
+    monitor = GraphTraversalMonitor(
+        "bestSucc", arity=3, next_index=2, max_hops=20
+    )
+    nodes = [ring.node(a) for a in ring.live_addresses()]
+    handle = monitor.install(nodes)
+    ordered = sorted(
+        ring.live_addresses(), key=lambda a: ring.ids[a].value
+    )
+    # ordered[2] points back at ordered[1]: a 2-cycle excluding ordered[0].
+    corrupt_best_succ(ring.node(ordered[2]), ordered[1])
+    nonce = monitor.start_traversal(ring.node(ordered[0]))
+    ring.run_for(3.0)
+    outcome = monitor.results_for(handle, nonce)
+    assert outcome["lost"]
+    assert not outcome["completed"]
+    assert outcome["last_seen"] in (ordered[1], ordered[2])
+    ring.wait_stable(max_time=120.0)  # let the ring repair
+
+
+def test_traversal_over_custom_relation():
+    """The same monitor walks an application-defined graph — here a
+    three-node 'leaseHolder' chain built by hand."""
+    system = System(seed=1)
+    nodes = [system.add_node(f"n{i}:1") for i in range(3)]
+    for node in nodes:
+        node.install_source(
+            "materialize(leaseHolder, 100, 5, keys(1))."
+        )
+    monitor = GraphTraversalMonitor("leaseHolder", arity=2, next_index=1)
+    handle = monitor.install(nodes)
+    # n0 -> n1 -> n2 -> n0
+    nodes[0].inject("leaseHolder", ("n0:1", "n1:1"))
+    nodes[1].inject("leaseHolder", ("n1:1", "n2:1"))
+    nodes[2].inject("leaseHolder", ("n2:1", "n0:1"))
+    nonce = monitor.start_traversal(nodes[0])
+    system.run_for(2.0)
+    outcome = monitor.results_for(handle, nonce)
+    assert outcome["completed"]
+    assert outcome["hops"] == 3
+
+
+def test_per_hop_condition_drops_token():
+    system = System(seed=1)
+    nodes = [system.add_node(f"n{i}:1") for i in range(2)]
+    for node in nodes:
+        node.install_source(
+            "materialize(chain, 100, 5, keys(1))."
+        )
+    monitor = GraphTraversalMonitor(
+        "chain", arity=3, next_index=1, per_hop_condition="F2 > 0"
+    )
+    handle = monitor.install(nodes)
+    nodes[0].inject("chain", ("n0:1", "n1:1", 0))  # F2 == 0: blocked
+    nonce = monitor.start_traversal(nodes[0])
+    system.run_for(2.0)
+    outcome = monitor.results_for(handle, nonce)
+    assert not outcome["completed"] and not outcome["lost"]
+
+
+def test_bad_next_index_rejected():
+    with pytest.raises(ReproError):
+        GraphTraversalMonitor("t", arity=2, next_index=2)
+
+
+def test_two_instances_coexist(ring):
+    """Regression: instances must not consume each other's tokens
+    (shared event names would multiply every hop by the instance
+    count — an exponential token explosion)."""
+    nodes = [ring.node(a) for a in ring.live_addresses()]
+    first = GraphTraversalMonitor("bestSucc", arity=3, next_index=2)
+    second = GraphTraversalMonitor("bestSucc", arity=3, next_index=2)
+    handle_a = first.install(nodes)
+    handle_b = second.install(nodes)
+    nonce_a = first.start_traversal(nodes[0])
+    nonce_b = second.start_traversal(nodes[2])
+    ring.run_for(3.0)
+    outcome_a = first.results_for(handle_a, nonce_a)
+    outcome_b = second.results_for(handle_b, nonce_b)
+    assert outcome_a["completed"] and outcome_b["completed"]
+    assert outcome_a["hops"] == outcome_b["hops"] == len(nodes)

@@ -1,0 +1,95 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.marshal import (
+    decode_message,
+    encode_delete,
+    encode_message,
+)
+from repro.overlog.types import NodeID
+from repro.runtime.tuples import Tuple
+
+
+def roundtrip(tup, src="a:1", src_tid=7):
+    return decode_message(encode_message(tup, src, src_tid))
+
+
+def test_tuple_roundtrip():
+    tup = Tuple("succ", ("n1:1", NodeID(42), "n2:1"))
+    out = roundtrip(tup)
+    assert out["kind"] == "tuple"
+    assert out["name"] == "succ"
+    assert out["values"] == tup.values
+    assert isinstance(out["values"][1], NodeID)
+    assert out["src"] == "a:1"
+    assert out["src_tid"] == 7
+
+
+def test_node_id_bits_preserved():
+    tup = Tuple("t", ("n", NodeID(3, bits=8)))
+    out = roundtrip(tup)
+    assert out["values"][1].bits == 8
+
+
+def test_nested_lists_decode_as_tuples():
+    tup = Tuple("path", ("n", ("a", ("b", 1), 2.5)))
+    out = roundtrip(tup)
+    assert out["values"][1] == ("a", ("b", 1), 2.5)
+    assert isinstance(out["values"][1], tuple)
+
+
+def test_booleans_survive():
+    tup = Tuple("t", ("n", True, False))
+    out = roundtrip(tup)
+    assert out["values"][1] is True
+    assert out["values"][2] is False
+
+
+def test_delete_roundtrip_with_wildcards():
+    data = encode_delete("succ", ("n", None, "dead:1"))
+    out = decode_message(data)
+    assert out["kind"] == "delete"
+    assert out["pattern"] == ("n", None, "dead:1")
+
+
+def test_unmarshalable_value_fails_at_send():
+    class Weird:
+        pass
+
+    with pytest.raises(NetworkError):
+        encode_message(Tuple("t", ("n", Weird())), "a", None)
+
+
+def test_garbage_bytes_rejected():
+    with pytest.raises(NetworkError):
+        decode_message(b"\xff\xfe not json")
+    with pytest.raises(NetworkError):
+        decode_message(b'{"kind": "mystery"}')
+
+
+def test_wire_size_reflects_content():
+    small = encode_message(Tuple("t", ("n", 1)), "a", None)
+    big = encode_message(Tuple("t", ("n", "x" * 500)), "a", None)
+    assert len(big) > len(small) + 400
+
+
+values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.text(max_size=20),
+        st.booleans(),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.builds(NodeID, st.integers(0, (1 << 32) - 1)),
+    ),
+    lambda children: st.lists(children, max_size=4).map(tuple),
+    max_leaves=10,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(values, min_size=1, max_size=5))
+def test_any_overlog_value_roundtrips(vals):
+    tup = Tuple("t", tuple(vals))
+    out = roundtrip(tup)
+    assert out["values"] == tup.values

@@ -1,0 +1,149 @@
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+from repro.net.topology import ConstantLatency
+from repro.sim.simulator import Simulator
+
+
+def build(loss=0.0, latency=0.01, seed=0):
+    sim = Simulator(seed=seed)
+    return sim, Network(sim, ConstantLatency(latency), loss_rate=loss)
+
+
+def test_delivery_with_latency():
+    sim, net = build(latency=0.05)
+    got = []
+    net.attach("b", got.append)
+    net.send("a", "b", "hello")
+    sim.run_until(0.049)
+    assert got == []
+    sim.run_until(0.051)
+    assert len(got) == 1
+    assert got[0].payload == "hello"
+    assert got[0].src == "a"
+
+
+def test_fifo_per_channel():
+    sim, net = build()
+    got = []
+    net.attach("b", lambda m: got.append(m.payload))
+    for i in range(20):
+        net.send("a", "b", i)
+    sim.run_until(1.0)
+    assert got == list(range(20))
+
+
+def test_unknown_destination_drops():
+    sim, net = build()
+    net.send("a", "ghost", "x")
+    sim.run_until(1.0)
+    assert net.stats.messages_dropped == 1
+    assert net.stats.messages_delivered == 0
+
+
+def test_attach_twice_rejected():
+    _, net = build()
+    net.attach("a", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.attach("a", lambda m: None)
+
+
+def test_detach_stops_delivery():
+    sim, net = build()
+    got = []
+    net.attach("b", got.append)
+    net.send("a", "b", 1)
+    net.detach("b")
+    sim.run_until(1.0)
+    assert got == []
+
+
+def test_partition_blocks_both_directions():
+    sim, net = build()
+    got_a, got_b = [], []
+    net.attach("a", got_a.append)
+    net.attach("b", got_b.append)
+    net.partition("a", "b")
+    net.send("a", "b", 1)
+    net.send("b", "a", 2)
+    sim.run_until(1.0)
+    assert got_a == [] and got_b == []
+
+
+def test_heal_restores_traffic():
+    sim, net = build()
+    got = []
+    net.attach("b", got.append)
+    net.partition("a", "b")
+    net.send("a", "b", 1)
+    net.heal("a", "b")
+    net.send("a", "b", 2)
+    sim.run_until(1.0)
+    assert [m.payload for m in got] == [2]
+
+
+def test_take_down_drops_in_flight_messages():
+    sim, net = build(latency=0.1)
+    got = []
+    net.attach("b", got.append)
+    net.send("a", "b", 1)
+    net.take_down("b")  # while the message is in flight
+    sim.run_until(1.0)
+    assert got == []
+    assert net.stats.messages_dropped == 1
+
+
+def test_bring_up_after_down():
+    sim, net = build()
+    got = []
+    net.attach("b", got.append)
+    net.take_down("b")
+    net.send("a", "b", 1)
+    sim.run_until(0.5)
+    net.bring_up("b")
+    net.send("a", "b", 2)
+    sim.run_until(1.0)
+    assert [m.payload for m in got] == [2]
+
+
+def test_loss_rate_drops_some_messages():
+    sim, net = build(loss=0.5, seed=3)
+    got = []
+    net.attach("b", got.append)
+    for i in range(200):
+        net.send("a", "b", i)
+    sim.run_until(5.0)
+    assert 0 < len(got) < 200
+    # Delivered messages still arrive in FIFO order.
+    payloads = [m.payload for m in got]
+    assert payloads == sorted(payloads)
+
+
+def test_invalid_loss_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        Network(sim, loss_rate=1.0)
+    net = Network(sim)
+    with pytest.raises(NetworkError):
+        net.set_loss_rate(-0.1)
+
+
+def test_stats_counters():
+    sim, net = build()
+    net.attach("b", lambda m: None)
+    net.send("a", "b", "x", size=100)
+    sim.run_until(1.0)
+    stats = net.stats
+    assert stats.messages_sent == 1
+    assert stats.messages_delivered == 1
+    assert stats.bytes_sent == 100
+    assert stats.per_node_sent["a"] == 1
+    assert stats.per_node_received["b"] == 1
+
+
+def test_addresses_listing():
+    _, net = build()
+    net.attach("b", lambda m: None)
+    net.attach("a", lambda m: None)
+    assert net.addresses == ["a", "b"]

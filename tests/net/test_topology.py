@@ -1,0 +1,54 @@
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.address import make_address, EMPTY_ADDRESS
+from repro.net.channel import Channel
+from repro.net.topology import ConstantLatency, UniformLatency
+from repro.sim.rand import SimRandom
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.02)
+    assert model.delay("a", "b") == 0.02
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(NetworkError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_in_range():
+    model = UniformLatency(SimRandom(1), 0.01, 0.05)
+    for _ in range(100):
+        delay = model.delay("a", "b")
+        assert 0.01 <= delay < 0.05
+
+
+def test_uniform_latency_deterministic():
+    a = UniformLatency(SimRandom(1), 0.01, 0.05)
+    b = UniformLatency(SimRandom(1), 0.01, 0.05)
+    assert [a.delay("x", "y") for _ in range(10)] == [
+        b.delay("x", "y") for _ in range(10)
+    ]
+
+
+def test_uniform_latency_rejects_bad_range():
+    with pytest.raises(NetworkError):
+        UniformLatency(SimRandom(1), 0.05, 0.01)
+
+
+def test_channel_enforces_monotone_delivery():
+    channel = Channel("a", "b")
+    t1 = channel.next_delivery_time(now=0.0, delay=0.10)
+    t2 = channel.next_delivery_time(now=0.01, delay=0.01)
+    assert t2 >= t1
+    assert channel.messages_sent == 2
+
+
+def test_make_address():
+    assert make_address(0) == "n0:10000"
+    assert make_address(21) == "n21:10021"
+
+
+def test_empty_address_convention():
+    assert EMPTY_ADDRESS == "-"

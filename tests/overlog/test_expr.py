@@ -1,0 +1,140 @@
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.overlog.builtins import EvalContext
+from repro.overlog.expr import evaluate, values_equal
+from repro.overlog.lexer import tokenize
+from repro.overlog.parser import _Parser
+from repro.overlog.types import NodeID
+
+
+@pytest.fixture
+def ctx():
+    return EvalContext(lambda: 100.0, random.Random(0), id_bits=32)
+
+
+def ev(text, ctx, **bindings):
+    expr = _Parser(tokenize(text))._expression()
+    return evaluate(expr, bindings, ctx)
+
+
+def test_arithmetic(ctx):
+    assert ev("1 + 2 * 3", ctx) == 7
+    assert ev("(1 + 2) * 3", ctx) == 9
+    assert ev("7 % 3", ctx) == 1
+    assert ev("-X", ctx, X=5) == -5
+
+
+def test_division_semantics(ctx):
+    assert ev("6 / 3", ctx) == 2
+    assert ev("7 / 2", ctx) == 3.5
+    with pytest.raises(EvaluationError):
+        ev("1 / 0", ctx)
+    with pytest.raises(EvaluationError):
+        ev("1 % 0", ctx)
+
+
+def test_comparisons(ctx):
+    assert ev("X < Y", ctx, X=1, Y=2) is True
+    assert ev("X >= Y", ctx, X=2, Y=2) is True
+    assert ev('A != "-"', ctx, A="n1") is True
+    assert ev('A == "-"', ctx, A="-") is True
+
+
+def test_equality_across_types_is_false_not_error(ctx):
+    assert ev("X == Y", ctx, X=1, Y="1") is False
+    assert ev("X != Y", ctx, X=1, Y="1") is True
+
+
+def test_boolean_connectives_short_circuit(ctx):
+    # Right operand would divide by zero; || must not evaluate it.
+    assert ev("(X > 0) || (1 / Z > 0)", ctx, X=1, Z=0) is True
+    assert ev("(X > 0) && (Y > 0)", ctx, X=0, Z=0, Y=1) is False
+
+
+def test_negation_operator(ctx):
+    assert ev("!X", ctx, X=False) is True
+    assert ev("!(A == B)", ctx, A=1, B=1) is False
+
+
+def test_unbound_variable_raises(ctx):
+    with pytest.raises(EvaluationError):
+        ev("X + 1", ctx)
+
+
+def test_nodeid_modular_arithmetic(ctx):
+    result = ev("K - FID - 1", ctx, K=NodeID(5), FID=NodeID(10))
+    assert result == NodeID((5 - 10 - 1) % (1 << 32))
+
+
+def test_ring_interval(ctx):
+    assert ev("K in (A, B]", ctx, K=NodeID(5), A=NodeID(1), B=NodeID(5))
+    assert not ev("K in (A, B)", ctx, K=NodeID(5), A=NodeID(1), B=NodeID(5))
+    # Wrapped interval.
+    assert ev("K in (A, B)", ctx, K=NodeID(2), A=NodeID((1 << 32) - 5), B=NodeID(10))
+
+
+def test_plain_interval_for_numbers(ctx):
+    assert ev("X in [1, 5]", ctx, X=5)
+    assert not ev("X in [1, 5)", ctx, X=5)
+
+
+def test_list_concatenation(ctx):
+    assert ev("[A, B] + P", ctx, A=1, B=2, P=(3, 4)) == (1, 2, 3, 4)
+    assert ev("[X] + [Y]", ctx, X="a", Y="b") == ("a", "b")
+
+
+def test_string_concatenation(ctx):
+    assert ev("A + B", ctx, A="foo", B="bar") == "foobar"
+
+
+def test_builtin_now_uses_context_clock(ctx):
+    assert ev("f_now()", ctx) == 100.0
+
+
+def test_builtin_rand_is_from_context_stream():
+    ctx_a = EvalContext(lambda: 0.0, random.Random(7))
+    ctx_b = EvalContext(lambda: 0.0, random.Random(7))
+    expr = _Parser(tokenize("f_rand()"))._expression()
+    assert evaluate(expr, {}, ctx_a) == evaluate(expr, {}, ctx_b)
+
+
+def test_builtin_rand_id_respects_bits():
+    ctx8 = EvalContext(lambda: 0.0, random.Random(1), id_bits=8)
+    expr = _Parser(tokenize("f_randID()"))._expression()
+    for _ in range(20):
+        value = evaluate(expr, {}, ctx8)
+        assert isinstance(value, NodeID)
+        assert 0 <= value.value < 256
+
+
+def test_builtin_hash_is_stable(ctx):
+    a = ev('f_hash("x")', ctx)
+    b = ev('f_hash("x")', ctx)
+    assert a == b
+    assert isinstance(a, NodeID)
+
+
+def test_builtin_pow(ctx):
+    assert ev("f_pow(2, 10)", ctx) == 1024
+    result = ev("K + f_pow(2, 3)", ctx, K=NodeID(250, bits=8))
+    assert result == NodeID((250 + 8) % 256, bits=8)
+
+
+def test_unknown_builtin_raises(ctx):
+    with pytest.raises(EvaluationError):
+        ev("f_bogus()", ctx)
+
+
+def test_symbolic_constant_evaluates_to_name(ctx):
+    assert ev("mysnap", ctx) == "mysnap"
+
+
+def test_values_equal_handles_notimplemented():
+    class Weird:
+        def __eq__(self, other):
+            return NotImplemented
+
+    assert not values_equal(Weird(), 1)

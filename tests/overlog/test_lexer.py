@@ -1,0 +1,104 @@
+import pytest
+
+from repro.errors import LexError
+from repro.overlog.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, VARIABLE, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != EOF]
+
+
+def test_identifiers_vs_variables():
+    assert kinds("foo Bar _x baz") == [
+        (IDENT, "foo"),
+        (VARIABLE, "Bar"),
+        (VARIABLE, "_x"),
+        (IDENT, "baz"),
+    ]
+
+
+def test_numbers():
+    assert kinds("1 42 3.5 1e3 2.5e-2") == [
+        (NUMBER, "1"),
+        (NUMBER, "42"),
+        (NUMBER, "3.5"),
+        (NUMBER, "1e3"),
+        (NUMBER, "2.5e-2"),
+    ]
+
+
+def test_number_followed_by_statement_period():
+    # "keys(1)." — the '.' must terminate the statement, not extend 1.
+    assert kinds("keys(1).") == [
+        (IDENT, "keys"),
+        (PUNCT, "("),
+        (NUMBER, "1"),
+        (PUNCT, ")"),
+        (PUNCT, "."),
+    ]
+
+
+def test_strings_with_escapes():
+    tokens = tokenize(r'"a\"b" "x\ny"')
+    assert tokens[0].value == 'a"b'
+    assert tokens[1].value == "x\ny"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_two_char_operators():
+    assert [v for _, v in kinds(":- := == != <= >= || &&")] == [
+        ":-", ":=", "==", "!=", "<=", ">=", "||", "&&",
+    ]
+
+
+def test_rule_punctuation():
+    src = "head@Z(Y) :- event@N(Y), prec@N(Z)."
+    values = [v for _, v in kinds(src)]
+    assert values == [
+        "head", "@", "Z", "(", "Y", ")", ":-",
+        "event", "@", "N", "(", "Y", ")", ",",
+        "prec", "@", "N", "(", "Z", ")", ".",
+    ]
+
+
+def test_line_comments():
+    assert kinds("foo // comment\nbar # another\nbaz") == [
+        (IDENT, "foo"),
+        (IDENT, "bar"),
+        (IDENT, "baz"),
+    ]
+
+
+def test_block_comments():
+    assert kinds("foo /* multi\nline */ bar") == [
+        (IDENT, "foo"),
+        (IDENT, "bar"),
+    ]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("foo /* nope")
+
+
+def test_invalid_character_raises_with_position():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("foo\n  $bad")
+    assert excinfo.value.line == 2
+    assert excinfo.value.column == 3
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_aggregate_tokens():
+    assert [v for _, v in kinds("count<*> min<D>")] == [
+        "count", "<", "*", ">", "min", "<", "D", ">",
+    ]

@@ -1,0 +1,57 @@
+from repro.overlog import ast
+from repro.overlog.match import match_args
+
+
+def V(name):
+    return ast.Var(name)
+
+
+def C(value):
+    return ast.Const(value)
+
+
+def test_binds_new_variables():
+    out = match_args([V("A"), V("B")], ("x", 2), {})
+    assert out == {"A": "x", "B": 2}
+
+
+def test_existing_binding_must_agree():
+    assert match_args([V("A")], ("x",), {"A": "x"}) == {"A": "x"}
+    assert match_args([V("A")], ("y",), {"A": "x"}) is None
+
+
+def test_repeated_variable_in_pattern():
+    assert match_args([V("A"), V("A")], (1, 1), {}) == {"A": 1}
+    assert match_args([V("A"), V("A")], (1, 2), {}) is None
+
+
+def test_constants_filter():
+    assert match_args([C(0)], (0,), {}) == {}
+    assert match_args([C(0)], (1,), {}) is None
+    assert match_args([C("Done")], ("Done",), {}) == {}
+
+
+def test_arity_mismatch_fails():
+    assert match_args([V("A")], (1, 2), {}) is None
+
+
+def test_underscore_variables_match_without_binding():
+    out = match_args([V("_"), V("X")], (1, 2), {})
+    assert out == {"X": 2}
+
+
+def test_symbolic_constant_matches_own_name():
+    pattern = [ast.SymbolicConst("mysnap")]
+    assert match_args(pattern, ("mysnap",), {}) == {}
+    assert match_args(pattern, ("other",), {}) is None
+
+
+def test_caller_bindings_never_mutated():
+    base = {"A": 1}
+    match_args([V("A"), V("B")], (1, 2), base)
+    assert base == {"A": 1}
+
+
+def test_complex_expression_pattern_rejected():
+    pattern = [ast.BinOp("+", V("A"), C(1))]
+    assert match_args(pattern, (2,), {}) is None

@@ -1,0 +1,191 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.overlog import ast
+from repro.overlog.parser import parse
+from repro.overlog.types import INFINITY
+
+
+def only_rule(src):
+    rules = parse(src).rules
+    assert len(rules) == 1
+    return rules[0]
+
+
+def test_materialize_statement():
+    tree = parse("materialize(link, 100, 5, keys(1)).")
+    mat = tree.materializations[0]
+    assert mat.name == "link"
+    assert mat.lifetime == 100
+    assert mat.max_size == 5
+    assert mat.keys == [1]
+
+
+def test_materialize_infinity():
+    mat = parse("materialize(t, infinity, infinity, keys(1,2)).").materializations[0]
+    assert mat.lifetime is INFINITY
+    assert mat.max_size is INFINITY
+    assert mat.keys == [1, 2]
+
+
+def test_materialize_rejects_zero_key():
+    with pytest.raises(ParseError):
+        parse("materialize(t, 1, 1, keys(0)).")
+
+
+def test_rule_with_id():
+    rule = only_rule("rp1 a@X(Y) :- b@X(Y).")
+    assert rule.rule_id == "rp1"
+    assert rule.head.name == "a"
+
+
+def test_rule_without_id():
+    rule = only_rule("a@X(Y) :- b@X(Y).")
+    assert rule.rule_id is None
+
+
+def test_location_prefix_equivalence():
+    with_at = only_rule("a@X(Y) :- b@X(Y).")
+    without = only_rule("a(X, Y) :- b(X, Y).")
+    assert [str(x) for x in with_at.head.args] == [
+        str(x) for x in without.head.args
+    ]
+
+
+def test_delete_rule():
+    rule = only_rule("cs10 delete t@N(A, B) :- e@N(A).")
+    assert rule.delete
+    assert rule.rule_id == "cs10"
+
+
+def test_delete_rule_without_id():
+    rule = only_rule("delete t@N(A) :- e@N(A).")
+    assert rule.delete
+    assert rule.rule_id is None
+
+
+def test_aggregate_in_head():
+    rule = only_rule("c@N(K, count<*>) :- t@N(K, V).")
+    aggs = rule.head.aggregates()
+    assert len(aggs) == 1
+    assert aggs[0].func == "count"
+    assert aggs[0].var is None
+
+
+def test_min_aggregate_with_variable():
+    rule = only_rule("m@N(min<D>) :- t@N(V), D := V + 1.")
+    agg = rule.head.aggregates()[0]
+    assert agg.func == "min"
+    assert agg.var == "D"
+
+
+def test_assignment_body_term():
+    rule = only_rule("a@N(T) :- e@N(X), T := f_now().")
+    assigns = [t for t in rule.body if isinstance(t, ast.Assign)]
+    assert len(assigns) == 1
+    assert assigns[0].var == "T"
+
+
+def test_condition_body_term():
+    rule = only_rule('a@N() :- e@N(X), X != "-".')
+    conds = [t for t in rule.body if isinstance(t, ast.Cond)]
+    assert len(conds) == 1
+
+
+def test_range_expression_variants():
+    rule = only_rule("a@N() :- e@N(K, A, B), K in (A, B].")
+    cond = [t for t in rule.body if isinstance(t, ast.Cond)][0]
+    check = cond.expr
+    assert isinstance(check, ast.RangeCheck)
+    assert not check.low_closed
+    assert check.high_closed
+
+
+def test_list_expression_and_concat():
+    rule = only_rule("p@B(C, [B, A] + P, W + Y) :- l@A(B, W), p@A(C, P, Y).")
+    path_arg = rule.head.args[2]
+    assert isinstance(path_arg, ast.BinOp)
+    assert isinstance(path_arg.left, ast.ListExpr)
+
+
+def test_function_call_expression():
+    rule = only_rule("a@N(K) :- e@N(X), K := f_randID().")
+    assign = [t for t in rule.body if isinstance(t, ast.Assign)][0]
+    assert isinstance(assign.expr, ast.FuncCall)
+    assert assign.expr.name == "f_randID"
+
+
+def test_boolean_connectives():
+    rule = only_rule("a@N() :- e@N(C, S, R), (C > 0) || (S == R).")
+    cond = [t for t in rule.body if isinstance(t, ast.Cond)][0]
+    assert isinstance(cond.expr, ast.BinOp)
+    assert cond.expr.op == "||"
+
+
+def test_operator_precedence():
+    rule = only_rule("a@N(X) :- e@N(B, C, D), X := B + C * D.")
+    expr = [t for t in rule.body if isinstance(t, ast.Assign)][0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_symbolic_constants():
+    rule = only_rule("a@N() :- periodic@N(E, tProbe).")
+    period = rule.body[0].args[2]
+    assert isinstance(period, ast.SymbolicConst)
+    assert period.name == "tProbe"
+
+
+def test_true_false_literals():
+    rule = only_rule("a@N() :- e@N(F), F == true.")
+    cond = [t for t in rule.body if isinstance(t, ast.Cond)][0]
+    assert cond.expr.right.value is True
+
+
+def test_nullary_head_needs_location():
+    rule = only_rule("result@NAddr() :- periodic@NAddr(E, 1).")
+    assert len(rule.head.args) == 1  # just the location
+
+
+def test_functor_without_location_rejected():
+    with pytest.raises(ParseError):
+        parse("a() :- b@N(X).")
+
+
+def test_missing_period_rejected():
+    with pytest.raises(ParseError):
+        parse("a@N(X) :- b@N(X)")
+
+
+def test_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse("a@N(X) :- :- b@N(X).")
+
+
+def test_multiple_statements():
+    tree = parse(
+        """
+        materialize(t, 10, 10, keys(1)).
+        r1 a@N(X) :- t@N(X).
+        r2 b@N(X) :- a@N(X).
+        """
+    )
+    assert len(tree.rules) == 2
+    assert len(tree.materializations) == 1
+
+
+def test_program_roundtrips_through_str():
+    src = "rp1 a@X(Y, Z) :- b@X(Y), c@X(Z), Y != Z."
+    printed = str(parse(src))
+    reparsed = parse(printed)
+    assert str(reparsed) == printed
+
+
+def test_paper_rule_cs9_parses():
+    rule = only_rule(
+        "cs9 consistency@NAddr(ProbeID, RespCount / LookupCount) :- "
+        "periodic@NAddr(E, 20), lookupCluster@NAddr(ProbeID, T, LookupCount), "
+        "T < f_now() - 20, maxCluster@NAddr(ProbeID, RespCount)."
+    )
+    assert isinstance(rule.head.args[2], ast.BinOp)
+    assert rule.head.args[2].op == "/"

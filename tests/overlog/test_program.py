@@ -1,0 +1,112 @@
+import pytest
+
+from repro.errors import ValidationError
+from repro.overlog import ast
+from repro.overlog.program import Program
+
+
+def test_compile_valid_program():
+    program = Program.compile(
+        """
+        materialize(t, 10, 10, keys(1)).
+        r1 a@N(X) :- t@N(X).
+        """
+    )
+    assert len(program.rules) == 1
+
+
+def test_bindings_substitute_symbolic_constants():
+    program = Program.compile(
+        "r a@N() :- periodic@N(E, tP).", bindings={"tP": 7}
+    )
+    period = program.rules[0].body[0].args[2]
+    assert isinstance(period, ast.Const)
+    assert period.value == 7
+
+
+def test_bindings_reach_nested_expressions():
+    program = Program.compile(
+        "r a@N(X) :- e@N(V), X := V + off, V < f_now() - off.",
+        bindings={"off": 3},
+    )
+    assign = [t for t in program.rules[0].body if isinstance(t, ast.Assign)][0]
+    assert isinstance(assign.expr.right, ast.Const)
+
+
+def test_unbound_head_variable_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(X, Y) :- e@N(X).")
+
+
+def test_delete_rule_allows_unbound_wildcards():
+    program = Program.compile("r delete t@N(X, Y) :- e@N(X).")
+    assert program.rules[0].delete
+
+
+def test_complex_body_functor_argument_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(X) :- e@N(X + 1).")
+
+
+def test_unbound_condition_variable_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(X) :- e@N(X), Y > 3.")
+
+
+def test_unbound_assignment_source_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(X) :- e@N(V), X := Y + 1.")
+
+
+def test_rule_with_no_predicates_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(X) :- X := 1.")
+
+
+def test_two_aggregates_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(count<*>, max<X>) :- e@N(X).")
+
+
+def test_aggregate_in_body_rejected():
+    # Body aggregates are rejected at parse time (the grammar only
+    # allows them in head argument position).
+    from repro.errors import OverLogError
+
+    with pytest.raises(OverLogError):
+        Program.compile("r a@N(X) :- e@N(X), X == count<*>.")
+
+
+def test_aggregate_variable_must_be_bound():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N(min<D>) :- e@N(X).")
+
+
+def test_duplicate_materialization_rejected():
+    with pytest.raises(ValidationError):
+        Program.compile(
+            """
+            materialize(t, 10, 10, keys(1)).
+            materialize(t, 20, 10, keys(1)).
+            """
+        )
+
+
+def test_periodic_period_must_be_constant():
+    with pytest.raises(ValidationError):
+        Program.compile("r a@N() :- periodic@N(E, T), e@N(T).")
+
+
+def test_underscore_variables_do_not_need_binding():
+    program = Program.compile("r a@N(X) :- e@N(X, _Ignored).")
+    assert len(program.rules) == 1
+
+
+def test_program_str_is_reparseable():
+    src = """
+    materialize(t, 10, 5, keys(1,2)).
+    r1 a@N(X, count<*>) :- t@N(X, Y), Y > 2.
+    """
+    program = Program.compile(src)
+    again = Program.compile(str(program))
+    assert len(again.rules) == 1

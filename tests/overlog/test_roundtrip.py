@@ -1,0 +1,111 @@
+"""Property test: printing a program and re-parsing it is a fixpoint.
+
+Random rule ASTs are generated from a small grammar, rendered with the
+AST's ``__str__``, parsed, and rendered again — the two renderings must
+match.  This pins the printer and parser to one another, which is what
+keeps reflection output (``sysRule`` source text) reinstallable.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.overlog import ast
+from repro.overlog.parser import parse
+
+lower_names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=6
+).filter(
+    lambda s: s
+    not in ("materialize", "keys", "infinity", "delete", "in", "true", "false")
+)
+var_names = st.sampled_from(["A", "B", "C", "X", "Y", "Z", "NAddr", "K"])
+
+
+def const_values():
+    return st.one_of(
+        st.integers(min_value=0, max_value=10**6),
+        st.text(alphabet=string.ascii_letters + " ", max_size=8),
+        st.booleans(),
+    )
+
+
+@st.composite
+def simple_exprs(draw, depth=0):
+    if depth >= 2:
+        return draw(
+            st.one_of(
+                st.builds(ast.Var, var_names),
+                st.builds(ast.Const, const_values()),
+            )
+        )
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(st.builds(ast.Var, var_names))
+    if choice == 1:
+        return draw(st.builds(ast.Const, const_values()))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return ast.BinOp(
+            op,
+            draw(simple_exprs(depth=depth + 1)),
+            draw(simple_exprs(depth=depth + 1)),
+        )
+    items = draw(st.lists(simple_exprs(depth=2), max_size=3))
+    return ast.ListExpr(tuple(items))
+
+
+@st.composite
+def functors(draw, max_args=3):
+    name = draw(lower_names)
+    loc = ast.Var(draw(var_names))
+    args = draw(
+        st.lists(
+            st.one_of(
+                st.builds(ast.Var, var_names),
+                st.builds(ast.Const, const_values()),
+            ),
+            max_size=max_args,
+        )
+    )
+    return ast.Functor(name, [loc] + args)
+
+
+@st.composite
+def rules(draw):
+    head_name = draw(lower_names)
+    head_loc = ast.Var(draw(var_names))
+    head_args = draw(st.lists(simple_exprs(), max_size=3))
+    head = ast.Functor(head_name, [head_loc] + list(head_args))
+    body: list = [draw(functors())]
+    body += draw(st.lists(functors(), max_size=2))
+    if draw(st.booleans()):
+        body.append(
+            ast.Cond(
+                ast.BinOp(
+                    draw(st.sampled_from(["<", ">", "==", "!="])),
+                    ast.Var(draw(var_names)),
+                    draw(simple_exprs(depth=1)),
+                )
+            )
+        )
+    if draw(st.booleans()):
+        body.append(ast.Assign(draw(var_names), draw(simple_exprs(depth=1))))
+    rule_id = draw(st.one_of(st.none(), lower_names))
+    return ast.Rule(head=head, body=body, rule_id=rule_id)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rules())
+def test_rule_print_parse_fixpoint(rule):
+    printed = str(rule)
+    reparsed = parse(printed).rules[0]
+    assert str(reparsed) == printed
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(rules(), min_size=1, max_size=4))
+def test_program_print_parse_fixpoint(rule_list):
+    program = ast.ProgramAST(statements=list(rule_list))
+    printed = str(program)
+    assert str(parse(printed)) == printed

@@ -1,0 +1,120 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.overlog.types import INFINITY, NodeID, format_value
+
+ids = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def test_modular_wraparound():
+    n = NodeID(5, bits=8)
+    assert (n - 10).value == (5 - 10) % 256
+    assert (n + 300).value == (5 + 300) % 256
+
+
+def test_subtraction_is_ring_distance():
+    a, b = NodeID(10), NodeID(250)
+    assert (a - b).value == (10 - 250) % (1 << 32)
+
+
+def test_comparison_with_ints():
+    assert NodeID(5) == 5
+    assert NodeID(5) < 6
+    assert NodeID(5) >= 5
+    assert NodeID(5) != 4
+
+
+def test_bool_arithmetic_rejected():
+    with pytest.raises(TypeError):
+        NodeID(5) + True
+
+
+def test_hashable_by_value():
+    assert hash(NodeID(7)) == hash(NodeID(7))
+    assert len({NodeID(1), NodeID(1), NodeID(2)}) == 2
+
+
+def test_interval_simple():
+    assert NodeID(5).in_interval(1, 10)
+    assert not NodeID(0).in_interval(1, 10)
+    assert not NodeID(1).in_interval(1, 10)          # open low end
+    assert NodeID(1).in_interval(1, 10, low_closed=True)
+    assert not NodeID(10).in_interval(1, 10)         # open high end
+    assert NodeID(10).in_interval(1, 10, high_closed=True)
+
+
+def test_interval_wraps_around_zero():
+    big = (1 << 32) - 5
+    assert NodeID(2).in_interval(big, 10)
+    assert NodeID(big + 1).in_interval(big, 10)
+    assert not NodeID(100).in_interval(big, 10)
+
+
+def test_degenerate_interval_is_whole_ring():
+    # Chord's convention: (a, a) spans the ring minus the endpoint.
+    assert NodeID(5).in_interval(9, 9)
+    assert not NodeID(9).in_interval(9, 9)
+    assert NodeID(9).in_interval(9, 9, high_closed=True)
+
+
+@given(ids, ids, ids)
+def test_interval_open_vs_closed_consistency(x, a, b):
+    """A closed interval always contains its open counterpart."""
+    n = NodeID(x)
+    if n.in_interval(a, b):
+        assert n.in_interval(a, b, low_closed=True, high_closed=True)
+
+
+@given(ids, ids, ids)
+def test_interval_endpoint_membership(x, a, b):
+    n = NodeID(x)
+    if x == a:
+        assert n.in_interval(a, b, low_closed=True)
+    if x == b:
+        assert n.in_interval(a, b, high_closed=True)
+
+
+@given(ids, ids, ids)
+def test_interval_partition_of_ring(x, a, b):
+    """Every non-endpoint ID is in exactly one of (a, b] and (b, a]
+    (for distinct endpoints; (a, a) is the whole ring by convention)."""
+    n = NodeID(x)
+    if x == a or x == b or a == b:
+        return
+    first = n.in_interval(a, b, high_closed=True)
+    second = n.in_interval(b, a, high_closed=True)
+    assert first != second
+
+
+@given(ids, ids)
+def test_subtract_then_add_roundtrip(x, y):
+    a = NodeID(x)
+    assert ((a - y) + y) == a
+
+
+@given(ids, ids)
+def test_distance_is_antisymmetric_modularly(x, y):
+    a, b = NodeID(x), NodeID(y)
+    if x != y:
+        assert (a - b).value + (b - a).value == 1 << 32
+    else:
+        assert (a - b).value == 0
+
+
+def test_infinity_compares_above_everything():
+    assert INFINITY > 10**18
+    assert not INFINITY < 10**18
+    assert INFINITY >= INFINITY
+
+
+def test_infinity_is_singleton():
+    from repro.overlog.types import _Infinity
+
+    assert _Infinity() is INFINITY
+
+
+def test_format_value():
+    assert format_value("x") == '"x"'
+    assert format_value(True) == "true"
+    assert format_value((1, 2)) == "[1, 2]"
+    assert format_value(NodeID(3)) == "3"

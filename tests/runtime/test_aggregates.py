@@ -1,0 +1,44 @@
+import pytest
+
+from repro.errors import EvaluationError
+from repro.overlog.types import NodeID
+from repro.runtime.aggregates import apply_aggregate
+
+
+def test_count():
+    assert apply_aggregate("count", [1, 1, 2]) == 3
+    assert apply_aggregate("count", []) == 0
+
+
+def test_min_max():
+    assert apply_aggregate("min", [3, 1, 2]) == 1
+    assert apply_aggregate("max", [3, 1, 2]) == 3
+
+
+def test_min_max_over_node_ids():
+    values = [NodeID(5), NodeID(2), NodeID(9)]
+    assert apply_aggregate("min", values) == NodeID(2)
+    assert apply_aggregate("max", values) == NodeID(9)
+
+
+def test_sum_and_avg():
+    assert apply_aggregate("sum", [1, 2, 3]) == 6
+    assert apply_aggregate("avg", [1, 2, 3]) == 2.0
+
+
+def test_empty_group_semantics():
+    # Only count has a value over nothing (the paper's sr8 needs 0).
+    assert apply_aggregate("min", []) is None
+    assert apply_aggregate("max", []) is None
+    assert apply_aggregate("sum", []) is None
+    assert apply_aggregate("avg", []) is None
+
+
+def test_unknown_aggregate_raises():
+    with pytest.raises(EvaluationError):
+        apply_aggregate("median", [1])
+
+
+def test_incomparable_values_raise():
+    with pytest.raises(EvaluationError):
+        apply_aggregate("sum", [1, "x"])

@@ -1,0 +1,96 @@
+import random
+
+import pytest
+
+from repro.overlog import ast
+from repro.overlog.builtins import EvalContext
+from repro.overlog.parser import parse
+from repro.runtime.elements import (
+    AssignElement,
+    JoinElement,
+    MatchElement,
+    ProjectElement,
+    SelectElement,
+)
+from repro.runtime.table import Table
+from repro.runtime.tuples import Tuple
+
+
+@pytest.fixture
+def ctx():
+    return EvalContext(lambda: 1.0, random.Random(0))
+
+
+def functor(src):
+    rule = parse(f"h@N() :- {src}.").rules[0]
+    return rule.body_functors()[0]
+
+
+def body_term(src):
+    return parse(f"h@N() :- e@N(X), {src}.").rules[0].body[1]
+
+
+def test_match_element_binds(ctx):
+    match = MatchElement(functor("e@N(A, B)"))
+    out = match.match(Tuple("e", ("n", 1, 2)))
+    assert out == {"N": "n", "A": 1, "B": 2}
+    assert match.invocations == 1
+
+
+def test_match_element_name_mismatch(ctx):
+    match = MatchElement(functor("e@N(A)"))
+    assert match.match(Tuple("other", ("n", 1))) is None
+
+
+def test_match_element_activation_only(ctx):
+    match = MatchElement(functor("t@N(A, B)"), bind_args=False)
+    out = match.match(Tuple("t", ("n", 1, 2)))
+    assert out == {"N": "n"}
+
+
+def test_join_element_scans_table(ctx):
+    table = Table("t", 100, 10, [1, 2], lambda: 0.0)
+    table.insert(Tuple("t", ("n", "a")))
+    table.insert(Tuple("t", ("n", "b")))
+    table.insert(Tuple("t", ("m", "c")))  # different location
+    join = JoinElement(functor("t@N(V)"), table, stage=1)
+    matches = list(join.matches({"N": "n"}))
+    assert {b["V"] for _, b in matches} == {"a", "b"}
+    assert join.probes == 3  # scanned every row
+
+
+def test_select_element(ctx):
+    select = SelectElement(body_term("X > 3"))
+    assert select.accepts({"X": 5}, ctx)
+    assert not select.accepts({"X": 2}, ctx)
+
+
+def test_assign_element_binds(ctx):
+    assign = AssignElement(body_term("Y := X * 2"))
+    assert assign.apply({"X": 4}, ctx)["Y"] == 8
+
+
+def test_assign_element_as_filter_when_bound(ctx):
+    assign = AssignElement(body_term("Y := X * 2"))
+    assert assign.apply({"X": 4, "Y": 8}, ctx) is not None
+    assert assign.apply({"X": 4, "Y": 9}, ctx) is None
+
+
+def test_project_element(ctx):
+    head = parse("out@N(X, X + 1) :- e@N(X).").rules[0].head
+    project = ProjectElement(head, delete=False)
+    tup = project.project({"N": "n", "X": 1}, ctx)
+    assert tup == Tuple("out", ("n", 1, 2))
+
+
+def test_project_delete_pattern_wildcards(ctx):
+    rule = parse("delete t@N(K, V) :- e@N(K).").rules[0]
+    project = ProjectElement(rule.head, delete=True)
+    location, pattern = project.delete_pattern({"N": "n", "K": "k"}, ctx)
+    assert location == "n"
+    assert pattern == ("n", "k", None)
+
+
+def test_element_description(ctx):
+    match = MatchElement(functor("e@N(A)"))
+    assert match.describe() == "match:e"

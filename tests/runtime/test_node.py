@@ -1,0 +1,239 @@
+"""Node-level behaviour: installation, routing, delta triggering,
+periodic strands, deletes, subscriptions, lifecycle."""
+
+import pytest
+
+from repro.errors import PlannerError, RuntimeStateError
+from repro.runtime.node import P2Node
+
+
+def test_install_materializes_tables(make_node):
+    node = make_node("a:1")
+    node.install_source("materialize(t, 10, 10, keys(1)).")
+    assert node.store.has("t")
+
+
+def test_event_rule_fires_on_injection(make_node):
+    node = make_node("a:1")
+    node.install_source("r out@N(X) :- evt@N(X).")
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 42))
+    assert [t.values[1] for t in got] == [42]
+
+
+def test_table_insert_triggers_delta_rule(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 10, 10, keys(1,2)).
+        r out@N(X) :- t@N(X).
+        """
+    )
+    got = node.collect("out")
+    node.inject("t", ("a:1", 7))
+    assert len(got) == 1
+
+
+def test_duplicate_insert_does_not_retrigger(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 10, 10, keys(1,2)).
+        r out@N(X) :- t@N(X).
+        """
+    )
+    got = node.collect("out")
+    node.inject("t", ("a:1", 7))
+    node.inject("t", ("a:1", 7))
+    assert len(got) == 1
+
+
+def test_remote_head_routes_over_network(sim, make_node):
+    a = make_node("a:1")
+    b = make_node("b:1")
+    program = 'r out@Dst(X) :- evt@N(Dst, X).'
+    a.install_source(program)
+    b.install_source(program)
+    got = b.collect("out")
+    a.inject("evt", ("a:1", "b:1", 9))
+    sim.run_for(1.0)
+    assert [t.values[1] for t in got] == [9]
+
+
+def test_join_against_table(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(prec, 10, 10, keys(1,2)).
+        r1 head@Z(Y) :- event@N(Y), prec@N(Z).
+        """
+    )
+    got = node.collect("head")
+    node.inject("prec", ("a:1", "a:1"))
+    node.inject("event", ("a:1", "y"))
+    assert len(got) == 1
+
+
+def test_multi_way_join_produces_cartesian_matches(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(p1, 10, 10, keys(1,2)).
+        materialize(p2, 10, 10, keys(1,2)).
+        r h@N(A, B) :- e@N(), p1@N(A), p2@N(B).
+        """
+    )
+    got = node.collect("h")
+    for x in ("x1", "x2"):
+        node.inject("p1", ("a:1", x))
+    for y in ("y1", "y2", "y3"):
+        node.inject("p2", ("a:1", y))
+    node.inject("e", ("a:1",))
+    assert len(got) == 6
+
+
+def test_condition_filters(make_node):
+    node = make_node("a:1")
+    node.install_source("r out@N(X) :- evt@N(X), X > 5.")
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 3))
+    node.inject("evt", ("a:1", 7))
+    assert [t.values[1] for t in got] == [7]
+
+
+def test_assignment_computes(make_node):
+    node = make_node("a:1")
+    node.install_source("r out@N(Y) :- evt@N(X), Y := X * 2 + 1.")
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 10))
+    assert got[0].values[1] == 21
+
+
+def test_delete_rule_with_wildcards(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 100, 10, keys(1,2)).
+        d delete t@N(K, V) :- clear@N(K).
+        """
+    )
+    node.inject("t", ("a:1", "x", 1))
+    node.inject("t", ("a:1", "y", 2))
+    node.inject("clear", ("a:1", "x"))
+    remaining = node.query("t")
+    assert len(remaining) == 1
+    assert remaining[0].values[1] == "y"
+
+
+def test_remote_delete(sim, make_node):
+    a = make_node("a:1")
+    b = make_node("b:1")
+    source = """
+    materialize(t, 100, 10, keys(1,2)).
+    d delete t@Dst(K, V) :- clear@N(Dst, K).
+    """
+    a.install_source(source)
+    b.install_source(source)
+    b.inject("t", ("b:1", "x", 1))
+    a.inject("clear", ("a:1", "b:1", "x"))
+    sim.run_for(1.0)
+    assert b.query("t") == []
+
+
+def test_periodic_strand_fires(sim, make_node):
+    node = make_node("a:1")
+    node.install_source("r tick@N(E) :- periodic@N(E, 1).")
+    got = node.collect("tick")
+    sim.run_for(5.5)
+    assert 4 <= len(got) <= 6  # random initial phase
+
+
+def test_periodic_nonces_differ(sim, make_node):
+    node = make_node("a:1")
+    node.install_source("r tick@N(E) :- periodic@N(E, 1).")
+    got = node.collect("tick")
+    sim.run_for(4.0)
+    nonces = [t.values[1] for t in got]
+    assert len(set(nonces)) == len(nonces)
+
+
+def test_rule_with_two_events_rejected(make_node):
+    node = make_node("a:1")
+    with pytest.raises(PlannerError):
+        node.install_source("r out@N(X) :- e1@N(X), e2@N(X).")
+
+
+def test_recursion_terminates_via_dedup(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(reach, 100, 100, keys(1,2)).
+        materialize(edge, 100, 100, keys(1,2,3)).
+        r1 reach@N(B) :- edge@N(A, B), reach@N(A).
+        """
+    )
+    for a, b in [("x", "y"), ("y", "z"), ("z", "x")]:  # a cycle
+        node.inject("edge", ("a:1", a, b))
+    node.inject("reach", ("a:1", "x"))
+    reached = {t.values[1] for t in node.query("reach")}
+    assert reached == {"x", "y", "z"}
+
+
+def test_stopped_node_rejects_work(make_node):
+    node = make_node("a:1")
+    node.stop()
+    with pytest.raises(RuntimeStateError):
+        node.inject("evt", ("a:1",))
+    with pytest.raises(RuntimeStateError):
+        node.install_source("r out@N(X) :- evt@N(X).")
+
+
+def test_stop_detaches_from_network(sim, network, make_node):
+    node = make_node("a:1")
+    node.stop()
+    assert not network.is_attached("a:1")
+
+
+def test_messages_to_stopped_node_drop(sim, network, make_node):
+    a = make_node("a:1")
+    b = make_node("b:1")
+    b.install_source("r out@N(X) :- evt@N(X).")
+    got = b.collect("out")
+    b.stop()
+    a.install_source("r evt@Dst(X) :- go@N(Dst, X).")
+    a.inject("go", ("a:1", "b:1", 5))
+    sim.run_for(1.0)
+    assert got == []
+
+
+def test_work_accounting_accumulates(make_node):
+    node = make_node("a:1")
+    node.install_source("r out@N(X) :- evt@N(X).")
+    before = node.work.busy_seconds
+    node.inject("evt", ("a:1", 1))
+    assert node.work.busy_seconds > before
+    assert node.rule_executions >= 1
+
+
+def test_query_on_unmaterialized_returns_empty(make_node):
+    assert make_node("a:1").query("nothing") == []
+
+
+def test_head_expression_evaluation(make_node):
+    node = make_node("a:1")
+    node.install_source('r out@N(A + B, "lit") :- evt@N(A, B).')
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 2, 3))
+    assert got[0].values[1:] == (5, "lit")
+
+
+def test_symbolic_binding_parameterizes_program(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        "r out@N(X) :- evt@N(X), X > thresh.",
+        bindings={"thresh": 10},
+    )
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 5))
+    node.inject("evt", ("a:1", 15))
+    assert [t.values[1] for t in got] == [15]

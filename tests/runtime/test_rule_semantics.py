@@ -1,0 +1,143 @@
+"""Additional rule-semantics coverage: aggregates through full rules,
+multi-hop locations, periodic variants, table interplay."""
+
+import pytest
+
+
+def test_sum_and_avg_aggregates_through_rules(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(sales, 100, 50, keys(1,2)).
+        s total@N(sum<V>) :- tally@N(), sales@N(K, V).
+        a mean@N(avg<V>) :- tally@N(), sales@N(K, V).
+        """
+    )
+    totals = node.collect("total")
+    means = node.collect("mean")
+    for key, value in [("a", 10), ("b", 20), ("c", 60)]:
+        node.inject("sales", ("a:1", key, value))
+    node.inject("tally", ("a:1",))
+    assert totals[0].values[1] == 90
+    assert means[0].values[1] == pytest.approx(30.0)
+
+
+def test_min_aggregate_with_node_ids(make_node):
+    from repro.overlog.types import NodeID
+
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(ids, 100, 50, keys(1,2)).
+        m lowest@N(min<I>) :- check@N(), ids@N(I).
+        """
+    )
+    got = node.collect("lowest")
+    for raw in (500, 100, 900):
+        node.inject("ids", ("a:1", NodeID(raw)))
+    node.inject("check", ("a:1",))
+    assert got[0].values[1] == NodeID(100)
+
+
+def test_three_hop_relay(sim, make_node):
+    """A tuple relayed a->b->c by location-specifier routing alone."""
+    a, b, c = make_node("a:1"), make_node("b:1"), make_node("c:1")
+    source = """
+    materialize(nextHop, 100, 5, keys(1)).
+    r1 relay@Nxt(X) :- msg@N(X), nextHop@N(Nxt).
+    r2 msg@N(X) :- relay@N(X).
+    """
+    for node in (a, b, c):
+        node.install_source(source)
+    a.inject("nextHop", ("a:1", "b:1"))
+    b.inject("nextHop", ("b:1", "c:1"))
+    arrived = c.collect("msg")
+    a.inject("msg", ("a:1", "payload"))
+    sim.run_for(1.0)
+    assert [t.values[1] for t in arrived] == ["payload"]
+    # ...and c, having no nextHop, stops the relay (no infinite loop).
+    assert sim.pending_events < 100
+
+
+def test_periodic_with_fractional_period(sim, make_node):
+    node = make_node("a:1")
+    node.install_source("r tick@N(E) :- periodic@N(E, 0.25).")
+    got = node.collect("tick")
+    sim.run_for(3.0)
+    assert 9 <= len(got) <= 13
+
+
+def test_two_programs_share_one_table(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(shared, 100, 10, keys(1,2)).
+        w1 writer@N(X) :- put@N(X).
+        w2 shared@N(X) :- put@N(X).
+        """,
+        name="writer",
+    )
+    node.install_source(
+        "r1 reader@N(X) :- shared@N(X).",
+        name="reader",
+    )
+    got = node.collect("reader")
+    node.inject("put", ("a:1", 5))
+    assert [t.values[1] for t in got] == [5]
+
+
+def test_event_with_string_constants_in_pattern(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        's onDone@N(I) :- state@N(I, "Done").'
+    )
+    got = node.collect("onDone")
+    node.inject("state", ("a:1", 7, "Snapping"))
+    node.inject("state", ("a:1", 7, "Done"))
+    assert [t.values[1] for t in got] == [7]
+
+
+def test_self_join_with_distinct_variables(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(edge, 100, 50, keys(1,2,3)).
+        tri twoHop@N(A, C) :- probe@N(), edge@N(A, B), edge@N(B, C).
+        """
+    )
+    got = node.collect("twoHop")
+    node.inject("edge", ("a:1", "x", "y"))
+    node.inject("edge", ("a:1", "y", "z"))
+    node.inject("probe", ("a:1",))
+    pairs = {(t.values[1], t.values[2]) for t in got}
+    assert ("x", "z") in pairs
+
+
+def test_delete_then_reinsert_retriggers(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 100, 10, keys(1,2)).
+        d delete t@N(K) :- drop@N(K).
+        w saw@N(K) :- t@N(K).
+        """
+    )
+    got = node.collect("saw")
+    node.inject("t", ("a:1", "k"))
+    node.inject("drop", ("a:1", "k"))
+    node.inject("t", ("a:1", "k"))  # NEW again after deletion
+    assert len(got) == 2
+
+
+def test_range_condition_in_rule(make_node):
+    from repro.overlog.types import NodeID
+
+    node = make_node("a:1")
+    node.install_source(
+        "r inRange@N(K) :- probe@N(K, Lo, Hi), K in (Lo, Hi]."
+    )
+    got = node.collect("inRange")
+    node.inject("probe", ("a:1", NodeID(5), NodeID(1), NodeID(5)))
+    node.inject("probe", ("a:1", NodeID(1), NodeID(1), NodeID(5)))
+    assert len(got) == 1
+    assert got[0].values[1] == NodeID(5)

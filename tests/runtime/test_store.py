@@ -1,0 +1,68 @@
+import pytest
+
+from repro.errors import UnknownTableError, ValidationError
+from repro.overlog.ast import Materialize
+from repro.runtime.store import TableStore
+from repro.runtime.tuples import Tuple
+
+
+@pytest.fixture
+def store():
+    return TableStore(lambda: 0.0)
+
+
+def test_materialize_and_get(store):
+    store.materialize(Materialize("t", 10, 10, [1]))
+    assert store.has("t")
+    assert store.get("t").name == "t"
+
+
+def test_unknown_table_raises(store):
+    with pytest.raises(UnknownTableError):
+        store.get("nope")
+    assert not store.has("nope")
+
+
+def test_identical_rematerialization_is_noop(store):
+    first = store.materialize(Materialize("t", 10, 10, [1]))
+    second = store.materialize(Materialize("t", 10, 10, [1]))
+    assert first is second
+
+
+def test_conflicting_rematerialization_rejected(store):
+    store.materialize(Materialize("t", 10, 10, [1]))
+    with pytest.raises(ValidationError):
+        store.materialize(Materialize("t", 20, 10, [1]))
+
+
+def test_live_tuples_across_tables(store):
+    store.materialize(Materialize("a", 10, 10, [1]))
+    store.materialize(Materialize("b", 10, 10, [1]))
+    store.get("a").insert(Tuple("a", ("x",)))
+    store.get("b").insert(Tuple("b", ("y",)))
+    store.get("b").insert(Tuple("b", ("z",)))
+    assert store.live_tuples() == 3
+    assert store.estimated_bytes() > 0
+
+
+def test_names_sorted(store):
+    store.materialize(Materialize("b", 10, 10, [1]))
+    store.materialize(Materialize("a", 10, 10, [1]))
+    assert store.names() == ["a", "b"]
+
+
+def test_on_create_hook(store):
+    created = []
+    store.on_create.append(lambda t: created.append(t.name))
+    store.materialize(Materialize("t", 10, 10, [1]))
+    store.materialize(Materialize("t", 10, 10, [1]))  # no-op, no re-fire
+    assert created == ["t"]
+
+
+def test_sweep_reports_expired():
+    clock = {"t": 0.0}
+    store = TableStore(lambda: clock["t"])
+    store.materialize(Materialize("t", 5.0, 10, [1]))
+    store.get("t").insert(Tuple("t", ("x",)))
+    clock["t"] = 6.0
+    assert store.sweep() == 1

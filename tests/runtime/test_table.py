@@ -1,0 +1,266 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.overlog.types import INFINITY
+from repro.runtime.table import InsertOutcome, RemoveReason, Table
+from repro.runtime.tuples import Tuple
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, lifetime=10.0, size=5, keys=(1, 2), name="t"):
+    return Table(name, lifetime, size, list(keys), clock)
+
+
+def row(*values, name="t"):
+    return Tuple(name, values)
+
+
+def test_insert_new(clock):
+    table = make(clock)
+    assert table.insert(row("n", "a", 1)) is InsertOutcome.NEW
+    assert len(table) == 1
+
+
+def test_insert_identical_refreshes(clock):
+    table = make(clock)
+    table.insert(row("n", "a", 1))
+    assert table.insert(row("n", "a", 1)) is InsertOutcome.REFRESHED
+    assert len(table) == 1
+
+
+def test_insert_same_key_replaces(clock):
+    table = make(clock, keys=(1, 2))
+    table.insert(row("n", "a", 1))
+    assert table.insert(row("n", "a", 2)) is InsertOutcome.REPLACED
+    assert list(table.scan())[0].values[2] == 2
+
+
+def test_primary_key_respects_declared_positions(clock):
+    table = make(clock, keys=(2,))
+    table.insert(row("n", "a", 1))
+    table.insert(row("n", "b", 1))
+    assert len(table) == 2
+
+
+def test_ttl_expiry(clock):
+    table = make(clock, lifetime=10.0)
+    table.insert(row("n", "a", 1))
+    clock.t = 9.9
+    assert len(table) == 1
+    clock.t = 10.1
+    assert len(table) == 0
+
+
+def test_refresh_extends_ttl(clock):
+    table = make(clock, lifetime=10.0)
+    table.insert(row("n", "a", 1))
+    clock.t = 8.0
+    table.insert(row("n", "a", 1))  # refresh
+    clock.t = 15.0
+    assert len(table) == 1
+    clock.t = 18.1
+    assert len(table) == 0
+
+
+def test_infinite_lifetime_never_expires(clock):
+    table = make(clock, lifetime=INFINITY)
+    table.insert(row("n", "a", 1))
+    clock.t = 1e9
+    assert len(table) == 1
+
+
+def test_size_bound_evicts_least_recently_inserted(clock):
+    table = make(clock, size=2)
+    table.insert(row("n", "a", 1))
+    clock.t = 1.0
+    table.insert(row("n", "b", 1))
+    clock.t = 2.0
+    table.insert(row("n", "c", 1))
+    keys = {t.values[1] for t in table.scan()}
+    assert keys == {"b", "c"}
+
+
+def test_refresh_protects_from_eviction(clock):
+    table = make(clock, size=2)
+    table.insert(row("n", "a", 1))
+    clock.t = 1.0
+    table.insert(row("n", "b", 1))
+    clock.t = 2.0
+    table.insert(row("n", "a", 1))  # refresh a: now b is the oldest
+    clock.t = 3.0
+    table.insert(row("n", "c", 1))
+    keys = {t.values[1] for t in table.scan()}
+    assert keys == {"a", "c"}
+
+
+def test_delete_exact(clock):
+    table = make(clock)
+    t = row("n", "a", 1)
+    table.insert(t)
+    assert table.delete(t) is True
+    assert table.delete(t) is False
+    assert len(table) == 0
+
+
+def test_delete_matching_with_wildcards(clock):
+    table = make(clock, size=10)
+    table.insert(row("n", "a", 1))
+    table.insert(row("n", "b", 1))
+    table.insert(row("n", "c", 2))
+    removed = table.delete_matching(["n", None, 1])
+    assert removed == 2
+    assert len(table) == 1
+
+
+def test_delete_matching_arity_mismatch_matches_nothing(clock):
+    table = make(clock)
+    table.insert(row("n", "a", 1))
+    assert table.delete_matching(["n", "a"]) == 0
+
+
+def test_wrong_tuple_name_rejected(clock):
+    table = make(clock)
+    with pytest.raises(SchemaError):
+        table.insert(Tuple("other", ("n", "a", 1)))
+
+
+def test_short_tuple_rejected(clock):
+    table = make(clock, keys=(1, 3))
+    with pytest.raises(SchemaError):
+        table.insert(Tuple("t", ("n",)))
+
+
+def test_key_positions_validation(clock):
+    with pytest.raises(SchemaError):
+        Table("t", 10, 10, [], clock)
+    with pytest.raises(SchemaError):
+        Table("t", 10, 10, [0], clock)
+
+
+def test_observers_fire_in_order(clock):
+    table = make(clock, size=1)
+    events = []
+    table.on_insert.append(lambda t, o: events.append(("ins", t.values[1], o)))
+    table.on_remove.append(lambda t, r: events.append(("rm", t.values[1], r)))
+    table.insert(row("n", "a", 1))
+    table.insert(row("n", "b", 1))  # evicts a
+    assert events[0] == ("ins", "a", InsertOutcome.NEW)
+    assert ("rm", "a", RemoveReason.EVICTED) in events
+    assert events[-1] == ("ins", "b", InsertOutcome.NEW)
+
+
+def test_refresh_does_not_notify(clock):
+    table = make(clock)
+    events = []
+    table.on_insert.append(lambda t, o: events.append(o))
+    table.insert(row("n", "a", 1))
+    table.insert(row("n", "a", 1))
+    assert events == [InsertOutcome.NEW]
+
+
+def test_expiry_notifies_with_reason(clock):
+    table = make(clock, lifetime=5.0)
+    reasons = []
+    table.on_remove.append(lambda t, r: reasons.append(r))
+    table.insert(row("n", "a", 1))
+    clock.t = 6.0
+    table.sweep()
+    assert reasons == [RemoveReason.EXPIRED]
+
+
+def test_replace_notifies_remove_then_insert(clock):
+    table = make(clock)
+    events = []
+    table.on_insert.append(lambda t, o: events.append(("ins", o)))
+    table.on_remove.append(lambda t, r: events.append(("rm", r)))
+    table.insert(row("n", "a", 1))
+    table.insert(row("n", "a", 2))
+    assert events == [
+        ("ins", InsertOutcome.NEW),
+        ("rm", RemoveReason.REPLACED),
+        ("ins", InsertOutcome.REPLACED),
+    ]
+
+
+def test_lookup_key(clock):
+    table = make(clock)
+    table.insert(row("n", "a", 1))
+    assert table.lookup_key(("n", "a")).values[2] == 1
+    assert table.lookup_key(("n", "z")) is None
+
+
+def test_scan_snapshot_allows_mutation(clock):
+    table = make(clock, size=10)
+    for i in range(3):
+        table.insert(row("n", f"k{i}", i))
+    for t in table.scan():
+        table.delete(t)
+    assert len(table) == 0
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcdef"), st.integers(0, 5)),
+        max_size=40,
+    )
+)
+def test_size_bound_is_invariant(operations):
+    clock = FakeClock()
+    table = Table("t", INFINITY, 3, [2], clock)
+    for key, value in operations:
+        clock.t += 1.0
+        table.insert(Tuple("t", ("n", key, value)))
+        assert len(table) <= 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.floats(0.1, 5.0)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_ttl_never_serves_expired(inserts):
+    clock = FakeClock()
+    table = Table("t", 2.0, 100, [2], clock)
+    last_insert = {}
+    for key, gap in inserts:
+        clock.t += gap
+        table.insert(Tuple("t", ("n", key, 0)))
+        last_insert[key] = clock.t
+        for t in table.scan():
+            assert clock.t - last_insert[t.values[1]] < 2.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from("abcd"), max_size=30))
+def test_observer_balance(keys):
+    """inserts - removals == live rows, under any operation mix."""
+    clock = FakeClock()
+    table = Table("t", INFINITY, 2, [2], clock)
+    counters = {"ins": 0, "rm": 0}
+    table.on_insert.append(lambda t, o: counters.__setitem__("ins", counters["ins"] + 1))
+    table.on_remove.append(lambda t, r: counters.__setitem__("rm", counters["rm"] + 1))
+    for index, key in enumerate(keys):
+        clock.t += 1.0
+        table.insert(Tuple("t", ("n", key, index)))
+    assert counters["ins"] - counters["rm"] == len(table)

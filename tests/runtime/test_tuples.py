@@ -1,0 +1,40 @@
+import pytest
+
+from repro.overlog.types import NodeID
+from repro.runtime.tuples import Tuple
+
+
+def test_equality_by_content():
+    assert Tuple("a", (1, 2)) == Tuple("a", (1, 2))
+    assert Tuple("a", (1, 2)) != Tuple("a", (1, 3))
+    assert Tuple("a", (1,)) != Tuple("b", (1,))
+
+
+def test_hashable():
+    seen = {Tuple("a", (1,)), Tuple("a", (1,)), Tuple("b", (1,))}
+    assert len(seen) == 2
+
+
+def test_location_is_first_field():
+    assert Tuple("a", ("n1", 5)).location == "n1"
+
+
+def test_empty_tuple_location_raises():
+    with pytest.raises(IndexError):
+        Tuple("a", ()).location
+
+
+def test_repr_matches_overlog_convention():
+    t = Tuple("succ", ("n1", NodeID(5), "n2"))
+    assert repr(t) == 'succ@n1(5, "n2")'
+
+
+def test_estimated_size_grows_with_content():
+    small = Tuple("a", ("n1",))
+    big = Tuple("a", ("n1", "x" * 100, (1, 2, 3)))
+    assert big.estimated_size() > small.estimated_size()
+
+
+def test_values_are_immutable_tuple():
+    t = Tuple("a", [1, 2])
+    assert isinstance(t.values, tuple)

@@ -1,0 +1,84 @@
+"""On-line program removal (the complement of piecemeal deployment)."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+
+
+def test_uninstalled_rules_stop_firing(make_node):
+    node = make_node("a:1")
+    compiled = node.install_source("r out@N(X) :- evt@N(X).")
+    got = node.collect("out")
+    node.inject("evt", ("a:1", 1))
+    node.uninstall(compiled)
+    node.inject("evt", ("a:1", 2))
+    assert [t.values[1] for t in got] == [1]
+
+
+def test_uninstall_cancels_periodic_timers(sim, make_node):
+    node = make_node("a:1")
+    compiled = node.install_source("r tick@N(E) :- periodic@N(E, 1).")
+    got = node.collect("tick")
+    sim.run_for(3.5)
+    seen = len(got)
+    assert seen >= 2
+    node.uninstall(compiled)
+    sim.run_for(10.0)
+    assert len(got) == seen
+
+
+def test_uninstall_keeps_tables_and_other_programs(make_node):
+    node = make_node("a:1")
+    first = node.install_source(
+        """
+        materialize(t, 100, 10, keys(1,2)).
+        r1 out1@N(X) :- t@N(X).
+        """,
+        name="first",
+    )
+    node.install_source("r2 out2@N(X) :- t@N(X).", name="second")
+    node.inject("t", ("a:1", 1))
+    node.uninstall(first)
+    assert node.store.has("t")  # shared table survives
+    assert len(node.query("t")) == 1
+    got2 = node.collect("out2")
+    node.inject("t", ("a:1", 2))
+    assert len(got2) == 1  # the second program still fires
+
+
+def test_double_uninstall_rejected(make_node):
+    node = make_node("a:1")
+    compiled = node.install_source("r out@N(X) :- evt@N(X).")
+    node.uninstall(compiled)
+    with pytest.raises(RuntimeStateError):
+        node.uninstall(compiled)
+
+
+def test_monitor_handle_remove(make_node):
+    from repro.monitors.base import Monitor
+
+    node = make_node("a:1")
+    monitor = Monitor(
+        name="w", source="w alarm@N(X) :- bad@N(X).", alarm_events=["alarm"]
+    )
+    handle = monitor.install([node])
+    node.inject("bad", ("a:1", 1))
+    assert handle.count() == 1
+    handle.remove()
+    node.inject("bad", ("a:1", 2))
+    assert handle.count() == 1  # no new alarms, rules gone
+    assert not [s for s in node.strands if s.program_name == "w"]
+    handle.remove()  # idempotent
+
+
+def test_reinstall_after_remove(make_node):
+    from repro.monitors.base import Monitor
+
+    node = make_node("a:1")
+    monitor = Monitor(
+        name="w", source="w alarm@N(X) :- bad@N(X).", alarm_events=["alarm"]
+    )
+    monitor.install([node]).remove()
+    handle = monitor.install([node])
+    node.inject("bad", ("a:1", 1))
+    assert handle.count() == 1

@@ -1,0 +1,72 @@
+"""P2-style watch statements and watchpoints."""
+
+from repro.overlog.parser import parse
+
+
+def test_watch_statement_parses():
+    tree = parse("watch(lookupResults).\nr out@N(X) :- evt@N(X).")
+    assert [w.name for w in tree.watches] == ["lookupResults"]
+    assert len(tree.rules) == 1
+
+
+def test_watch_statement_roundtrips():
+    tree = parse("watch(foo).")
+    assert str(tree) == "watch(foo)."
+    assert parse(str(tree)).watches[0].name == "foo"
+
+
+def test_rule_with_watch_head_is_not_a_watch_statement():
+    tree = parse("watch(N, X) :- evt@N(X).")
+    assert tree.watches == []
+    assert tree.rules[0].head.name == "watch"
+
+
+def test_watch_records_deliveries(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        watch(out).
+        r out@N(X) :- evt@N(X).
+        """
+    )
+    node.inject("evt", ("a:1", 1))
+    node.inject("evt", ("a:1", 2))
+    watched = node.watched("out")
+    assert len(watched) == 2
+    when, tup = watched[0]
+    assert tup.values[1] == 1
+    assert when == 0.0
+
+
+def test_watch_records_table_inserts(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 100, 10, keys(1,2)).
+        watch(t).
+        """
+    )
+    node.inject("t", ("a:1", "x"))
+    assert len(node.watched("t")) == 1
+
+
+def test_watch_buffer_bounded(make_node):
+    node = make_node("a:1")
+    node.watch("evt", capacity=10)
+    for i in range(50):
+        node.inject("evt", ("a:1", i))
+    assert len(node.watched("evt")) == 10
+    assert node.watched("evt")[-1][1].values[1] == 49
+
+
+def test_duplicate_watch_reuses_buffer(make_node):
+    node = make_node("a:1")
+    first = node.watch("evt")
+    second = node.watch("evt")
+    assert first is second
+    node.inject("evt", ("a:1", 1))
+    assert len(node.watched("evt")) == 1
+
+
+def test_unwatched_name_returns_empty(make_node):
+    assert make_node("a:1").watched("nothing") == []

@@ -1,0 +1,46 @@
+from repro.runtime.work import DEFAULT_COSTS, WorkModel
+
+
+def test_charging_accumulates_busy_time():
+    work = WorkModel()
+    work.charge("match")
+    work.charge("join_probe", 10)
+    expected = DEFAULT_COSTS["match"] + 10 * DEFAULT_COSTS["join_probe"]
+    assert work.busy_seconds == expected
+
+
+def test_counters_track_operations():
+    work = WorkModel()
+    work.charge("send", 3)
+    work.charge("send")
+    assert work.counters.counts["send"] == 4
+    assert work.counters.total() == 4
+
+
+def test_unknown_op_has_default_cost():
+    work = WorkModel()
+    work.charge("exotic")
+    assert work.busy_seconds > 0
+
+
+def test_micro_offset_resets_per_turn():
+    work = WorkModel()
+    work.charge("match")
+    assert work.micro_offset > 0
+    work.reset_micro()
+    assert work.micro_offset == 0
+    # busy time survives the reset
+    assert work.busy_seconds > 0
+
+
+def test_utilization():
+    work = WorkModel()
+    work.charge("match", 1000)
+    assert work.utilization(10.0) == work.busy_seconds / 10.0
+    assert work.utilization(0.0) == 0.0
+
+
+def test_cost_overrides():
+    work = WorkModel(costs={"match": 1.0})
+    work.charge("match")
+    assert work.busy_seconds == 1.0

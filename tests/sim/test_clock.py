@@ -1,0 +1,34 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+def test_clock_starts_at_zero():
+    assert Clock().now == 0.0
+
+
+def test_clock_advances():
+    clock = Clock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_clock_advance_to_same_time_is_fine():
+    clock = Clock()
+    clock.advance_to(5.0)
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_clock_rejects_backwards_motion():
+    clock = Clock()
+    clock.advance_to(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.0)
+
+
+def test_clock_repr_mentions_time():
+    clock = Clock()
+    clock.advance_to(1.5)
+    assert "1.5" in repr(clock)

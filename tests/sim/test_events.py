@@ -1,0 +1,76 @@
+from repro.sim.events import EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("b"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(3.0, lambda: fired.append("c"))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    queue = EventQueue()
+    order = []
+    for i in range(10):
+        queue.push(1.0, lambda i=i: order.append(i))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("low"), priority=1)
+    queue.push(1.0, lambda: order.append("high"), priority=0)
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback()
+    assert order == ["high", "low"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    handle = queue.push(1.0, lambda: fired.append("x"))
+    queue.push(2.0, lambda: fired.append("y"))
+    handle.cancel()
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback()
+    assert fired == ["y"]
+
+
+def test_len_excludes_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    handle.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
