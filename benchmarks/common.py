@@ -75,6 +75,15 @@ def write_results(name: str, title: str, rows: Sequence[Row]) -> str:
     return text
 
 
+def write_text(name: str, text: str) -> str:
+    """Persist a free-form result block under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text.rstrip("\n") + "\n")
+    print("\n" + text)
+    return text
+
+
 def measure_window(
     system,
     addresses: Optional[List[str]],

@@ -46,10 +46,21 @@ class MetricsSample:
     churn_bytes: int = 0
     per_node_cpu: Dict[str, float] = field(default_factory=dict)
     per_node_tx: Dict[str, int] = field(default_factory=dict)
+    # Work-model operation counts accumulated during the window, summed
+    # over the measured node set (e.g. ``ops["join_probe"]`` = rows
+    # examined by scanning joins, ``ops["join_indexed"]`` = rows examined
+    # through hash-index buckets — the benchmarks compare the two to
+    # quantify the index win).
+    ops: Dict[str, int] = field(default_factory=dict)
 
     @property
     def memory_mb(self) -> float:
         return self.memory_bytes / (1024.0 * 1024.0)
+
+    @property
+    def join_rows_examined(self) -> int:
+        """Rows examined by all join probes (scanned + indexed)."""
+        return self.ops.get("join_probe", 0) + self.ops.get("join_indexed", 0)
 
 
 class Meter:
@@ -70,6 +81,7 @@ class Meter:
         self._busy0: Dict[str, float] = {}
         self._tx0: Dict[str, int] = {}
         self._churn0: Dict[str, int] = {}
+        self._ops0: Dict[str, Dict[str, int]] = {}
         self._tuple_samples: List[float] = []
         self._byte_samples: List[float] = []
 
@@ -92,6 +104,7 @@ class Meter:
             self._busy0[address] = node.work.busy_seconds
             self._tx0[address] = stats.per_node_sent.get(address, 0)
             self._churn0[address] = node.bytes_delivered
+            self._ops0[address] = dict(node.work.counters.counts)
         self._sample()
         self._timer = self._system.sim.every(
             self._sample_period, self._sample
@@ -131,6 +144,14 @@ class Meter:
             - self._churn0[address]
             for address in self._targets()
         )
+        ops: Dict[str, int] = {}
+        for address in self._targets():
+            counts = self._system.node(address).work.counters.counts
+            baseline = self._ops0.get(address, {})
+            for op, count in counts.items():
+                delta = count - baseline.get(op, 0)
+                if delta:
+                    ops[op] = ops.get(op, 0) + delta
         n = max(len(per_node_cpu), 1)
         return MetricsSample(
             elapsed=elapsed,
@@ -141,4 +162,5 @@ class Meter:
             churn_bytes=churn,
             per_node_cpu=per_node_cpu,
             per_node_tx=per_node_tx,
+            ops=ops,
         )

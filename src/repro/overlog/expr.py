@@ -30,6 +30,93 @@ from repro.overlog.types import NodeID
 Bindings = Dict[str, Any]
 
 
+def compile_expr(expr: ast.Expr):
+    """Compile ``expr`` into a ``fn(bindings, ctx) -> value`` closure.
+
+    Semantics are identical to :func:`evaluate`; the per-node AST
+    dispatch (isinstance chains, operator string comparisons) happens
+    once here instead of on every evaluation, so elements that evaluate
+    the same expression millions of times compile it at construction.
+    Ill-formed nodes compile to closures that raise when *called*, not
+    here, preserving evaluate's lazy error behaviour (aggregate heads
+    are compiled but never invoked through this path).
+    """
+    if isinstance(expr, ast.Const):
+        value = expr.value
+        return lambda bindings, ctx: value
+    if isinstance(expr, ast.Var):
+        name = expr.name
+
+        def load(bindings, ctx):
+            try:
+                return bindings[name]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound variable {name}"
+                ) from None
+
+        return load
+    if isinstance(expr, ast.SymbolicConst):
+        name = expr.name
+        return lambda bindings, ctx: name
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand)
+        if expr.op == "-":
+            return lambda b, c: _negate(operand(b, c))
+        if expr.op == "!":
+            return lambda b, c: not _truthy(operand(b, c))
+        return _raiser(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.BinOp):
+        op = expr.op
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        if op == "&&":
+            return lambda b, c: (
+                _truthy(right(b, c)) if _truthy(left(b, c)) else False
+            )
+        if op == "||":
+            return lambda b, c: (
+                True if _truthy(left(b, c)) else _truthy(right(b, c))
+            )
+        if op == "==":
+            return lambda b, c: values_equal(left(b, c), right(b, c))
+        if op == "!=":
+            return lambda b, c: not values_equal(left(b, c), right(b, c))
+        if op in ("<", "<=", ">", ">="):
+            return lambda b, c: _compare(op, left(b, c), right(b, c))
+        if op in ("+", "-", "*", "/", "%"):
+            return lambda b, c: _arith(op, left(b, c), right(b, c))
+        return _raiser(f"unknown binary operator {op!r}")
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name
+        arg_fns = tuple(compile_expr(a) for a in expr.args)
+        return lambda b, c: call_builtin(
+            name, c, [fn(b, c) for fn in arg_fns]
+        )
+    if isinstance(expr, ast.ListExpr):
+        item_fns = tuple(compile_expr(item) for item in expr.items)
+        return lambda b, c: tuple(fn(b, c) for fn in item_fns)
+    if isinstance(expr, ast.RangeCheck):
+        subject = compile_expr(expr.subject)
+        low = compile_expr(expr.low)
+        high = compile_expr(expr.high)
+        low_closed = expr.low_closed
+        high_closed = expr.high_closed
+        return lambda b, c: _interval(
+            subject(b, c), low(b, c), high(b, c), low_closed, high_closed
+        )
+    if isinstance(expr, ast.Aggregate):
+        return _raiser("aggregates are only legal in rule heads")
+    return _raiser(f"cannot evaluate expression node {expr!r}")
+
+
+def _raiser(message: str):
+    def fail(bindings, ctx):
+        raise EvaluationError(message)
+
+    return fail
+
+
 def evaluate(expr: ast.Expr, bindings: Bindings, ctx: EvalContext) -> Any:
     """Evaluate ``expr`` under ``bindings``; raises on unbound variables."""
     if isinstance(expr, ast.Const):
@@ -61,14 +148,18 @@ def evaluate(expr: ast.Expr, bindings: Bindings, ctx: EvalContext) -> Any:
 def _unary(expr: ast.UnaryOp, bindings: Bindings, ctx: EvalContext) -> Any:
     value = evaluate(expr.operand, bindings, ctx)
     if expr.op == "-":
-        if isinstance(value, NodeID):
-            return NodeID(-value.value, value.bits)
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
-            return -value
-        raise EvaluationError(f"cannot negate {value!r}")
+        return _negate(value)
     if expr.op == "!":
         return not _truthy(value)
     raise EvaluationError(f"unknown unary operator {expr.op!r}")
+
+
+def _negate(value: Any) -> Any:
+    if isinstance(value, NodeID):
+        return NodeID(-value.value, value.bits)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return -value
+    raise EvaluationError(f"cannot negate {value!r}")
 
 
 def _binary(expr: ast.BinOp, bindings: Bindings, ctx: EvalContext) -> Any:
@@ -174,21 +265,29 @@ def _as_tuple(value: Any):
 def _range_check(
     expr: ast.RangeCheck, bindings: Bindings, ctx: EvalContext
 ) -> bool:
-    subject = evaluate(expr.subject, bindings, ctx)
-    low = evaluate(expr.low, bindings, ctx)
-    high = evaluate(expr.high, bindings, ctx)
+    return _interval(
+        evaluate(expr.subject, bindings, ctx),
+        evaluate(expr.low, bindings, ctx),
+        evaluate(expr.high, bindings, ctx),
+        expr.low_closed,
+        expr.high_closed,
+    )
 
+
+def _interval(
+    subject: Any, low: Any, high: Any, low_closed: bool, high_closed: bool
+) -> bool:
     if isinstance(subject, NodeID):
-        return subject.in_interval(low, high, expr.low_closed, expr.high_closed)
+        return subject.in_interval(low, high, low_closed, high_closed)
     if isinstance(low, NodeID) or isinstance(high, NodeID):
         bits = low.bits if isinstance(low, NodeID) else high.bits
         return NodeID(int(subject), bits).in_interval(
-            low, high, expr.low_closed, expr.high_closed
+            low, high, low_closed, high_closed
         )
 
     # Plain linear interval for non-ring values.
-    above = subject >= low if expr.low_closed else subject > low
-    below = subject <= high if expr.high_closed else subject < high
+    above = subject >= low if low_closed else subject > low
+    below = subject <= high if high_closed else subject < high
     return bool(above and below)
 
 

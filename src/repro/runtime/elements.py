@@ -25,9 +25,9 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple as PyTuple
 from repro.errors import EvaluationError, PlannerError
 from repro.overlog import ast
 from repro.overlog.builtins import EvalContext
-from repro.overlog.expr import evaluate, _truthy
-from repro.overlog.match import match_args
-from repro.runtime.table import Table
+from repro.overlog.expr import compile_expr, values_equal, _truthy
+from repro.overlog.match import compile_pattern, match_compiled
+from repro.runtime.table import Table, TableIndex
 from repro.runtime.tuples import Tuple
 
 Bindings = Dict[str, Any]
@@ -65,16 +65,18 @@ class MatchElement(Element):
         super().__init__(pattern.name)
         self.pattern = pattern
         self.bind_args = bind_args
+        self._steps = compile_pattern(pattern.args)
+        self._loc_steps = self._steps[:1]
 
     def match(self, tup: Tuple) -> Optional[Bindings]:
         self.invocations += 1
         if tup.name != self.pattern.name:
             return None
         if self.bind_args:
-            return match_args(self.pattern.args, tup.values, {})
+            return match_compiled(self._steps, tup.values, {})
         if not tup.values:
             return None
-        return match_args(self.pattern.args[:1], tup.values[:1], {})
+        return match_compiled(self._loc_steps, tup.values[:1], {})
 
 
 class JoinElement(Element):
@@ -82,25 +84,62 @@ class JoinElement(Element):
 
     ``stage`` is the 1-based pipeline stage index used by the execution
     tracer to attribute precondition observations (§2.1.2).
+
+    When the planner determined that some pattern columns are already
+    bound at this pipeline stage, it passes the matching
+    :class:`~repro.runtime.table.TableIndex` plus ``key_sources`` — one
+    ``(var_name, const_value)`` pair per indexed column, aligned with
+    ``index.positions`` — and the probe narrows to the index bucket
+    instead of scanning the whole table.  Candidates still pass through
+    ``match_args``, so the index only prunes; it never admits a row the
+    scan path would reject.
+
+    ``probes`` counts every row *examined* (bucket or scan) and is the
+    single authoritative probe counter: the strand derives its
+    ``join_probe`` / ``join_indexed`` work charges from its per-firing
+    delta rather than keeping a second tally.
     """
 
     kind = "join"
 
-    def __init__(self, pattern: ast.Functor, table: Table, stage: int) -> None:
+    def __init__(
+        self,
+        pattern: ast.Functor,
+        table: Table,
+        stage: int,
+        index: Optional[TableIndex] = None,
+        key_sources: Optional[List[PyTuple]] = None,
+    ) -> None:
         super().__init__(f"{pattern.name}[{stage}]")
         self.pattern = pattern
         self.table = table
         self.stage = stage
+        self.index = index
+        self.key_sources = tuple(key_sources or ())
         self.probes = 0
+        self._steps = compile_pattern(pattern.args)
+
+    @property
+    def uses_index(self) -> bool:
+        return self.index is not None
 
     def matches(
         self, bindings: Bindings
     ) -> Iterator[PyTuple]:
         """Yield (table_tuple, extended_bindings) for every match."""
         self.invocations += 1
-        for tup in self.table.scan():
+        if self.index is not None:
+            key = tuple(
+                bindings[var] if var is not None else const
+                for var, const in self.key_sources
+            )
+            candidates = self.table.probe_index(self.index, key)
+        else:
+            candidates = self.table.scan()
+        steps = self._steps
+        for tup in candidates:
             self.probes += 1
-            extended = match_args(self.pattern.args, tup.values, bindings)
+            extended = match_compiled(steps, tup.values, bindings)
             if extended is not None:
                 yield tup, extended
 
@@ -113,10 +152,11 @@ class SelectElement(Element):
     def __init__(self, cond: ast.Cond) -> None:
         super().__init__(str(cond.expr))
         self.cond = cond
+        self._eval = compile_expr(cond.expr)
 
     def accepts(self, bindings: Bindings, ctx: EvalContext) -> bool:
         self.invocations += 1
-        return _truthy(evaluate(self.cond.expr, bindings, ctx))
+        return _truthy(self._eval(bindings, ctx))
 
 
 class AssignElement(Element):
@@ -131,16 +171,15 @@ class AssignElement(Element):
     def __init__(self, assign: ast.Assign) -> None:
         super().__init__(f"{assign.var}:={assign.expr}")
         self.assign = assign
+        self._eval = compile_expr(assign.expr)
 
     def apply(
         self, bindings: Bindings, ctx: EvalContext
     ) -> Optional[Bindings]:
         self.invocations += 1
-        value = evaluate(self.assign.expr, bindings, ctx)
+        value = self._eval(bindings, ctx)
         var = self.assign.var
         if var in bindings:
-            from repro.overlog.expr import values_equal
-
             return bindings if values_equal(bindings[var], value) else None
         out = dict(bindings)
         out[var] = value
@@ -160,12 +199,11 @@ class ProjectElement(Element):
         super().__init__(head.name)
         self.head = head
         self.delete = delete
+        self._evals = tuple(compile_expr(arg) for arg in head.args)
 
     def project(self, bindings: Bindings, ctx: EvalContext) -> Tuple:
         self.invocations += 1
-        values = tuple(
-            evaluate(arg, bindings, ctx) for arg in self.head.args
-        )
+        values = tuple(fn(bindings, ctx) for fn in self._evals)
         return Tuple(self.head.name, values)
 
     def delete_pattern(
@@ -174,9 +212,9 @@ class ProjectElement(Element):
         """(location, values-with-None-wildcards) for a delete action."""
         self.invocations += 1
         values: List[Any] = []
-        for arg in self.head.args:
+        for arg, fn in zip(self.head.args, self._evals):
             try:
-                values.append(evaluate(arg, bindings, ctx))
+                values.append(fn(bindings, ctx))
             except EvaluationError:
                 if isinstance(arg, ast.Var):
                     values.append(None)  # wildcard

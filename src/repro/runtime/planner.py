@@ -15,12 +15,29 @@ Trigger selection implements P2's delta evaluation:
 Within a strand, the remaining body terms are ordered greedily: joins
 keep their source order, while each selection/assignment runs as early
 as its variables are bound (P2 does the same reordering).
+
+Index selection: for each join, the planner computes which pattern
+columns are already bound when the probe runs — constants, symbolic
+constants, and variables bound by earlier pipeline stages — and asks
+the table for a hash index over exactly those columns
+(:meth:`repro.runtime.table.Table.index_on`).  A join with no bound
+column falls back to a full scan.  The module-level default can be
+switched off (``scan_joins()``) so tests can differentially compare
+both evaluation paths; per-planner overrides take precedence.
+
+``reorder_joins=True`` additionally lets the planner pick, at each
+step, the pending join with the most bound columns instead of keeping
+source order.  It is off by default: reordering changes how often
+interleaved assignments run (an ``X := f_rand()`` placed between two
+joins is evaluated once per outer derivation, wherever the author put
+it) and renumbers the tracer's pipeline stages.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple as PyTuple
+from typing import Iterator, List, Optional, Set, Tuple as PyTuple
 
 from repro.errors import PlannerError
 from repro.overlog import ast
@@ -37,6 +54,28 @@ from repro.runtime.store import TableStore
 from repro.runtime.strand import AggregateSpec, RuleStrand
 
 BUILTIN_EVENTS = ("periodic",)
+
+USE_INDEXED_JOINS = True
+"""Module default for planners that were not given an explicit
+``use_indexes``; read at plan time so :func:`scan_joins` affects
+programs installed inside its scope."""
+
+
+@contextmanager
+def scan_joins() -> Iterator[None]:
+    """Force scan-only join evaluation for programs planned inside.
+
+    The differential test harness compiles every workload twice — once
+    under this context, once without — and asserts both evaluations are
+    observably identical.
+    """
+    global USE_INDEXED_JOINS
+    previous = USE_INDEXED_JOINS
+    USE_INDEXED_JOINS = False
+    try:
+        yield
+    finally:
+        USE_INDEXED_JOINS = previous
 
 
 @dataclass
@@ -55,10 +94,23 @@ class CompiledProgram:
 class Planner:
     """Compiles validated programs against a node's table store."""
 
-    def __init__(self, store: TableStore, node_label: str = "node") -> None:
+    def __init__(
+        self,
+        store: TableStore,
+        node_label: str = "node",
+        use_indexes: Optional[bool] = None,
+        reorder_joins: bool = False,
+    ) -> None:
         self._store = store
         self._node_label = node_label
         self._counter = 0
+        self._use_indexes = use_indexes
+        self._reorder_joins = reorder_joins
+
+    def _indexes_enabled(self) -> bool:
+        if self._use_indexes is not None:
+            return self._use_indexes
+        return USE_INDEXED_JOINS
 
     def plan(self, program: Program) -> CompiledProgram:
         """Materialize the program's tables and compile its rules."""
@@ -154,6 +206,14 @@ class Planner:
                     if isinstance(term, ast.Functor):
                         chosen = term
                         break
+                if (
+                    self._reorder_joins
+                    and isinstance(chosen, ast.Functor)
+                ):
+                    chosen = max(
+                        (t for t in pending if isinstance(t, ast.Functor)),
+                        key=lambda t: len(self._bound_positions(t, bound)),
+                    )
             if chosen is None:
                 unready = ", ".join(str(t) for t in pending)
                 raise PlannerError(
@@ -170,9 +230,7 @@ class Planner:
                         "a materialized table and cannot be joined"
                     )
                 stage += 1
-                ops.append(
-                    JoinElement(chosen, self._store.get(chosen.name), stage)
-                )
+                ops.append(self._make_join(chosen, stage, bound))
                 bound |= {
                     v for v in chosen.variables() if not v.startswith("_")
                 }
@@ -193,6 +251,49 @@ class Planner:
             aggregate=aggregate,
             periodic=periodic,
         )
+
+    @staticmethod
+    def _bound_positions(
+        functor: ast.Functor, bound: Set[str]
+    ) -> List[PyTuple]:
+        """Pattern columns whose probe value is known before the join.
+
+        Returns ``(position, var_name, const_value)`` triples: constants
+        and symbolic constants are known at plan time; a variable is
+        known when an earlier stage bound it (a variable first occurring
+        inside this same pattern is not — it binds during the match).
+        """
+        sources: List[PyTuple] = []
+        for position, arg in enumerate(functor.args):
+            if isinstance(arg, ast.Const):
+                sources.append((position, None, arg.value))
+            elif isinstance(arg, ast.SymbolicConst):
+                # Unresolved symbolic constants match as their own name.
+                sources.append((position, None, arg.name))
+            elif (
+                isinstance(arg, ast.Var)
+                and not arg.name.startswith("_")
+                and arg.name in bound
+            ):
+                sources.append((position, arg.name, None))
+        return sources
+
+    def _make_join(
+        self, functor: ast.Functor, stage: int, bound: Set[str]
+    ) -> JoinElement:
+        """A join element, indexed on the columns bound at this stage."""
+        table = self._store.get(functor.name)
+        if self._indexes_enabled():
+            sources = self._bound_positions(functor, bound)
+            if sources:
+                # Positions ascend (enumerate order), matching the
+                # canonical order of Table.index_on.
+                index = table.index_on([p for p, _, _ in sources])
+                key_sources = [(var, const) for _, var, const in sources]
+                return JoinElement(
+                    functor, table, stage, index=index, key_sources=key_sources
+                )
+        return JoinElement(functor, table, stage)
 
     def _periodic_spec(
         self, rule: ast.Rule, trigger: ast.Functor, label: str

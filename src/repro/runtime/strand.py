@@ -165,9 +165,12 @@ class RuleStrand:
                 return
             op = self.ops[index]
             if isinstance(op, JoinElement):
-                probes = 0
+                # The element's own ``probes`` counter is the single
+                # source of truth for rows examined; the work charge is
+                # derived from its delta so profiling monitors and the
+                # work model can never disagree.
+                probes_before = op.probes
                 for tup, extended in op.matches(current):
-                    probes += 1
                     if hooks:
                         hooks.precondition_observed(
                             self, op.stage, tup, ctx.now()
@@ -175,7 +178,11 @@ class RuleStrand:
                     solve(index + 1, extended)
                 if charge:
                     charge("join", 1)
-                    charge("join_probe", max(1, probes))
+                    examined = op.probes - probes_before
+                    charge(
+                        "join_indexed" if op.uses_index else "join_probe",
+                        max(1, examined),
+                    )
             elif isinstance(op, SelectElement):
                 if charge:
                     charge("select", 1)

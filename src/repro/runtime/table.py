@@ -9,6 +9,15 @@ matches an existing row replaces that row.
 Change callbacks drive the rest of the system: delta rule triggering,
 event logging, and tupleTable reference counting all hang off
 ``on_insert`` / ``on_remove`` observers.
+
+Secondary hash indexes (:class:`TableIndex`) accelerate join probes:
+``index_on(positions)`` builds an index over an arbitrary column subset
+which is then maintained automatically through every mutation path —
+insert, replace, explicit delete, TTL expiry, and size-bound eviction.
+``probe_index`` returns exactly the rows a full scan-and-filter would,
+in the same relative order, so indexed and scanned evaluation are
+observably identical (the differential harness in
+``tests/runtime/test_join_differential.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -39,13 +48,98 @@ class RemoveReason(enum.Enum):
 
 
 class _Row:
-    __slots__ = ("tuple", "inserted_at", "expires_at", "seq")
+    __slots__ = ("tuple", "inserted_at", "expires_at", "seq", "order")
 
-    def __init__(self, tup: Tuple, now: float, expires_at: float, seq: int):
+    def __init__(
+        self, tup: Tuple, now: float, expires_at: float, seq: int, order: int
+    ):
         self.tuple = tup
         self.inserted_at = now
         self.expires_at = expires_at
         self.seq = seq
+        # Scan-order stamp: assigned when the primary key first enters the
+        # table and inherited across same-key replacements, mirroring dict
+        # insertion order so indexed probes can reproduce scan order.
+        self.order = order
+
+
+class TableIndex:
+    """A secondary hash index over a subset of 0-based column positions.
+
+    Rows whose projected key is unhashable land in a ``loose`` side set
+    that every probe also examines (the probe's ``match_args`` pass does
+    the filtering); rows too short for the positions are omitted
+    entirely, since no pattern probing through this index can match
+    them.  The index only *narrows* the candidate set — callers must
+    still unify candidates against their pattern, which keeps indexed
+    evaluation equivalent to a scan even for values with exotic
+    equality (the scan path would reject them identically).
+    """
+
+    __slots__ = ("positions", "_buckets", "_loose", "probes", "rows_served")
+
+    def __init__(self, positions: PyTuple) -> None:
+        self.positions = tuple(positions)
+        # index key -> {primary key: _Row}
+        self._buckets: Dict[PyTuple, Dict[PyTuple, _Row]] = {}
+        # primary key -> _Row, for rows with unhashable index keys
+        self._loose: Dict[PyTuple, _Row] = {}
+        # Probe counters for introspection and tests.
+        self.probes = 0
+        self.rows_served = 0
+
+    def _project(self, row: _Row) -> PyTuple:
+        values = row.tuple.values
+        return tuple(values[i] for i in self.positions)
+
+    def add(self, key: PyTuple, row: _Row) -> None:
+        try:
+            self._buckets.setdefault(self._project(row), {})[key] = row
+        except IndexError:
+            return  # row too short to match any pattern using this index
+        except TypeError:
+            self._loose[key] = row
+
+    def discard(self, key: PyTuple, row: _Row) -> None:
+        try:
+            ikey = self._project(row)
+            bucket = self._buckets.get(ikey)
+        except IndexError:
+            return
+        except TypeError:
+            self._loose.pop(key, None)
+            return
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._buckets[ikey]
+
+    def candidates(self, key_values: PyTuple) -> List[Tuple]:
+        """Live rows whose indexed columns may equal ``key_values``.
+
+        Returned in table scan order.  An unhashable probe key degrades
+        to the full indexed row set (equivalent to a scan).
+        """
+        self.probes += 1
+        try:
+            bucket = self._buckets.get(tuple(key_values))
+        except TypeError:
+            rows = [r for b in self._buckets.values() for r in b.values()]
+            rows.extend(self._loose.values())
+            rows.sort(key=lambda r: r.order)
+            self.rows_served += len(rows)
+            return [r.tuple for r in rows]
+        rows = list(bucket.values()) if bucket else []
+        if self._loose:
+            rows.extend(self._loose.values())
+        # Bucket order drifts from global order on same-key replacement,
+        # so always restore scan order (near-sorted: Timsort is linear).
+        rows.sort(key=lambda r: r.order)
+        self.rows_served += len(rows)
+        return [r.tuple for r in rows]
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values()) + len(self._loose)
 
 
 class Table:
@@ -72,6 +166,13 @@ class Table:
         self._now = now
         self._rows: Dict[PyTuple, _Row] = {}
         self._seq = 0
+        self._order = 0
+        self._indexes: Dict[PyTuple, TableIndex] = {}
+        # Earliest possible expiry among live rows (a lower bound: a
+        # refresh may raise a row's expires_at without updating this).
+        # Lets every table access skip the expiry pass in O(1) until a
+        # deadline is actually reached.
+        self._next_expiry = float("inf")
         self.on_insert: List[Callable[[Tuple, InsertOutcome], None]] = []
         self.on_remove: List[Callable[[Tuple, RemoveReason], None]] = []
         # Lifetime counters for introspection.
@@ -104,6 +205,8 @@ class Table:
             if self.lifetime is INFINITY
             else now + float(self.lifetime)
         )
+        if expires < self._next_expiry:
+            self._next_expiry = expires
         existing = self._rows.get(key)
         if existing is not None:
             if existing.tuple == tup:
@@ -112,7 +215,12 @@ class Table:
                 return InsertOutcome.REFRESHED
             old = existing.tuple
             self._seq += 1
-            self._rows[key] = _Row(tup, now, expires, self._seq)
+            # The replacing row keeps the dict slot (and therefore the
+            # scan-order stamp) of the row it displaces.
+            row = _Row(tup, now, expires, self._seq, existing.order)
+            self._rows[key] = row
+            self._index_discard(key, existing)
+            self._index_add(key, row)
             self.total_inserts += 1
             self.total_removals += 1
             self._notify_remove(old, RemoveReason.REPLACED)
@@ -120,7 +228,10 @@ class Table:
             return InsertOutcome.REPLACED
 
         self._seq += 1
-        self._rows[key] = _Row(tup, now, expires, self._seq)
+        self._order += 1
+        row = _Row(tup, now, expires, self._seq, self._order)
+        self._rows[key] = row
+        self._index_add(key, row)
         self.total_inserts += 1
         self._enforce_size(protect=key)
         self._notify_insert(tup, InsertOutcome.NEW)
@@ -134,6 +245,7 @@ class Table:
         if row is None or row.tuple != tup:
             return False
         del self._rows[key]
+        self._index_discard(key, row)
         self.total_removals += 1
         self._notify_remove(row.tuple, RemoveReason.DELETED)
         return True
@@ -156,7 +268,9 @@ class Table:
             ):
                 victims.append(tup)
         for tup in victims:
-            del self._rows[self.key_of(tup)]
+            key = self.key_of(tup)
+            row = self._rows.pop(key)
+            self._index_discard(key, row)
             self.total_removals += 1
             self._notify_remove(tup, RemoveReason.DELETED)
         return len(victims)
@@ -172,6 +286,54 @@ class Table:
         self._expire_now()
         row = self._rows.get(tuple(key_values))
         return row.tuple if row is not None else None
+
+    # ------------------------------------------------------------------
+    # Secondary indexes
+
+    def index_on(self, positions: List[int]) -> TableIndex:
+        """Get or build a secondary index over 0-based column positions.
+
+        Positions are canonicalized (sorted, deduplicated), so callers
+        binding the same column subset share one index.  A new index is
+        backfilled from the current rows — programs are routinely
+        installed on nodes whose tables already hold state.
+        """
+        canon = tuple(sorted({int(p) for p in positions}))
+        if not canon:
+            raise SchemaError(
+                f"table {self.name!r}: an index needs at least one column"
+            )
+        if canon[0] < 0:
+            raise SchemaError(
+                f"table {self.name!r}: index positions are 0-based "
+                f"column offsets, got {positions!r}"
+            )
+        index = self._indexes.get(canon)
+        if index is None:
+            index = TableIndex(canon)
+            for key, row in self._rows.items():
+                index.add(key, row)
+            self._indexes[canon] = index
+        return index
+
+    def indexes(self) -> List[TableIndex]:
+        """The table's secondary indexes (for introspection)."""
+        return list(self._indexes.values())
+
+    def probe_index(self, index: TableIndex, key_values: PyTuple) -> List[Tuple]:
+        """Live tuples whose ``index.positions`` columns may equal
+        ``key_values``, in scan order (expired rows are dropped first,
+        exactly as :meth:`scan` does)."""
+        self._expire_now()
+        return index.candidates(key_values)
+
+    def _index_add(self, key: PyTuple, row: _Row) -> None:
+        for index in self._indexes.values():
+            index.add(key, row)
+
+    def _index_discard(self, key: PyTuple, row: _Row) -> None:
+        for index in self._indexes.values():
+            index.discard(key, row)
 
     def __len__(self) -> int:
         self._expire_now()
@@ -197,13 +359,22 @@ class Table:
         if self.lifetime is INFINITY:
             return 0
         now = self._now()
+        if now < self._next_expiry:
+            return 0
         expired = [
             key for key, row in self._rows.items() if row.expires_at <= now
         ]
         for key in expired:
             row = self._rows.pop(key)
+            self._index_discard(key, row)
             self.total_removals += 1
             self._notify_remove(row.tuple, RemoveReason.EXPIRED)
+        # Recompute the bound from survivors; a stale (too-low) value
+        # only costs one empty pass when that instant is reached.
+        self._next_expiry = min(
+            (row.expires_at for row in self._rows.values()),
+            default=float("inf"),
+        )
         return len(expired)
 
     def _enforce_size(self, protect: PyTuple) -> None:
@@ -222,6 +393,7 @@ class Table:
             if victim_key is None:
                 return
             row = self._rows.pop(victim_key)
+            self._index_discard(victim_key, row)
             self.total_removals += 1
             self._notify_remove(row.tuple, RemoveReason.EVICTED)
 

@@ -23,6 +23,7 @@ DEFAULT_COSTS: Dict[str, float] = {
     "match": 5e-6,        # trigger pattern unification
     "join": 10e-6,        # table access overhead per join invocation
     "join_probe": 2e-6,   # one table row scanned in a join
+    "join_indexed": 2e-6,  # one row examined via a hash-index bucket
     "select": 3e-6,       # condition evaluation
     "assign": 4e-6,       # assignment evaluation
     "project": 8e-6,      # head projection / action construction
@@ -64,7 +65,10 @@ class WorkModel:
         cost = self.costs.get(op, 1e-6) * amount
         self.busy_seconds += cost
         self._micro_offset += cost
-        self.counters.add(op, amount)
+        # Inlined WorkCounters.add: charge() runs millions of times per
+        # simulated minute and the extra call shows up in profiles.
+        counts = self.counters.counts
+        counts[op] = counts.get(op, 0) + amount
 
     @property
     def micro_offset(self) -> float:

@@ -4,6 +4,9 @@ import pytest
 
 from repro.chord import ChordNetwork
 
+# Multi-node Chord integration: excluded from the fast tier.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture()
 def net():

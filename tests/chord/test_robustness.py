@@ -13,6 +13,8 @@ from repro.core.system import System
 from repro.net.topology import UniformLatency
 from repro.overlog.types import NodeID
 
+pytestmark = pytest.mark.slow
+
 
 def test_stabilizes_under_message_loss():
     net = ChordNetwork(num_nodes=6, seed=44)

@@ -21,6 +21,8 @@ from repro.monitors import (
 )
 from repro.overlog.types import NodeID
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def deployment():

@@ -10,6 +10,8 @@ import pytest
 from repro.chord import ChordNetwork
 from repro.chord import ids as ring
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def paper_net():

@@ -8,6 +8,9 @@ from repro.monitors import OscillationMonitor
 
 from tests.monitors.conftest import live_nodes
 
+# Multi-node Chord integration: excluded from the fast tier.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def buggy_report():

@@ -11,6 +11,9 @@ from repro.monitors import (
     RingProbeMonitor,
 )
 
+# Multi-node Chord integration: excluded from the fast tier.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture()
 def rig():

@@ -12,6 +12,8 @@ import pytest
 from repro.chord import ChordNetwork
 from repro.monitors import SnapshotMonitor
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture()
 def snap_net():

@@ -47,7 +47,16 @@ def programs(draw):
             body.append(f"{draw(st.sampled_from(bound))} != 99")
         head_var = draw(st.sampled_from(bound))
         extra = ""
-        if draw(st.booleans()):
+        if head_table == "outEvent" and draw(st.booleans()):
+            # Only event heads may widen the tuple.  An arity-3 head
+            # into t1/t2 (keyed on the first two columns) shares its
+            # primary key with the arity-2 tuple it was derived from;
+            # each insert then REPLACES the other's row, and the
+            # REPLACED deltas re-derive each other forever — duplicate
+            # suppression never engages because the values alternate.
+            # Keeping materialized heads at arity 2 makes the whole
+            # tuple the key, so re-derivation is always a suppressed
+            # REFRESH and every generated program reaches a fixpoint.
             extra = f", {head_var} + 1"
         statements.append(
             f"fz{index} {head_table}@N({head_var}{extra}) :- "

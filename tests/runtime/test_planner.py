@@ -195,3 +195,119 @@ def test_elements_listing_for_introspection(store):
     # X is bound by the trigger, so the selection runs before the join
     # (the planner's eager-filter optimization).
     assert kinds == ["match", "select", "join", "project"]
+
+
+def test_join_uses_index_over_bound_columns(store):
+    compiled = plan(
+        store,
+        """
+        materialize(t, 10, 10, keys(1)).
+        r out@N(X, Y) :- e@N(X), t@N(X, Y).
+        """,
+    )
+    join = next(
+        op for op in compiled.strands[0].ops if isinstance(op, JoinElement)
+    )
+    # N and X are bound when the join runs; Y is free.
+    assert join.uses_index
+    assert join.index.positions == (0, 1)
+
+
+def test_join_with_constant_column_indexes_it(store):
+    compiled = plan(
+        store,
+        """
+        materialize(t, 10, 10, keys(1)).
+        r out@N(Y) :- e@N(X), t@N(Y, 7).
+        """,
+    )
+    join = next(
+        op for op in compiled.strands[0].ops if isinstance(op, JoinElement)
+    )
+    assert join.uses_index
+    assert join.index.positions == (0, 2)
+
+
+def test_wildcards_do_not_contribute_index_columns(store):
+    compiled = plan(
+        store,
+        """
+        materialize(t, 10, 10, keys(1)).
+        r out@N(X) :- e@N(X), t@N(_, _, X).
+        """,
+    )
+    join = next(
+        op for op in compiled.strands[0].ops if isinstance(op, JoinElement)
+    )
+    # The location column and X are bound; the wildcards are not.
+    assert join.uses_index
+    assert join.index.positions == (0, 3)
+
+
+def test_scan_joins_context_disables_indexes(store):
+    from repro.runtime.planner import scan_joins
+
+    src = """
+    materialize(t, 10, 10, keys(1)).
+    r out@N(X, Y) :- e@N(X), t@N(X, Y).
+    """
+    with scan_joins():
+        compiled = plan(store, src)
+    join = next(
+        op for op in compiled.strands[0].ops if isinstance(op, JoinElement)
+    )
+    assert not join.uses_index
+
+
+def test_use_indexes_flag_overrides_global(store):
+    planner = Planner(store, use_indexes=False)
+    compiled = planner.plan(
+        Program.compile(
+            """
+            materialize(t, 10, 10, keys(1)).
+            r out@N(X, Y) :- e@N(X), t@N(X, Y).
+            """
+        )
+    )
+    join = next(
+        op for op in compiled.strands[0].ops if isinstance(op, JoinElement)
+    )
+    assert not join.uses_index
+
+
+def test_equivalent_joins_share_one_index(store):
+    compiled = plan(
+        store,
+        """
+        materialize(t, 10, 10, keys(1)).
+        r1 out@N(X, Y) :- e1@N(X), t@N(X, Y).
+        r2 out2@N(X, Y) :- e2@N(X), t@N(X, Y).
+        """,
+    )
+    joins = [
+        op
+        for s in compiled.strands
+        for op in s.ops
+        if isinstance(op, JoinElement)
+    ]
+    assert len(joins) == 2
+    assert joins[0].index is joins[1].index
+    assert len(store.get("t").indexes()) == 1
+
+
+def test_reorder_joins_prefers_most_bound_table(store):
+    planner = Planner(store, reorder_joins=True)
+    compiled = planner.plan(
+        Program.compile(
+            """
+            materialize(a, 10, 10, keys(1)).
+            materialize(b, 10, 10, keys(1)).
+            r out@N(X, Y, Z) :- e@N(X), a@N(Y, W), b@N(X, Z).
+            """
+        )
+    )
+    strand = next(s for s in compiled.strands if s.trigger_name == "e")
+    joins = [op for op in strand.ops if isinstance(op, JoinElement)]
+    # b has two bound columns (N, X) vs a's one (N): b joins first.
+    assert joins[0].table.name == "b"
+    assert joins[1].table.name == "a"

@@ -1,0 +1,184 @@
+"""Property tests for Table's secondary-index layer.
+
+The differential harness (test_join_differential) checks whole-program
+equivalence; these properties attack the index machinery directly with
+randomized operation sequences, asserting the invariants every join
+plan relies on:
+
+* **Index/scan equivalence** — for any column subset and probe key,
+  the index returns exactly the scan-order rows that could match (a
+  superset narrowed by hashing, never missing a true match), and an
+  index built after the fact (backfill) agrees with one built first.
+* **TTL expiry** — expired rows vanish from scans and from every index
+  at the same moment.
+* **Size-bound eviction** — the bound holds after every operation and
+  evicted rows leave all indexes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.overlog.types import INFINITY
+from repro.runtime.table import Table
+from repro.runtime.tuples import Tuple
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+ARITY = 3
+
+values = st.one_of(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(["a", "b"]),
+)
+rows = st.tuples(*[values] * ARITY)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), rows),
+        st.tuples(st.just("delete"), rows),
+        st.tuples(st.just("advance"), st.floats(min_value=0.5, max_value=6.0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+positions = st.lists(
+    st.integers(min_value=0, max_value=ARITY - 1),
+    min_size=1,
+    max_size=ARITY,
+    unique=True,
+)
+
+
+def apply_ops(table, clock, sequence):
+    for op, arg in sequence:
+        if op == "insert":
+            table.insert(Tuple("t", arg))
+        elif op == "delete":
+            table.delete(Tuple("t", arg))
+        else:
+            clock.t += arg
+
+
+def make_table(clock, lifetime=INFINITY, max_size=INFINITY, keys=(1, 2)):
+    return Table("t", lifetime, max_size, list(keys), clock)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, pos=positions, probe=rows)
+def test_index_agrees_with_scan(sequence, pos, probe):
+    clock = FakeClock()
+    table = make_table(clock, lifetime=8.0, max_size=5)
+    index = table.index_on(pos)
+    apply_ops(table, clock, sequence)
+
+    key = tuple(probe[p] for p in sorted(set(pos)))
+    candidates = table.probe_index(index, key)
+    scanned = list(table.scan())
+
+    def matches(tup):
+        return tuple(tup.values[p] for p in sorted(set(pos))) == key
+
+    # Never miss a true match, never invent a row, preserve scan order.
+    assert [t for t in candidates if matches(t)] == [
+        t for t in scanned if matches(t)
+    ]
+    scan_ids = [id(t) for t in scanned]
+    cand_ids = [id(t) for t in candidates]
+    assert all(i in scan_ids for i in cand_ids)
+    assert cand_ids == sorted(cand_ids, key=scan_ids.index)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, pos=positions, probe=rows)
+def test_backfilled_index_equals_index_built_first(sequence, pos, probe):
+    clock_a, clock_b = FakeClock(), FakeClock()
+    before = make_table(clock_a, lifetime=8.0, max_size=5)
+    index_before = before.index_on(pos)
+    apply_ops(before, clock_a, sequence)
+
+    after = make_table(clock_b, lifetime=8.0, max_size=5)
+    apply_ops(after, clock_b, sequence)
+    index_after = after.index_on(pos)  # backfilled from live rows
+
+    key = tuple(probe[p] for p in sorted(set(pos)))
+    assert [t.values for t in before.probe_index(index_before, key)] == [
+        t.values for t in after.probe_index(index_after, key)
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, pos=positions)
+def test_ttl_expiry_clears_scan_and_indexes_together(sequence, pos):
+    clock = FakeClock()
+    table = make_table(clock, lifetime=5.0)
+    index = table.index_on(pos)
+    apply_ops(table, clock, sequence)
+
+    # Jump past every possible deadline: nothing may survive anywhere.
+    clock.t += 5.0 + 1e-9
+    assert list(table.scan()) == []
+    assert len(table) == 0
+    assert len(index) == 0
+    for probe in [(0,), (0, 0), (0, 0, 0), ("a",), ("a", "a"), ("a", "a", "a")]:
+        key = probe[: len(set(pos))]
+        assert table.probe_index(index, key) == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, pos=positions, bound=st.integers(min_value=1, max_value=4))
+def test_size_bound_holds_and_indexes_track_evictions(sequence, pos, bound):
+    clock = FakeClock()
+    table = make_table(clock, max_size=bound)
+    index = table.index_on(pos)
+    for op, arg in sequence:
+        if op == "insert":
+            table.insert(Tuple("t", arg))
+        elif op == "delete":
+            table.delete(Tuple("t", arg))
+        else:
+            clock.t += arg
+        assert len(table) <= bound
+        # The index never holds more rows than the table it mirrors.
+        assert len(index) <= len(table)
+
+    live = {id(t) for t in table.scan()}
+    for tup in table.scan():
+        key = tuple(tup.values[p] for p in sorted(set(pos)))
+        hits = {id(t) for t in table.probe_index(index, key)}
+        assert id(tup) in hits
+        assert hits <= live
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=8),
+    probe=st.integers(min_value=0, max_value=7),
+    as_node_id=st.booleans(),
+)
+def test_node_id_and_int_probe_keys_are_interchangeable(ids, probe, as_node_id):
+    # NodeID equals ints and hashes as its value, so an index keyed on a
+    # NodeID column must answer probes made with plain ints (and vice
+    # versa) — exactly what happens when a rule joins a wire-delivered
+    # NodeID against a locally computed int.
+    from repro.overlog.types import NodeID
+
+    clock = FakeClock()
+    table = make_table(clock, keys=(1, 2))
+    index = table.index_on([1])
+    for i, n in enumerate(ids):
+        table.insert(Tuple("t", (i, NodeID(n), "x")))
+
+    key = (NodeID(probe),) if as_node_id else (probe,)
+    hits = table.probe_index(index, key)
+    expected = [t for t in table.scan() if t.values[1] == probe]
+    assert [t.values for t in hits if t.values[1] == probe] == [
+        t.values for t in expected
+    ]
+    assert len(expected) == ids.count(probe)
