@@ -19,7 +19,8 @@ from repro.core.system import System
 from repro.chord import ids as ring
 from repro.chord.program import ChordParams, chord_program
 from repro.net.address import make_address
-from repro.net.topology import ConstantLatency
+from repro.net.network import ReliableConfig
+from repro.net.topology import ConstantLatency, LatencyModel
 from repro.overlog.types import NodeID
 from repro.runtime.node import P2Node
 from repro.runtime.tuples import Tuple
@@ -38,12 +39,27 @@ class ChordNetwork:
         reflection: bool = False,
         recycle_dead_bug: bool = False,
         latency: float = 0.01,
+        latency_model: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        transport: str = "udp",
+        reliable: Optional[ReliableConfig] = None,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
     ) -> None:
         self.params = params if params is not None else ChordParams()
         self.system = System(
             seed=seed,
-            latency=ConstantLatency(latency),
+            latency=(
+                latency_model
+                if latency_model is not None
+                else ConstantLatency(latency)
+            ),
             id_bits=self.params.id_bits,
+            loss_rate=loss_rate,
+            transport=transport,
+            reliable=reliable,
+            reorder_rate=reorder_rate,
+            duplicate_rate=duplicate_rate,
         )
         self.program = chord_program(self.params, recycle_dead_bug)
         self.addresses: List[str] = [
@@ -112,6 +128,35 @@ class ChordNetwork:
         if node.stopped or node.query("bestSucc"):
             return
         self._join(addr, retries, join_retry)
+
+    def ensure_joined(self, addr: str, retries: int = 3) -> bool:
+        """Re-inject a join for a node that lost its ring membership.
+
+        A node isolated (or silenced) longer than the ping-eviction
+        horizon is dropped by every neighbor while its own successor
+        entries expire; once the network heals, nothing routes to it
+        and it routes to nobody — it must re-join through the landmark,
+        exactly Chord's prescribed recovery.  No-op (returns False) for
+        nodes that still hold a plausible successor, so calling this on
+        every node after a fault window only touches the evicted ones.
+        """
+        node = self.system.node(addr)
+        if node.stopped:
+            return False
+        succ = self.best_succ_of(addr)
+        if succ is not None and (succ != addr or len(self.addresses) == 1):
+            return False
+        # Bootstrap through any node still holding a ring position —
+        # the original landmark may itself be the evicted node.
+        for other in self.live_addresses():
+            if other == addr:
+                continue
+            other_succ = self.best_succ_of(other)
+            if other_succ is not None and other_succ != other:
+                node.inject("landmark", (addr, other))
+                break
+        self._join(addr, retries)
+        return True
 
     def add_late_node(
         self,

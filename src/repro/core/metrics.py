@@ -44,6 +44,12 @@ class MetricsSample:
     # allocation churn behind the paper's process-memory growth for
     # rules whose outputs are events rather than stored state.
     churn_bytes: int = 0
+    # Transport-layer overhead in the window: retransmissions performed
+    # by the reliable transport and the per-reason drop breakdown (see
+    # ``NetworkStats.drop_reasons``) — campaign verdicts read these
+    # rather than guessing from the aggregate drop count.
+    tx_retransmits: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
     per_node_cpu: Dict[str, float] = field(default_factory=dict)
     per_node_tx: Dict[str, int] = field(default_factory=dict)
     # Work-model operation counts accumulated during the window, summed
@@ -80,6 +86,8 @@ class Meter:
         self._t0 = 0.0
         self._busy0: Dict[str, float] = {}
         self._tx0: Dict[str, int] = {}
+        self._retrans0 = 0
+        self._drops0: Dict[str, int] = {}
         self._churn0: Dict[str, int] = {}
         self._ops0: Dict[str, Dict[str, int]] = {}
         self._tuple_samples: List[float] = []
@@ -98,6 +106,8 @@ class Meter:
         self._tuple_samples = []
         self._byte_samples = []
         stats = self._system.network.stats
+        self._retrans0 = stats.messages_retransmitted
+        self._drops0 = dict(stats.drop_reasons)
         self._churn0 = {}
         for address in self._targets():
             node = self._system.node(address)
@@ -152,6 +162,11 @@ class Meter:
                 delta = count - baseline.get(op, 0)
                 if delta:
                     ops[op] = ops.get(op, 0) + delta
+        drop_reasons: Dict[str, int] = {}
+        for reason, count in stats.drop_reasons.items():
+            delta = count - self._drops0.get(reason, 0)
+            if delta:
+                drop_reasons[reason] = delta
         n = max(len(per_node_cpu), 1)
         return MetricsSample(
             elapsed=elapsed,
@@ -160,6 +175,8 @@ class Meter:
             live_tuples=sum(self._tuple_samples) / len(self._tuple_samples) / n,
             memory_bytes=sum(self._byte_samples) / len(self._byte_samples) / n,
             churn_bytes=churn,
+            tx_retransmits=stats.messages_retransmitted - self._retrans0,
+            drop_reasons=drop_reasons,
             per_node_cpu=per_node_cpu,
             per_node_tx=per_node_tx,
             ops=ops,

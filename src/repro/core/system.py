@@ -6,7 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.net.address import Address
-from repro.net.network import Network
+from repro.net.network import Network, ReliableConfig
 from repro.net.topology import ConstantLatency, LatencyModel
 from repro.overlog.program import Program
 from repro.overlog.types import DEFAULT_ID_BITS
@@ -29,12 +29,20 @@ class System:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         id_bits: int = DEFAULT_ID_BITS,
+        transport: str = "udp",
+        reliable: Optional[ReliableConfig] = None,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.network = Network(
             self.sim,
             latency if latency is not None else ConstantLatency(0.01),
             loss_rate=loss_rate,
+            transport=transport,
+            reliable=reliable,
+            reorder_rate=reorder_rate,
+            duplicate_rate=duplicate_rate,
         )
         self.id_bits = id_bits
         self.nodes: Dict[Address, P2Node] = {}

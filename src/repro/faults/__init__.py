@@ -5,7 +5,12 @@ The paper's detectors are only demonstrable against misbehaving systems;
 this package supplies the misbehaviour:
 
 - :mod:`repro.faults.injector` — node crashes (immediate or scheduled),
-  link partitions, and message-loss control;
+  link partitions, loss/reorder/duplication control, and the schedule
+  dispatch vocabulary;
+- :mod:`repro.faults.schedule` — the timed fault-schedule DSL
+  (at/every/window entries armed on the sim clock);
+- :mod:`repro.faults.campaign` — seeded randomized fault campaigns over
+  a monitored Chord ring, emitting reproducible structured verdicts;
 - :mod:`repro.faults.corruption` — direct state corruption (wrong
   predecessor / successor pointers) that the ring monitors must flag;
 - :mod:`repro.faults.scenarios` — end-to-end scenarios, e.g. the
@@ -14,12 +19,29 @@ this package supplies the misbehaviour:
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, ScheduleEntry
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignVerdict,
+    FaultCampaign,
+)
 from repro.faults.corruption import corrupt_best_succ, corrupt_pred
-from repro.faults.scenarios import OscillationScenario
+from repro.faults.scenarios import (
+    OscillationScenario,
+    TransientFaultReport,
+    TransientPartitionScenario,
+)
 
 __all__ = [
     "FaultInjector",
+    "FaultSchedule",
+    "ScheduleEntry",
+    "FaultCampaign",
+    "CampaignConfig",
+    "CampaignVerdict",
     "corrupt_best_succ",
     "corrupt_pred",
     "OscillationScenario",
+    "TransientFaultReport",
+    "TransientPartitionScenario",
 ]

@@ -1,0 +1,5 @@
+"""``python -m repro.faults`` — run fixed-seed fault campaigns."""
+
+from repro.faults.campaign import main
+
+raise SystemExit(main())

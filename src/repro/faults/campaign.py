@@ -1,0 +1,349 @@
+"""Randomized fault campaigns: monitors under adversarial load.
+
+A :class:`FaultCampaign` samples a randomized
+:class:`~repro.faults.schedule.FaultSchedule` from a seeded RNG, runs a
+Chord ring with the paper's ring and oscillation monitors attached,
+drives the schedule through its fault window, and emits a structured
+:class:`CampaignVerdict`:
+
+- **converged** — the ring is oracle-correct after the recovery phase;
+- **sound** — every alarm raised during the fault window cleared
+  within ``clear_grace`` seconds of the last heal (no stuck alarms);
+- the full alarm timeline, the applied schedule in reproducible text
+  form, and the network's transport counters (retransmissions,
+  per-reason drops, suppressed duplicates).
+
+Same seed + same config ⇒ byte-for-byte identical verdict
+(:meth:`CampaignVerdict.fingerprint`), which is what the regression
+tests pin and what ``python -m repro.faults.campaign --seeds ...``
+prints for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chord.harness import ChordNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.monitors.oscillation import OscillationMonitor
+from repro.monitors.ring import RingProbeMonitor
+from repro.net.network import ReliableConfig
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign run (defaults fit an 8-node smoke ring)."""
+
+    num_nodes: int = 8
+    transport: str = "reliable"
+    reliable: Optional[ReliableConfig] = None
+    stabilize_time: float = 240.0
+    #: Fault windows start up to this far into the campaign phase.
+    fault_lead: float = 10.0
+    #: Longest fault window (windows are sampled within it).
+    fault_duration: float = 60.0
+    #: Observation window after the last heal; must exceed
+    #: ``clear_grace`` so late alarms are actually observable.
+    recovery_time: float = 260.0
+    #: Alarms must stop within this many seconds after the last heal.
+    #: The bound is set by the monitors themselves: the oscillation
+    #: detector's ``repeatOscill`` is a windowed aggregate over a 120 s
+    #: ``oscill`` table checked every ``tOscCheck``, so genuinely
+    #: transient oscillation near heal time keeps the aggregate firing
+    #: for up to ~155 s afterwards — that is correct monitor behaviour,
+    #: not a stuck alarm.
+    clear_grace: float = 200.0
+    max_faults: int = 3
+    ring_probe_period: float = 15.0
+    oscillation_check: float = 20.0
+    #: Include irreversible crashes in the sampled fault mix.
+    allow_crash: bool = False
+
+    def reliable_config(self) -> ReliableConfig:
+        return self.reliable if self.reliable is not None else ReliableConfig()
+
+
+@dataclass
+class CampaignVerdict:
+    """Everything a campaign observed, reproducible from its seed."""
+
+    seed: int
+    transport: str
+    stabilized: bool
+    converged: bool
+    sound: bool
+    heal_time: float
+    last_alarm_time: Optional[float]
+    alarm_counts: Dict[str, int]
+    alarms: List[Tuple[float, str, str]] = field(default_factory=list)
+    schedule: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.stabilized and self.converged and self.sound
+
+    def fingerprint(self) -> str:
+        """Canonical JSON of the whole verdict — byte-for-byte stable
+        across runs of the same seed/config."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "transport": self.transport,
+                "stabilized": self.stabilized,
+                "converged": self.converged,
+                "sound": self.sound,
+                "heal_time": round(self.heal_time, 6),
+                "last_alarm_time": (
+                    None
+                    if self.last_alarm_time is None
+                    else round(self.last_alarm_time, 6)
+                ),
+                "alarm_counts": self.alarm_counts,
+                "alarms": [
+                    [round(t, 6), event, node]
+                    for t, event, node in self.alarms
+                ],
+                "schedule": self.schedule,
+                "counters": self.counters,
+                "drop_reasons": self.drop_reasons,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class FaultCampaign:
+    """One seeded randomized campaign over a monitored Chord ring."""
+
+    #: Reversible fault kinds the sampler draws from (weights are the
+    #: repetition counts in this list).
+    FAULT_MENU = [
+        "partition",
+        "partition",
+        "isolate",
+        "loss",
+        "link_loss",
+        "duplicate",
+        "reorder",
+    ]
+
+    def __init__(
+        self, seed: int, config: Optional[CampaignConfig] = None
+    ) -> None:
+        self.seed = seed
+        self.config = config if config is not None else CampaignConfig()
+
+    # ------------------------------------------------------------------
+    # Schedule sampling
+
+    def sample_schedule(self, addresses: List[str]) -> FaultSchedule:
+        """Draw a randomized, fully-healed fault schedule.
+
+        Times are relative (the runner arms the schedule at the end of
+        stabilization).  Every sampled fault is a window, so by
+        ``schedule.end_time`` the system is fault-free by construction
+        — the precondition of the soundness verdict.
+        """
+        config = self.config
+        rng = random.Random((self.seed * 0x9E3779B1 + 0xFA01) & 0xFFFFFFFF)
+        schedule = FaultSchedule()
+        menu = list(self.FAULT_MENU)
+        if config.allow_crash:
+            menu.append("crash")
+        for _ in range(rng.randint(1, config.max_faults)):
+            start = rng.uniform(1.0, config.fault_lead)
+            end = start + rng.uniform(
+                0.3 * config.fault_duration, config.fault_duration
+            )
+            kind = rng.choice(menu)
+            if kind == "partition":
+                a, b = rng.sample(addresses, 2)
+                schedule.window(start, end, "partition", a, b)
+            elif kind == "isolate":
+                schedule.window(
+                    start, end, "isolate", rng.choice(addresses)
+                )
+            elif kind == "loss":
+                schedule.window(
+                    start, end, "loss", round(rng.uniform(0.05, 0.3), 3)
+                )
+            elif kind == "link_loss":
+                a, b = rng.sample(addresses, 2)
+                schedule.window(
+                    start,
+                    end,
+                    "link_loss",
+                    a,
+                    b,
+                    round(rng.uniform(0.2, 0.6), 3),
+                )
+            elif kind == "duplicate":
+                schedule.window(
+                    start, end, "duplicate", round(rng.uniform(0.05, 0.3), 3)
+                )
+            elif kind == "reorder":
+                schedule.window(
+                    start, end, "reorder", round(rng.uniform(0.05, 0.3), 3)
+                )
+            elif kind == "crash":
+                schedule.at(start, "crash", rng.choice(addresses))
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Running
+
+    def run(self, control: bool = False) -> CampaignVerdict:
+        """Run the campaign; with ``control=True`` no faults are
+        injected (the zero-alarm baseline the soundness tests compare
+        against)."""
+        config = self.config
+        net = ChordNetwork(
+            num_nodes=config.num_nodes,
+            seed=self.seed,
+            transport=config.transport,
+            reliable=config.reliable_config(),
+        )
+        net.start()
+        stabilized = net.wait_stable(max_time=config.stabilize_time)
+
+        nodes = [net.node(a) for a in net.live_addresses()]
+        ring_monitor = RingProbeMonitor(
+            probe_period=config.ring_probe_period
+        )
+        osc_monitor = OscillationMonitor(
+            check_period=config.oscillation_check
+        )
+        handles = [ring_monitor.install(nodes), osc_monitor.install(nodes)]
+
+        # Timestamped alarm timeline (MonitorHandle keeps only tuples).
+        alarms: List[Tuple[float, str, str]] = []
+        events = [
+            name
+            for handle in handles
+            for name in handle.monitor.alarm_events
+        ]
+        sim = net.system.sim
+        for node in nodes:
+            for event in events:
+                node.subscribe(
+                    event,
+                    lambda tup, _e=event, _n=node.address: alarms.append(
+                        (sim.now, _e, _n)
+                    ),
+                )
+
+        armed_at = net.system.now
+        if control:
+            schedule = FaultSchedule()
+        else:
+            schedule = self.sample_schedule(net.live_addresses())
+            injector = FaultInjector(net.system)
+            schedule.apply(injector, offset=armed_at)
+        heal_time = armed_at + schedule.end_time
+
+        # Chord's failure recovery: a node evicted during a long
+        # isolation must re-join through the landmark once the network
+        # heals (its neighbors dropped it and its own successor
+        # expired).  No-op for nodes that kept a successor.
+        if not control:
+            sim.schedule_at(
+                heal_time + 10.0,
+                lambda: [
+                    net.ensure_joined(a) for a in net.live_addresses()
+                ],
+            )
+
+        net.run_for(schedule.end_time + config.recovery_time)
+        converged = net.wait_stable(max_time=60.0)
+
+        stats = net.system.network.stats
+        alarm_counts: Dict[str, int] = {}
+        for _, event, _ in alarms:
+            alarm_counts[event] = alarm_counts.get(event, 0) + 1
+        last_alarm = max((t for t, _, _ in alarms), default=None)
+        sound = (
+            last_alarm is None
+            or last_alarm <= heal_time + config.clear_grace
+        )
+        if control:
+            sound = not alarms
+        return CampaignVerdict(
+            seed=self.seed,
+            transport=config.transport,
+            stabilized=stabilized,
+            converged=converged,
+            sound=sound,
+            heal_time=heal_time,
+            last_alarm_time=last_alarm,
+            alarm_counts=alarm_counts,
+            alarms=alarms,
+            schedule=schedule.describe(),
+            counters={
+                "messages_sent": stats.messages_sent,
+                "messages_delivered": stats.messages_delivered,
+                "messages_dropped": stats.messages_dropped,
+                "messages_retransmitted": stats.messages_retransmitted,
+                "duplicates_suppressed": stats.duplicates_suppressed,
+                "send_failures": stats.send_failures,
+                "gap_skips": stats.gap_skips,
+                "acks_sent": stats.acks_sent,
+            },
+            drop_reasons=dict(stats.drop_reasons),
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run fixed-seed campaigns and print verdicts.
+
+    Used by the nightly ``campaign-smoke`` CI job::
+
+        python -m repro.faults.campaign --seeds 0 1 2
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument(
+        "--transport", choices=["udp", "reliable"], default="reliable"
+    )
+    parser.add_argument(
+        "--control", action="store_true", help="run without faults"
+    )
+    parser.add_argument(
+        "--fingerprints",
+        action="store_true",
+        help="print the canonical verdict JSON per seed",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in args.seeds:
+        config = CampaignConfig(
+            num_nodes=args.nodes, transport=args.transport
+        )
+        verdict = FaultCampaign(seed, config).run(control=args.control)
+        status = "PASS" if verdict.passed else "FAIL"
+        print(
+            f"[{status}] seed={seed} converged={verdict.converged} "
+            f"sound={verdict.sound} alarms={verdict.alarm_counts} "
+            f"retransmits={verdict.counters['messages_retransmitted']} "
+            f"drops={verdict.drop_reasons}"
+        )
+        for line in verdict.schedule:
+            print(f"         {line}")
+        if args.fingerprints:
+            print(verdict.fingerprint())
+        if not verdict.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,19 @@
-"""Crash, partition, and loss injection over a running system."""
+"""Crash, partition, loss, reordering, and duplication injection over a
+running system.
+
+Every injection is recorded in ``log`` as ``(virtual_time, kind, args)``
+— the ground-truth fault timeline campaign verdicts and forensic tests
+compare monitor alarms against.  The string ``kind`` names double as
+the vocabulary of the :class:`repro.faults.schedule.FaultSchedule` DSL,
+dispatched through :meth:`apply`.
+"""
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
 from repro.core.system import System
+from repro.errors import ReproError
 
 
 class FaultInjector:
@@ -53,6 +62,62 @@ class FaultInjector:
                 self._system.network.heal(address, other)
         self._record("rejoin", (address,))
 
+    def take_down(self, address: str) -> None:
+        """Silently drop the node's traffic (it keeps running blind)."""
+        self._system.network.take_down(address)
+        self._record("take_down", (address,))
+
+    def bring_up(self, address: str) -> None:
+        """Undo :meth:`take_down`."""
+        self._system.network.bring_up(address)
+        self._record("bring_up", (address,))
+
     def set_loss_rate(self, rate: float) -> None:
         self._system.network.set_loss_rate(rate)
         self._record("loss", (rate,))
+
+    def set_link_loss(self, src: str, dst: str, rate: float) -> None:
+        """Loss rate for one directed link (0 restores the global rate)."""
+        self._system.network.set_link_loss(src, dst, rate)
+        self._record("link_loss", (src, dst, rate))
+
+    def set_reorder_rate(self, rate: float) -> None:
+        self._system.network.set_reorder_rate(rate)
+        self._record("reorder", (rate,))
+
+    def set_duplicate_rate(self, rate: float) -> None:
+        self._system.network.set_duplicate_rate(rate)
+        self._record("duplicate", (rate,))
+
+    # ------------------------------------------------------------------
+    # Schedule dispatch
+
+    #: kind → bound-method name; the vocabulary of the FaultSchedule DSL.
+    KINDS = {
+        "crash": "crash",
+        "partition": "partition",
+        "heal": "heal",
+        "isolate": "isolate",
+        "rejoin": "rejoin",
+        "take_down": "take_down",
+        "bring_up": "bring_up",
+        "loss": "set_loss_rate",
+        "link_loss": "set_link_loss",
+        "reorder": "set_reorder_rate",
+        "duplicate": "set_duplicate_rate",
+    }
+
+    def apply(self, kind: str, *args) -> None:
+        """Inject a fault by its schedule-entry name."""
+        method = self.KINDS.get(kind)
+        if method is None:
+            raise ReproError(f"unknown fault kind: {kind!r}")
+        getattr(self, method)(*args)
+
+    def apply_at(self, when: float, kind: str, *args) -> None:
+        """Schedule :meth:`apply` at absolute virtual time ``when``."""
+        if kind not in self.KINDS:
+            raise ReproError(f"unknown fault kind: {kind!r}")
+        self._system.sim.schedule_at(
+            when, lambda: self.apply(kind, *args)
+        )

@@ -6,16 +6,27 @@ adopted without checking the recently-deceased list) runs normally until
 one node dies; its neighbors then oscillate between removing the dead
 node (ping timeout) and re-adopting it (gossip), which the oscillation
 monitor detects at all three granularities.
+
+:class:`TransientPartitionScenario` is the inverse demonstration —
+*correct* Chord under a fault that heals.  A timed partition window
+(driven by the :class:`~repro.faults.schedule.FaultSchedule` DSL)
+raises monitor alarms while it lasts; once the window closes the
+alarms stop.  This is the soundness contract the randomized
+:class:`~repro.faults.campaign.FaultCampaign` checks in bulk, shown on
+one deterministic schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.chord.harness import ChordNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.monitors.base import MonitorHandle
 from repro.monitors.oscillation import OscillationMonitor
+from repro.monitors.ring import RingProbeMonitor
 
 
 @dataclass
@@ -81,4 +92,93 @@ class OscillationScenario:
             ),
             repeat_oscillators=about_victim("repeatOscill"),
             chaotic=about_victim("chaotic"),
+        )
+
+
+@dataclass
+class TransientFaultReport:
+    """Alarm timeline of one healed fault window."""
+
+    schedule: List[str]
+    heal_time: float
+    #: Timestamped ``(time, event, reporting node)`` alarm records.
+    alarms: List[Tuple[float, str, str]]
+    converged: bool
+
+    def alarms_after(self, when: float) -> List[Tuple[float, str, str]]:
+        return [record for record in self.alarms if record[0] > when]
+
+    def cleared_within(self, grace: float) -> bool:
+        """True if no alarm fired later than ``grace`` seconds past the
+        heal (the campaign runner's soundness predicate)."""
+        return not self.alarms_after(self.heal_time + grace)
+
+
+class TransientPartitionScenario:
+    """Correct Chord + a partition window that heals = alarms that clear."""
+
+    def __init__(
+        self,
+        num_nodes: int = 8,
+        seed: int = 0,
+        transport: str = "reliable",
+        probe_period: float = 15.0,
+        check_period: float = 20.0,
+    ) -> None:
+        self.net = ChordNetwork(
+            num_nodes=num_nodes, seed=seed, transport=transport
+        )
+        self.ring_monitor = RingProbeMonitor(probe_period=probe_period)
+        self.osc_monitor = OscillationMonitor(check_period=check_period)
+
+    def run(
+        self,
+        stabilize_time: float = 240.0,
+        fault_start: float = 5.0,
+        fault_duration: float = 45.0,
+        observe_time: float = 260.0,
+    ) -> TransientFaultReport:
+        """Stabilize, partition two ring neighbors for a window, heal,
+        observe the alarm timeline."""
+        net = self.net
+        net.start()
+        net.wait_stable(max_time=stabilize_time)
+        nodes = [net.node(a) for a in net.live_addresses()]
+        handles = [
+            self.ring_monitor.install(nodes),
+            self.osc_monitor.install(nodes),
+        ]
+
+        alarms: List[Tuple[float, str, str]] = []
+        sim = net.system.sim
+        for node in nodes:
+            for handle in handles:
+                for event in handle.monitor.alarm_events:
+                    node.subscribe(
+                        event,
+                        lambda tup, _e=event, _n=node.address: alarms.append(
+                            (sim.now, _e, _n)
+                        ),
+                    )
+
+        # Partition a node from its current successor: the fault every
+        # ring probe and oscillation rule is pointed at.
+        victim = net.live_addresses()[0]
+        succ = net.best_succ_of(victim)
+        schedule = FaultSchedule()
+        schedule.window(
+            fault_start, fault_start + fault_duration, "partition",
+            victim, succ,
+        )
+        armed_at = net.system.now
+        schedule.apply(FaultInjector(net.system), offset=armed_at)
+        heal_time = armed_at + schedule.end_time
+
+        net.run_for(schedule.end_time + observe_time)
+        converged = net.wait_stable(max_time=60.0)
+        return TransientFaultReport(
+            schedule=schedule.describe(),
+            heal_time=heal_time,
+            alarms=alarms,
+            converged=converged,
         )

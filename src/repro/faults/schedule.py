@@ -1,0 +1,159 @@
+"""Timed fault schedules: a small DSL over the fault injector.
+
+A :class:`FaultSchedule` is a declarative list of ``(when, kind, args)``
+entries built with three combinators:
+
+- :meth:`at` — one fault at an absolute virtual time;
+- :meth:`every` — a fault repeated on a period over a bounded interval
+  (expanded eagerly into ``at`` entries so the schedule stays a plain,
+  comparable value);
+- :meth:`window` — a fault applied at a start time and automatically
+  *inverted* at an end time (partition → heal, isolate → rejoin,
+  take_down → bring_up, rate faults → rate 0).
+
+Schedules are inert data until :meth:`apply` arms them on a system's
+:class:`~repro.faults.injector.FaultInjector` via the sim clock, which
+makes them trivially serializable: :meth:`describe` emits the exact
+text form a campaign verdict embeds, so any campaign can be re-run from
+its seed or its printed schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One scheduled injection: apply ``kind(*args)`` at time ``when``."""
+
+    when: float
+    kind: str
+    args: Tuple
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"at {self.when:g}: {self.kind}({rendered})"
+
+
+def _rate_inverse(kind: str) -> Callable[[Tuple], Tuple[str, Tuple]]:
+    return lambda args: (kind, (0.0,))
+
+
+#: kind → function(args) -> (inverse kind, inverse args).  Kinds absent
+#: here (crash) are irreversible and rejected by :meth:`window`.
+INVERSES: Dict[str, Callable[[Tuple], Tuple[str, Tuple]]] = {
+    "partition": lambda args: ("heal", args),
+    "isolate": lambda args: ("rejoin", args),
+    "take_down": lambda args: ("bring_up", args),
+    "loss": _rate_inverse("loss"),
+    "reorder": _rate_inverse("reorder"),
+    "duplicate": _rate_inverse("duplicate"),
+    "link_loss": lambda args: ("link_loss", (args[0], args[1], 0.0)),
+}
+
+
+class FaultSchedule:
+    """An ordered, immutable-once-applied plan of fault injections."""
+
+    def __init__(self) -> None:
+        self._entries: List[ScheduleEntry] = []
+        self._applied = False
+
+    # ------------------------------------------------------------------
+    # Builders (each returns self for chaining)
+
+    def at(self, when: float, kind: str, *args) -> "FaultSchedule":
+        """Inject ``kind(*args)`` at absolute virtual time ``when``."""
+        self._check_mutable()
+        if when < 0:
+            raise ReproError(f"schedule time must be non-negative: {when}")
+        if kind not in FaultInjector.KINDS:
+            raise ReproError(f"unknown fault kind: {kind!r}")
+        self._entries.append(ScheduleEntry(when, kind, tuple(args)))
+        return self
+
+    def every(
+        self,
+        period: float,
+        kind: str,
+        *args,
+        start: Optional[float] = None,
+        until: float,
+    ) -> "FaultSchedule":
+        """Repeat ``kind(*args)`` each ``period`` seconds in
+        [start, until] (start defaults to one period in)."""
+        if period <= 0:
+            raise ReproError(f"period must be positive: {period}")
+        when = period if start is None else start
+        if until < when:
+            raise ReproError(
+                f"'until' ({until}) precedes the first firing ({when})"
+            )
+        while when <= until + 1e-12:
+            self.at(when, kind, *args)
+            when += period
+        return self
+
+    def window(
+        self, start: float, end: float, kind: str, *args
+    ) -> "FaultSchedule":
+        """Apply a fault at ``start`` and its inverse at ``end``."""
+        if end <= start:
+            raise ReproError(f"empty fault window [{start}, {end}]")
+        inverse = INVERSES.get(kind)
+        if inverse is None:
+            raise ReproError(
+                f"fault kind {kind!r} has no inverse; use at() instead"
+            )
+        self.at(start, kind, *args)
+        inv_kind, inv_args = inverse(tuple(args))
+        self.at(end, inv_kind, *inv_args)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[ScheduleEntry]:
+        """Entries in firing order (ties keep insertion order)."""
+        return sorted(self._entries, key=lambda e: e.when)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last entry (0 for an empty schedule) — after
+        this, every windowed fault has been healed."""
+        if not self._entries:
+            return 0.0
+        return max(e.when for e in self._entries)
+
+    def apply(
+        self, injector: FaultInjector, offset: float = 0.0
+    ) -> None:
+        """Arm every entry on the injector's sim clock (once).
+
+        ``offset`` shifts the whole schedule, so schedules written in
+        time-relative form ("10s into the campaign") can be armed after
+        an arbitrary stabilization phase.
+        """
+        if self._applied:
+            raise ReproError("schedule already applied")
+        self._applied = True
+        for entry in self.entries():
+            injector.apply_at(offset + entry.when, entry.kind, *entry.args)
+
+    def describe(self) -> List[str]:
+        """One line per entry, in firing order (embedded in verdicts)."""
+        return [entry.describe() for entry in self.entries()]
+
+    def _check_mutable(self) -> None:
+        if self._applied:
+            raise ReproError("cannot modify an applied schedule")
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self._entries)} entries>"

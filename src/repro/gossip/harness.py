@@ -27,11 +27,24 @@ class GossipNetwork:
         tracing: bool = False,
         latency: float = 0.01,
         stale_share_bug: bool = False,
+        loss_rate: float = 0.0,
+        transport: str = "udp",
+        reliable=None,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
     ) -> None:
         from repro.net.topology import ConstantLatency
 
         self.params = params if params is not None else GossipParams()
-        self.system = System(seed=seed, latency=ConstantLatency(latency))
+        self.system = System(
+            seed=seed,
+            latency=ConstantLatency(latency),
+            loss_rate=loss_rate,
+            transport=transport,
+            reliable=reliable,
+            reorder_rate=reorder_rate,
+            duplicate_rate=duplicate_rate,
+        )
         self.program = gossip_program(self.params, stale_share_bug)
         self.addresses: List[str] = [
             make_address(i, base_port=20000) for i in range(num_nodes)

@@ -21,7 +21,7 @@ tupleTable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set, Tuple as PyTuple
 
 from repro.overlog.ast import Materialize
 from repro.overlog.types import INFINITY
@@ -50,6 +50,12 @@ class TupleRegistry:
         self._memo: Dict[int, Tuple] = {}
         self._refs: Dict[int, int] = {}
         self._counter = 0
+        # (src, wire mid) pairs already accounted for: a retransmitted
+        # or fabric-duplicated message must not re-write tupleTable rows
+        # (each re-write replaces the row and re-fires its observers —
+        # double-counting the arrival in every downstream monitor).
+        self._seen_mids: Set[PyTuple] = set()
+        self.duplicates_ignored = 0
 
     # ------------------------------------------------------------------
     # Identity
@@ -75,7 +81,11 @@ class TupleRegistry:
         return self.ensure(tup, loc_spec=tup.location)
 
     def on_arrival(
-        self, tup: Tuple, src: Optional[str], src_tid: Optional[int]
+        self,
+        tup: Tuple,
+        src: Optional[str],
+        src_tid: Optional[int],
+        mid: Optional[int] = None,
     ) -> int:
         """Register a tuple received from the network.
 
@@ -83,9 +93,23 @@ class TupleRegistry:
         which is what lets distributed trace walks (§3.2) hop from the
         receiving node back to the rule execution that produced the
         tuple on the sender.
+
+        ``mid`` is the sender's wire-level message id.  A (src, mid)
+        pair seen before marks a retransmission or fabric duplicate of
+        a message already registered: the existing local ID is returned
+        and no tupleTable row is re-written, so duplicates do not
+        double-count in the refcount path or re-fire row observers.
         """
         if tup.name == TUPLE_TABLE:
             return -1
+        if src is not None and mid is not None:
+            if (src, mid) in self._seen_mids:
+                self.duplicates_ignored += 1
+                tid = self._ids.get(tup)
+                return tid if tid is not None else self.ensure(
+                    tup, loc_spec=tup.location
+                )
+            self._seen_mids.add((src, mid))
         tid = self.ensure(tup, loc_spec=tup.location)
         if src is not None and src_tid is not None:
             self._write_row(tid, src, src_tid, tup.location)

@@ -1,24 +1,39 @@
 """Simulated network substrate.
 
-Provides per-(src, dst) FIFO channels with configurable latency, loss, and
-partitions.  FIFO delivery matters: the paper's Chandy-Lamport snapshot
-implementation assumes in-order channels, and this package guarantees it
-even when latency is randomized (delivery times are made monotone per
-channel).
+Provides per-(src, dst) channels with configurable latency, loss,
+partitions, reordering, and duplication, under two transport modes:
+UDP-like fire-and-forget (the default, and the paper's transport) and a
+reliable mode (acks, retransmission with exponential backoff, dedup,
+reorder buffering) that presents exactly-once FIFO delivery to the
+application.  FIFO delivery matters: the paper's Chandy-Lamport
+snapshot implementation assumes in-order channels, and both modes
+guarantee it — UDP by clamping delivery times monotone per channel,
+reliable by sequence numbers.
 """
 
 from repro.net.address import Address, make_address
-from repro.net.channel import Channel
-from repro.net.network import Network, Message
-from repro.net.topology import LatencyModel, UniformLatency, ConstantLatency
+from repro.net.channel import Channel, ReliableChannel
+from repro.net.network import Message, Network, NetworkStats, ReliableConfig
+from repro.net.topology import (
+    AsymmetricLatency,
+    ConstantLatency,
+    JitteredLatency,
+    LatencyModel,
+    UniformLatency,
+)
 
 __all__ = [
     "Address",
     "make_address",
     "Channel",
+    "ReliableChannel",
     "Network",
+    "NetworkStats",
+    "ReliableConfig",
     "Message",
     "LatencyModel",
     "UniformLatency",
     "ConstantLatency",
+    "JitteredLatency",
+    "AsymmetricLatency",
 ]

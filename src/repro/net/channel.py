@@ -1,12 +1,24 @@
-"""A unidirectional FIFO channel between two addresses.
+"""Per-(src, dst) channel state for both transport modes.
 
-The channel tracks the latest scheduled delivery time and clamps each new
-message's delivery to be no earlier, so even a randomized latency model
-cannot reorder messages.  This is the property the Chandy-Lamport
-snapshot rules rely on.
+:class:`Channel` is the UDP-mode bookkeeping: it tracks the latest
+scheduled delivery time and clamps each new message's delivery to be no
+earlier, so even a randomized latency model cannot reorder messages.
+This is the property the Chandy-Lamport snapshot rules rely on.
+
+:class:`ReliableChannel` extends it with the state of the reliable
+transport mode: a sender window of unacknowledged sequence numbers and
+a receiver-side reorder buffer that restores per-channel FIFO,
+exactly-once delivery on top of a fabric that may drop, duplicate, and
+reorder individual frames.  The ack/retransmit driving logic lives in
+:class:`repro.net.network.Network` (which owns the clock and the random
+streams); this module owns the pure state transitions so they can be
+unit-tested without a simulator.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
 
 from repro.net.address import Address
 
@@ -20,9 +32,135 @@ class Channel:
         self._last_delivery = 0.0
         self.messages_sent = 0
 
-    def next_delivery_time(self, now: float, delay: float) -> float:
-        """Compute (and record) the FIFO-respecting delivery time."""
-        when = max(now + delay, self._last_delivery)
-        self._last_delivery = when
+    def next_delivery_time(
+        self, now: float, delay: float, fifo: bool = True
+    ) -> float:
+        """Compute (and record) the FIFO-respecting delivery time.
+
+        With ``fifo=False`` the monotone clamp is bypassed (used by the
+        reorder fault knob and by reliable-mode frames, whose ordering
+        is restored by sequence numbers instead).
+        """
+        when = now + delay
+        if fifo:
+            when = max(when, self._last_delivery)
+            self._last_delivery = when
         self.messages_sent += 1
         return when
+
+
+@dataclass
+class PendingSend:
+    """One unacknowledged reliable-mode message at the sender."""
+
+    seq: int
+    message: Any  # repro.net.network.Message
+    attempts: int = 0
+    timer: Any = None  # ScheduledEvent for the next retransmit
+
+
+class ReliableChannel(Channel):
+    """Sender window + receiver reorder buffer for one (src, dst) pair.
+
+    Sequence numbers are per-channel and start at 1.  The receiver
+    delivers strictly in sequence order; frames arriving ahead of a gap
+    are held in ``held`` until the gap fills (retransmission), the
+    sender's advertised base moves past it (the missing send was
+    abandoned — see :meth:`advance_base`), or the hold deadline passes,
+    so a permanently lost message cannot deadlock the channel.
+    """
+
+    def __init__(self, src: Address, dst: Address) -> None:
+        super().__init__(src, dst)
+        # Sender side.
+        self.next_seq = 1
+        self.pending: Dict[int, PendingSend] = {}
+        # Receiver side.
+        self.next_deliver = 1
+        self.held: Dict[int, Any] = {}
+        self.seen: Set[int] = set()
+        self.gap_timer: Any = None  # ScheduledEvent for gap skip
+
+    # ------------------------------------------------------------------
+    # Sender transitions
+
+    def open_send(self, message: Any) -> PendingSend:
+        """Allocate the next sequence number and track the send."""
+        seq = self.next_seq
+        self.next_seq += 1
+        entry = PendingSend(seq, message)
+        self.pending[seq] = entry
+        return entry
+
+    @property
+    def base(self) -> int:
+        """The lowest unresolved sequence number (``next_seq`` when the
+        window is empty).  Stamped onto every outgoing data frame so the
+        receiver can skip gaps the sender has already given up on."""
+        return min(self.pending) if self.pending else self.next_seq
+
+    def ack(self, seq: int) -> Optional[PendingSend]:
+        """Acknowledge ``seq``; returns the retired entry (None if the
+        ack is stale — already acked or given up on)."""
+        entry = self.pending.pop(seq, None)
+        if entry is not None and entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        return entry
+
+    def give_up(self, seq: int) -> Optional[PendingSend]:
+        """Abandon retransmission of ``seq`` (max retries exhausted)."""
+        return self.ack(seq)
+
+    # ------------------------------------------------------------------
+    # Receiver transitions
+
+    def accept(self, seq: int, message: Any) -> List[Any]:
+        """Record an arriving data frame; return messages now deliverable
+        in FIFO order (empty for duplicates and out-of-order arrivals).
+        """
+        if seq in self.seen or seq < self.next_deliver:
+            return []  # duplicate (retransmit or fabric duplication)
+        self.seen.add(seq)
+        self.held[seq] = message
+        return self._drain()
+
+    def advance_base(self, base: int) -> List[Any]:
+        """Advance past sequence numbers the sender has resolved.
+
+        Data frames carry the sender's *base* — its lowest still-pending
+        sequence number at transmit time (Go-Back-N style).  Everything
+        below it was either acked or abandoned, so the receiver must not
+        wait for it: held frames below the base are delivered in order,
+        missing ones are dead gaps skipped immediately.  Without this, a
+        channel idle across a give-up period would stall its next
+        message behind the dead gap for the whole hold horizon.
+        """
+        ready: List[Any] = []
+        while self.next_deliver < base:
+            if self.next_deliver in self.held:
+                ready.append(self.held.pop(self.next_deliver))
+                self.seen.discard(self.next_deliver)
+            self.next_deliver += 1
+        ready.extend(self._drain())
+        return ready
+
+    def skip_gap(self) -> List[Any]:
+        """Advance past a persistent gap (the sender gave up on it)."""
+        if not self.held:
+            return []
+        self.next_deliver = min(self.held)
+        return self._drain()
+
+    def _drain(self) -> List[Any]:
+        ready: List[Any] = []
+        while self.next_deliver in self.held:
+            ready.append(self.held.pop(self.next_deliver))
+            self.seen.discard(self.next_deliver)
+            self.next_deliver += 1
+        return ready
+
+    @property
+    def gapped(self) -> bool:
+        """True while frames are held behind an undelivered gap."""
+        return bool(self.held)

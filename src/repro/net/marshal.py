@@ -52,14 +52,24 @@ def encode_message(
     tup: Tuple,
     src: str,
     src_tid: Optional[int],
+    mid: Optional[int] = None,
 ) -> bytes:
-    """Marshal a tuple (plus trace identity) for transmission."""
+    """Marshal a tuple (plus trace identity) for transmission.
+
+    ``mid`` is the sender's wire-level message id — a per-node monotone
+    counter stamped on every send.  (src, mid) uniquely identifies one
+    logical transmission, which is what lets the receiving side's
+    introspection (the ``tupleTable`` registry) recognize a fabric
+    duplicate or retransmission of a message it already accounted for,
+    without confusing it with a genuine re-send of the same tuple.
+    """
     body = {
         "kind": "tuple",
         "name": tup.name,
         "values": [_encode_value(v) for v in tup.values],
         "src": src,
         "src_tid": src_tid,
+        "mid": mid,
     }
     return json.dumps(body, separators=(",", ":")).encode()
 
@@ -92,6 +102,7 @@ def decode_message(data: bytes) -> Dict[str, Any]:
             "values": tuple(_decode_value(v) for v in body["values"]),
             "src": body.get("src"),
             "src_tid": body.get("src_tid"),
+            "mid": body.get("mid"),
         }
     if kind == "delete":
         return {

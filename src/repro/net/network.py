@@ -1,22 +1,47 @@
 """The simulated network connecting virtual P2 nodes.
 
-Nodes register a receive callback under their address.  ``send`` schedules
-delivery through a per-(src, dst) FIFO channel; loss and partitions drop
-messages before scheduling.  The network also keeps global and per-node
-message counters — these are the "Tx messages" series plotted in the
-paper's Figures 6 and 7.
+Nodes register a receive callback under their address.  ``send`` routes
+through one of two transport modes:
+
+- **udp** (default) — fire-and-forget over a per-(src, dst) FIFO
+  channel, exactly the paper's transport: loss, partitions, and crashes
+  silently drop messages and the sender cannot tell.
+- **reliable** — per-message acks, retransmission with exponential
+  backoff + jitter, receiver-side dedup and reorder buffering.  The
+  application sees exactly-once, per-channel FIFO delivery even when
+  the fabric drops, duplicates, and reorders frames; a message that
+  exhausts its retries becomes a *sender-visible* drop
+  (``drop_reasons["retries_exhausted"]`` plus the ``on_send_failure``
+  callbacks).
+
+Fault knobs beyond loss/partition/crash: ``reorder_rate`` (a message
+skips the FIFO clamp and takes extra random delay), ``duplicate_rate``
+(the fabric delivers a second copy), and per-directed-link loss rates
+layered over the global one.
+
+The network keeps global and per-node message counters — the "Tx
+messages" series of the paper's Figures 6 and 7 — plus a per-reason
+drop breakdown and retransmit counters the fault-campaign verdicts are
+built from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.net.address import Address
-from repro.net.channel import Channel
+from repro.net.channel import Channel, PendingSend, ReliableChannel
 from repro.net.topology import ConstantLatency, LatencyModel
 from repro.sim.simulator import Simulator
+
+#: Drop-reason keys used in :attr:`NetworkStats.drop_reasons`.
+DROP_LOSS = "loss"
+DROP_PARTITION = "partition"
+DROP_DOWN = "down"
+DROP_NO_RECEIVER = "no_receiver"
+DROP_RETRIES = "retries_exhausted"
 
 
 @dataclass
@@ -31,36 +56,117 @@ class Message:
 
 
 @dataclass
+class ReliableConfig:
+    """Tuning for the reliable transport mode.
+
+    The retransmit timeout for attempt *k* (0-based) is
+    ``rto * backoff ** k`` plus a uniform jitter in ``[0, jitter)``
+    drawn from the ``net.rto`` stream, so the backoff sequence is
+    deterministic under the master seed.  ``max_retries`` counts
+    retransmissions (so a message is transmitted at most
+    ``max_retries + 1`` times) before the sender gives up.
+    ``hold_timeout`` bounds receiver-side head-of-line blocking: a
+    frame held behind a gap longer than this has its gap skipped
+    (the sender must have given up on it).  ``None`` derives it from
+    the full retransmit horizon.
+    """
+
+    rto: float = 0.25
+    backoff: float = 2.0
+    max_retries: int = 6
+    jitter: float = 0.05
+    hold_timeout: Optional[float] = None
+
+    def timeout_for(self, attempt: int) -> float:
+        return self.rto * (self.backoff ** attempt)
+
+    def horizon(self) -> float:
+        """Upper bound on the time a sender keeps retrying a message."""
+        if self.hold_timeout is not None:
+            return self.hold_timeout
+        total = sum(
+            self.timeout_for(k) for k in range(self.max_retries + 1)
+        )
+        return total + self.jitter * (self.max_retries + 1) + 1.0
+
+
+@dataclass
 class NetworkStats:
-    """Counters the benchmark harness samples."""
+    """Counters the benchmark harness and campaign verdicts sample.
+
+    ``messages_sent``/``per_node_sent`` count application sends (the
+    paper's Tx series); retransmissions and acks are transport
+    overhead, counted separately.  Every dropped message increments
+    ``messages_dropped`` *and* one ``drop_reasons`` bucket, so the
+    breakdown always sums to the total and a campaign verdict never
+    has to guess why a message vanished.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    messages_retransmitted: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    duplicates_suppressed: int = 0
+    acks_sent: int = 0
+    acks_dropped: int = 0
+    send_failures: int = 0
+    gap_skips: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
     per_node_sent: Dict[Address, int] = field(default_factory=dict)
     per_node_received: Dict[Address, int] = field(default_factory=dict)
+    per_node_failed: Dict[Address, int] = field(default_factory=dict)
+
+    def count_drop(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
 
 
 class Network:
-    """FIFO message fabric with loss and partition injection."""
+    """Message fabric with two transport modes and rich fault injection."""
 
     def __init__(
         self,
         sim: Simulator,
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
+        transport: str = "udp",
+        reliable: Optional[ReliableConfig] = None,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_window: float = 0.05,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss rate must be in [0, 1): {loss_rate}")
+        if transport not in ("udp", "reliable"):
+            raise NetworkError(f"unknown transport mode: {transport!r}")
+        for name, rate in (
+            ("reorder", reorder_rate),
+            ("duplicate", duplicate_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise NetworkError(
+                    f"{name} rate must be in [0, 1): {rate}"
+                )
         self._sim = sim
         self._latency = latency if latency is not None else ConstantLatency(0.01)
         self._loss_rate = loss_rate
+        self._link_loss: Dict[Tuple[Address, Address], float] = {}
+        self.transport = transport
+        self.reliable_config = reliable if reliable is not None else ReliableConfig()
+        self._reorder_rate = reorder_rate
+        self._duplicate_rate = duplicate_rate
+        self._reorder_window = reorder_window
         self._receivers: Dict[Address, Callable[[Message], None]] = {}
         self._channels: Dict[Tuple[Address, Address], Channel] = {}
         self._blocked: Set[frozenset] = set()
         self._down: Set[Address] = set()
         self.stats = NetworkStats()
+        #: Called with the abandoned :class:`Message` when the reliable
+        #: transport exhausts its retries — the sender-visible drop.
+        self.on_send_failure: List[Callable[[Message], None]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -105,38 +211,95 @@ class Network:
             raise NetworkError(f"loss rate must be in [0, 1): {rate}")
         self._loss_rate = rate
 
+    def set_latency_model(self, model: LatencyModel) -> None:
+        """Swap the latency model (e.g. for a jittered-latency fault
+        window); affects messages sent from now on."""
+        self._latency = model
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    def set_link_loss(self, src: Address, dst: Address, rate: float) -> None:
+        """Set a loss rate for the directed link src → dst (overrides the
+        global rate for that link; 0 restores the global rate)."""
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1): {rate}")
+        if rate == 0.0:
+            self._link_loss.pop((src, dst), None)
+        else:
+            self._link_loss[(src, dst)] = rate
+
+    def set_reorder_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"reorder rate must be in [0, 1): {rate}")
+        self._reorder_rate = rate
+
+    def set_duplicate_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"duplicate rate must be in [0, 1): {rate}")
+        self._duplicate_rate = rate
+
     # ------------------------------------------------------------------
     # Sending
 
     def send(self, src: Address, dst: Address, payload: Any, size: int = 0) -> None:
-        """Send ``payload`` from ``src`` to ``dst`` over the FIFO channel.
+        """Send ``payload`` from ``src`` to ``dst``.
 
-        Messages to unknown/down/partitioned destinations are counted as
-        sent and dropped — matching a UDP-like transport where the sender
-        cannot tell.
+        UDP mode: messages to unknown/down/partitioned destinations are
+        counted as sent and dropped — the sender cannot tell.  Reliable
+        mode: the message is tracked until acked or retries run out;
+        only exhaustion makes it a (sender-visible) drop.
         """
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
         self.stats.per_node_sent[src] = self.stats.per_node_sent.get(src, 0) + 1
 
         message = Message(src, dst, payload, self._sim.now, size)
-        if self._should_drop(src, dst):
-            self.stats.messages_dropped += 1
+        if self.transport == "reliable":
+            channel = self._reliable_channel(src, dst)
+            entry = channel.open_send(message)
+            self._transmit(channel, entry, first=True)
+            return
+        reason = self._drop_reason(src, dst)
+        if reason is not None:
+            self.stats.count_drop(reason)
             return
         channel = self._channel(src, dst)
-        delay = self._latency.delay(src, dst)
-        when = channel.next_delivery_time(self._sim.now, delay)
+        self._schedule_udp(channel, message)
+        if self._duplicate_rate > 0.0 and (
+            self._sim.random.stream("net.dup").random() < self._duplicate_rate
+        ):
+            self.stats.messages_duplicated += 1
+            self._schedule_udp(channel, message, force_no_fifo=True)
+
+    def _schedule_udp(
+        self, channel: Channel, message: Message, force_no_fifo: bool = False
+    ) -> None:
+        delay = self._latency.delay(message.src, message.dst)
+        fifo = not force_no_fifo
+        if self._reorder_rate > 0.0 and (
+            self._sim.random.stream("net.reorder").random() < self._reorder_rate
+        ):
+            self.stats.messages_reordered += 1
+            delay += self._sim.random.stream("net.reorder").uniform(
+                0, self._reorder_window
+            )
+            fifo = False
+        when = channel.next_delivery_time(self._sim.now, delay, fifo=fifo)
         self._sim.schedule_at(when, lambda: self._deliver(message))
 
-    def _should_drop(self, src: Address, dst: Address) -> bool:
+    def _drop_reason(self, src: Address, dst: Address) -> Optional[str]:
+        """Why a transmission attempt would fail right now (None = ok)."""
         if src in self._down or dst in self._down:
-            return True
+            return DROP_DOWN
         if frozenset((src, dst)) in self._blocked:
-            return True
-        if self._loss_rate > 0.0:
-            if self._sim.random.stream("net.loss").random() < self._loss_rate:
-                return True
-        return False
+            return DROP_PARTITION
+        rate = self._link_loss.get((src, dst), self._loss_rate)
+        if rate > 0.0:
+            if self._sim.random.stream("net.loss").random() < rate:
+                return DROP_LOSS
+        return None
 
     def _channel(self, src: Address, dst: Address) -> Channel:
         key = (src, dst)
@@ -144,17 +307,181 @@ class Network:
             self._channels[key] = Channel(src, dst)
         return self._channels[key]
 
+    def _reliable_channel(self, src: Address, dst: Address) -> ReliableChannel:
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = ReliableChannel(src, dst)
+            self._channels[key] = channel
+        elif not isinstance(channel, ReliableChannel):
+            raise NetworkError(
+                f"channel {src} -> {dst} was opened in UDP mode; "
+                "transport mode cannot change mid-run"
+            )
+        return channel
+
     def _deliver(self, message: Message) -> None:
         # Re-check faults at delivery time: a node that crashed while the
         # message was in flight must not receive it.
         if message.dst in self._down or message.src in self._down:
-            self.stats.messages_dropped += 1
+            self.stats.count_drop(DROP_DOWN)
             return
         receiver = self._receivers.get(message.dst)
         if receiver is None:
-            self.stats.messages_dropped += 1
+            self.stats.count_drop(DROP_NO_RECEIVER)
             return
         self.stats.messages_delivered += 1
         per_node = self.stats.per_node_received
         per_node[message.dst] = per_node.get(message.dst, 0) + 1
         receiver(message)
+
+    # ------------------------------------------------------------------
+    # Reliable transport: ack / retransmit / reorder machinery
+
+    def _transmit(
+        self, channel: ReliableChannel, entry: PendingSend, first: bool
+    ) -> None:
+        """One transmission attempt of a tracked message (plus the
+        retransmit timer that backstops it)."""
+        message = entry.message
+        if not first:
+            self.stats.messages_retransmitted += 1
+        reason = self._drop_reason(message.src, message.dst)
+        if reason is None:
+            base = channel.base
+            self._schedule_frame(channel, entry.seq, base, message)
+            if self._duplicate_rate > 0.0 and (
+                self._sim.random.stream("net.dup").random()
+                < self._duplicate_rate
+            ):
+                self.stats.messages_duplicated += 1
+                self._schedule_frame(channel, entry.seq, base, message)
+        # A failed attempt is not yet a drop: the retransmit timer gets
+        # another try.  Only exhaustion below counts one.
+        config = self.reliable_config
+        if entry.attempts > config.max_retries:
+            raise NetworkError("transmit called past max retries")
+        timeout = config.timeout_for(entry.attempts)
+        if config.jitter > 0:
+            timeout += self._sim.random.stream("net.rto").uniform(
+                0, config.jitter
+            )
+        entry.attempts += 1
+        entry.timer = self._sim.schedule(
+            timeout, lambda: self._retransmit(channel, entry)
+        )
+
+    def _retransmit(self, channel: ReliableChannel, entry: PendingSend) -> None:
+        if channel.pending.get(entry.seq) is not entry:
+            return  # acked (or abandoned) in the meantime
+        if entry.attempts > self.reliable_config.max_retries:
+            channel.give_up(entry.seq)
+            self.stats.count_drop(DROP_RETRIES)
+            self.stats.send_failures += 1
+            failed = self.stats.per_node_failed
+            src = entry.message.src
+            failed[src] = failed.get(src, 0) + 1
+            for callback in self.on_send_failure:
+                callback(entry.message)
+            return
+        self._transmit(channel, entry, first=False)
+
+    def _schedule_frame(
+        self, channel: ReliableChannel, seq: int, base: int, message: Message
+    ) -> None:
+        """Schedule fabric delivery of one data frame (seq restores
+        ordering, so the FIFO clamp is bypassed; ``base`` is the
+        sender's lowest unresolved seq at transmit time)."""
+        delay = self._latency.delay(message.src, message.dst)
+        if self._reorder_rate > 0.0 and (
+            self._sim.random.stream("net.reorder").random() < self._reorder_rate
+        ):
+            self.stats.messages_reordered += 1
+            delay += self._sim.random.stream("net.reorder").uniform(
+                0, self._reorder_window
+            )
+        when = channel.next_delivery_time(self._sim.now, delay, fifo=False)
+        self._sim.schedule_at(
+            when, lambda: self._deliver_frame(channel, seq, base, message)
+        )
+
+    def _deliver_frame(
+        self, channel: ReliableChannel, seq: int, base: int, message: Message
+    ) -> None:
+        if message.dst in self._down or message.src in self._down:
+            # In-flight crash/down: the retransmit timer (or retry
+            # exhaustion) accounts for this message, not a drop here.
+            return
+        if message.dst not in self._receivers:
+            return
+        # Ack every arriving frame — including duplicates, whose
+        # original ack may have been the thing that got lost.
+        self._send_ack(channel, seq)
+        if seq in channel.seen or seq < channel.next_deliver:
+            self.stats.duplicates_suppressed += 1
+        # Everything below the frame's base is resolved at the sender
+        # (acked or abandoned) — deliver held frames below it and stop
+        # waiting for dead gaps, instead of stalling out the hold timer.
+        for queued in channel.advance_base(base):
+            self._deliver_app(queued)
+        ready = channel.accept(seq, message)
+        if not ready and channel.gapped:
+            # Held behind a gap: bound head-of-line blocking in case the
+            # sender has given up on the missing frame.
+            self._arm_gap_timer(channel)
+        for queued in ready:
+            self._deliver_app(queued)
+        if not channel.gapped and channel.gap_timer is not None:
+            channel.gap_timer.cancel()
+            channel.gap_timer = None
+
+    def _deliver_app(self, message: Message) -> None:
+        receiver = self._receivers.get(message.dst)
+        if receiver is None:
+            self.stats.count_drop(DROP_NO_RECEIVER)
+            return
+        self.stats.messages_delivered += 1
+        per_node = self.stats.per_node_received
+        per_node[message.dst] = per_node.get(message.dst, 0) + 1
+        receiver(message)
+
+    def _send_ack(self, channel: ReliableChannel, seq: int) -> None:
+        """Ship an ack back over the reverse link (it can be lost too)."""
+        self.stats.acks_sent += 1
+        reason = self._drop_reason(channel.dst, channel.src)
+        if reason is not None:
+            self.stats.acks_dropped += 1
+            return
+        delay = self._latency.delay(channel.dst, channel.src)
+        self._sim.schedule(delay, lambda: self._deliver_ack(channel, seq))
+
+    def _deliver_ack(self, channel: ReliableChannel, seq: int) -> None:
+        channel.ack(seq)
+
+    def _arm_gap_timer(self, channel: ReliableChannel) -> None:
+        if channel.gap_timer is not None:
+            return
+        channel.gap_timer = self._sim.schedule(
+            self.reliable_config.horizon(), lambda: self._skip_gap(channel)
+        )
+
+    def _skip_gap(self, channel: ReliableChannel) -> None:
+        channel.gap_timer = None
+        if not channel.gapped:
+            return
+        self.stats.gap_skips += 1
+        for queued in channel.skip_gap():
+            self._deliver_app(queued)
+        if channel.gapped:
+            self._arm_gap_timer(channel)
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and verdicts
+
+    def pending_reliable(self) -> int:
+        """Unacknowledged reliable-mode messages across all channels."""
+        return sum(
+            len(ch.pending)
+            for ch in self._channels.values()
+            if isinstance(ch, ReliableChannel)
+        )

@@ -2,10 +2,14 @@
 
 The paper does not shape network topology for its experiments (none of its
 measurements involve latency), so :class:`ConstantLatency` is the default.
-:class:`UniformLatency` is available for churn/robustness experiments.
+:class:`UniformLatency`, :class:`JitteredLatency`, and
+:class:`AsymmetricLatency` are available for churn/robustness
+experiments and fault campaigns.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.net.address import Address
@@ -50,3 +54,68 @@ class UniformLatency(LatencyModel):
         if self.high == self.low:
             return self.low
         return self._rng.uniform(self.low, self.high)
+
+
+class JitteredLatency(LatencyModel):
+    """A base delay plus uniform jitter in [0, jitter) per message.
+
+    Equivalent to ``UniformLatency(rand, base, base + jitter)`` but
+    parameterized the way fault schedules describe links: a nominal
+    propagation delay and a jitter magnitude that campaigns can crank
+    up independently.
+    """
+
+    def __init__(self, rand: SimRandom, base: float, jitter: float) -> None:
+        if base < 0 or jitter < 0:
+            raise NetworkError(
+                f"invalid jittered latency base={base} jitter={jitter}"
+            )
+        self._rng = rand.stream("net.latency")
+        self.base = base
+        self.jitter = jitter
+
+    def delay(self, src: Address, dst: Address) -> float:
+        if self.jitter == 0:
+            return self.base
+        return self.base + self._rng.uniform(0, self.jitter)
+
+
+class AsymmetricLatency(LatencyModel):
+    """Per-directed-link delay overrides on top of a default model.
+
+    Overrides map a ``(src, dst)`` pair to either a fixed delay in
+    seconds or a nested :class:`LatencyModel`.  The mapping is
+    directional, so ``(a, b)`` and ``(b, a)`` can differ — the
+    asymmetric-path fault the ring probes must survive.
+    """
+
+    def __init__(
+        self,
+        default: LatencyModel,
+        overrides: Dict[
+            Tuple[Address, Address], Union[float, LatencyModel]
+        ] = None,
+    ) -> None:
+        self._default = default
+        self._overrides: Dict[
+            Tuple[Address, Address], Union[float, LatencyModel]
+        ] = dict(overrides or {})
+
+    def set_link(
+        self, src: Address, dst: Address, delay: Union[float, LatencyModel]
+    ) -> None:
+        """Override the one-way delay for the directed link src → dst."""
+        if isinstance(delay, (int, float)) and delay < 0:
+            raise NetworkError(f"latency must be non-negative: {delay}")
+        self._overrides[(src, dst)] = delay
+
+    def clear_link(self, src: Address, dst: Address) -> None:
+        self._overrides.pop((src, dst), None)
+
+    def delay(self, src: Address, dst: Address) -> float:
+        override = self._overrides.get((src, dst))
+        if override is None:
+            return self._default.delay(src, dst)
+        if isinstance(override, LatencyModel):
+            return override.delay(src, dst)
+        return float(override)

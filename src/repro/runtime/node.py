@@ -82,6 +82,9 @@ class P2Node:
         self.tuples_delivered = 0
         self.bytes_delivered = 0
         self.rule_executions = 0
+        # Wire-level message id counter: stamped on every outgoing tuple
+        # so receivers can recognize fabric duplicates/retransmissions.
+        self._wire_mid = 0
 
         network.attach(address, self.receive)
         self._timers.append(
@@ -226,7 +229,10 @@ class P2Node:
         tup = Tuple(payload["name"], tuple(payload["values"]))
         if self.registry is not None:
             self.registry.on_arrival(
-                tup, payload.get("src"), payload.get("src_tid")
+                tup,
+                payload.get("src"),
+                payload.get("src_tid"),
+                mid=payload.get("mid"),
             )
         self._deliver_local(tup)
         self._pump()
@@ -322,7 +328,8 @@ class P2Node:
         src_tid = None
         if self.registry is not None:
             src_tid = self.registry.on_send(tup, str(tup.location))
-        wire = encode_message(tup, self.address, src_tid)
+        self._wire_mid += 1
+        wire = encode_message(tup, self.address, src_tid, mid=self._wire_mid)
         self.network.send(
             self.address, str(tup.location), wire, size=len(wire)
         )

@@ -55,6 +55,37 @@ def test_meter_tx_counts():
     assert sample.per_node_tx["a:1"] == 5
 
 
+def test_meter_samples_retransmits_and_drop_reasons():
+    from repro.net.network import ReliableConfig
+
+    system = System(
+        seed=4,
+        transport="reliable",
+        loss_rate=0.4,
+        reliable=ReliableConfig(rto=0.1, max_retries=6),
+    )
+    a = system.add_node("a:1")
+    system.add_node("b:1").install_source("r out@N(X) :- evt@N(X).")
+    a.install_source("r evt@Dst(X) :- go@N(Dst, X).")
+    # Pre-window traffic must not leak into the window's deltas.
+    for i in range(10):
+        a.inject("go", ("a:1", "b:1", i))
+    system.run_for(30.0)
+    meter = Meter(system)
+    meter.start()
+    for i in range(20):
+        a.inject("go", ("a:1", "b:1", i + 100))
+    system.run_for(30.0)
+    sample = meter.stop()
+    assert sample.tx_messages == 20
+    assert 0 < sample.tx_retransmits <= (
+        system.network.stats.messages_retransmitted
+    )
+    # Per-attempt losses are retried, not dropped, so a lossy reliable
+    # window reports no drops unless retries were exhausted.
+    assert sample.drop_reasons.get("loss", 0) == 0
+
+
 def test_meter_subset_of_nodes():
     system = busy_system()
     system.add_node("idle:1")

@@ -1,0 +1,104 @@
+"""Monitor-soundness fault campaigns.
+
+The properties the paper's monitors must satisfy to be usable for
+forensics: alarms raised during a fault window *clear* once the fault
+heals (no stuck false alarms), and fault-free control runs raise no
+alarms at all.  Campaigns are seeded and their verdicts byte-for-byte
+reproducible, so any failure here is replayable from its seed alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+
+FAST_SEEDS = [0, 1, 2]
+# The full randomized soundness sweep (nightly tier).
+CAMPAIGN_SEEDS = list(range(50))
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(num_nodes=6, stabilize_time=240.0)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def assert_sound(verdict) -> None:
+    assert verdict.stabilized, "ring never stabilized before the campaign"
+    assert verdict.converged, (
+        f"ring did not re-converge after heal: schedule={verdict.schedule}"
+    )
+    assert verdict.sound, (
+        f"alarms still firing {verdict.last_alarm_time - verdict.heal_time:.1f}s "
+        f"after heal (grace {verdict.last_alarm_time:.1f}): "
+        f"schedule={verdict.schedule} alarms={verdict.alarm_counts}"
+    )
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_campaign_alarms_clear_after_heal(seed):
+    verdict = FaultCampaign(seed, small_config()).run()
+    assert_sound(verdict)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_control_runs_raise_zero_alarms(seed):
+    verdict = FaultCampaign(seed, small_config()).run(control=True)
+    assert verdict.alarm_counts == {}
+    assert verdict.passed
+
+
+def test_fixed_seed_campaign_is_byte_for_byte_reproducible():
+    first = FaultCampaign(4, small_config()).run()
+    second = FaultCampaign(4, small_config()).run()
+    assert first.fingerprint() == second.fingerprint()
+    assert first.schedule == second.schedule
+    assert first.counters == second.counters
+
+
+def test_verdict_reports_transport_counters():
+    verdict = FaultCampaign(0, small_config()).run()
+    assert verdict.counters["messages_sent"] > 0
+    assert verdict.counters["messages_delivered"] > 0
+    assert verdict.counters["acks_sent"] > 0
+    # Every drop is attributed to a reason.
+    assert (
+        sum(verdict.drop_reasons.values())
+        == verdict.counters["messages_dropped"]
+    )
+
+
+def test_udp_campaigns_also_run():
+    verdict = FaultCampaign(1, small_config(transport="udp")).run()
+    assert verdict.stabilized
+    assert verdict.counters["messages_retransmitted"] == 0
+    assert verdict.counters["acks_sent"] == 0
+
+
+def test_distinct_seeds_sample_distinct_schedules():
+    schedules = {
+        tuple(FaultCampaign(seed, small_config()).sample_schedule(
+            [f"n{i}:1000{i}" for i in range(6)]
+        ).describe())
+        for seed in range(8)
+    }
+    assert len(schedules) > 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", CAMPAIGN_SEEDS)
+def test_randomized_campaign_soundness_sweep(seed):
+    """~50 randomized fault campaigns: every alarm raised during a
+    fault window clears within the grace bound after heal, and the
+    ring re-converges."""
+    verdict = FaultCampaign(seed, small_config()).run()
+    assert_sound(verdict)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 17, 33])
+def test_control_soundness_sweep(seed):
+    verdict = FaultCampaign(seed, small_config()).run(control=True)
+    assert verdict.alarm_counts == {}
+    assert verdict.passed

@@ -1,4 +1,4 @@
-from repro.faults import OscillationScenario
+from repro.faults import OscillationScenario, TransientPartitionScenario
 
 
 def test_oscillation_scenario_report_shape():
@@ -23,3 +23,17 @@ def test_scenario_handle_exposes_raw_alarms():
     scenario.run(stabilize_time=120.0, observe_time=60.0)
     assert scenario.handle is not None
     assert scenario.handle.count("oscill") > 0
+
+
+def test_transient_partition_alarms_raise_then_clear():
+    scenario = TransientPartitionScenario(num_nodes=6, seed=3)
+    report = scenario.run()
+    # The window produced alarms while it lasted...
+    assert any(t <= report.heal_time for t, _, _ in report.alarms), (
+        f"partition window raised no alarms: {report.schedule}"
+    )
+    # ...and they stopped within the campaign grace bound after heal.
+    assert report.cleared_within(200.0), (
+        f"alarms stuck after heal: {report.alarms_after(report.heal_time)}"
+    )
+    assert report.converged

@@ -1,0 +1,139 @@
+"""FaultSchedule DSL: at/every/window entries armed on the sim clock."""
+
+import pytest
+
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+
+
+@pytest.fixture
+def system():
+    system = System(seed=0)
+    for name in ("a", "b", "c"):
+        system.add_node(name)
+    return system
+
+
+@pytest.fixture
+def injector(system):
+    return FaultInjector(system)
+
+
+def test_at_entries_fire_at_their_times(system, injector):
+    schedule = FaultSchedule()
+    schedule.at(1.0, "partition", "a", "b").at(3.0, "heal", "a", "b")
+    schedule.apply(injector)
+    system.run_for(2.0)
+    assert [(k, a) for _, k, a in injector.log] == [
+        ("partition", ("a", "b"))
+    ]
+    system.run_for(2.0)
+    assert [(k, a) for _, k, a in injector.log] == [
+        ("partition", ("a", "b")),
+        ("heal", ("a", "b")),
+    ]
+
+
+def test_window_applies_inverse_at_end(system, injector):
+    schedule = FaultSchedule()
+    schedule.window(1.0, 4.0, "isolate", "b")
+    schedule.window(2.0, 5.0, "loss", 0.25)
+    schedule.window(2.5, 5.5, "link_loss", "a", "c", 0.5)
+    system.run_for(3.0)  # schedules are armed mid-run via the offset
+    schedule.apply(injector, offset=system.now)
+    system.run_for(10.0)
+    assert [(k, a) for _, k, a in injector.log] == [
+        ("isolate", ("b",)),
+        ("loss", (0.25,)),
+        ("link_loss", ("a", "c", 0.5)),
+        ("rejoin", ("b",)),
+        ("loss", (0.0,)),
+        ("link_loss", ("a", "c", 0.0)),
+    ]
+
+
+def test_window_offsets_shift_the_whole_schedule(system, injector):
+    schedule = FaultSchedule()
+    schedule.window(1.0, 2.0, "partition", "a", "b")
+    schedule.apply(injector, offset=10.0)
+    system.run_for(5.0)
+    assert injector.log == []
+    system.run_for(10.0)
+    assert [k for _, k, _ in injector.log] == ["partition", "heal"]
+
+
+def test_every_expands_within_bounds():
+    schedule = FaultSchedule()
+    schedule.every(2.0, "loss", 0.1, until=7.0)
+    times = [e.when for e in schedule.entries()]
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_every_with_explicit_start():
+    schedule = FaultSchedule()
+    schedule.every(5.0, "reorder", 0.2, start=1.0, until=12.0)
+    assert [e.when for e in schedule.entries()] == [1.0, 6.0, 11.0]
+
+
+def test_entries_sorted_and_end_time():
+    schedule = FaultSchedule()
+    schedule.at(5.0, "crash", "c").at(1.0, "loss", 0.1)
+    assert [e.when for e in schedule.entries()] == [1.0, 5.0]
+    assert schedule.end_time == 5.0
+    assert FaultSchedule().end_time == 0.0
+
+
+def test_describe_round_trips_entry_text():
+    schedule = FaultSchedule()
+    schedule.window(1.0, 2.0, "partition", "a", "b")
+    assert schedule.describe() == [
+        "at 1: partition('a', 'b')",
+        "at 2: heal('a', 'b')",
+    ]
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "meteor", "a")
+
+
+def test_crash_has_no_window_inverse():
+    with pytest.raises(ReproError):
+        FaultSchedule().window(1.0, 2.0, "crash", "a")
+
+
+def test_empty_or_negative_windows_rejected():
+    with pytest.raises(ReproError):
+        FaultSchedule().window(2.0, 2.0, "loss", 0.1)
+    with pytest.raises(ReproError):
+        FaultSchedule().at(-1.0, "loss", 0.1)
+    with pytest.raises(ReproError):
+        FaultSchedule().every(0.0, "loss", 0.1, until=5.0)
+    with pytest.raises(ReproError):
+        FaultSchedule().every(2.0, "loss", 0.1, start=6.0, until=5.0)
+
+
+def test_apply_is_single_shot(system, injector):
+    schedule = FaultSchedule().at(1.0, "loss", 0.1)
+    schedule.apply(injector)
+    with pytest.raises(ReproError):
+        schedule.apply(injector)
+    with pytest.raises(ReproError):
+        schedule.at(2.0, "loss", 0.2)
+
+
+def test_injector_apply_dispatch(system, injector):
+    injector.apply("take_down", "b")
+    injector.apply("bring_up", "b")
+    injector.apply("duplicate", 0.2)
+    assert [k for _, k, _ in injector.log] == [
+        "take_down",
+        "bring_up",
+        "duplicate",
+    ]
+    with pytest.raises(ReproError):
+        injector.apply("meteor")
+    with pytest.raises(ReproError):
+        injector.apply_at(1.0, "meteor")

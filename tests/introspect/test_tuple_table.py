@@ -82,3 +82,57 @@ def test_id_reused_after_discard_gets_fresh_identity(registry):
     second = registry.id_of(tup)
     assert second != first
     assert registry.lookup(second) == tup
+
+
+def test_arrival_with_repeated_mid_is_ignored(node, registry):
+    """A retransmitted / fabric-duplicated message (same src + wire mid)
+    must not re-write the tupleTable row: a re-write replaces the row
+    and re-fires its observers, double-counting in the refcount path."""
+    removed = []
+    registry._table.on_remove.append(
+        lambda row, reason: removed.append(row)
+    )
+    tup = Tuple("e", ("z:1", 5))
+    tid = registry.on_arrival(tup, src="m:1", src_tid=42, mid=7)
+    replaced_by_first = len(removed)
+    again = registry.on_arrival(tup, src="m:1", src_tid=42, mid=7)
+    assert again == tid
+    assert registry.duplicates_ignored == 1
+    assert len(removed) == replaced_by_first  # no row re-write
+    assert registry.source_of(tid) == ("m:1", 42)
+
+
+def test_arrival_with_fresh_mid_counts_as_new_message(node, registry):
+    tup = Tuple("e", ("z:1", 5))
+    tid = registry.on_arrival(tup, src="m:1", src_tid=42, mid=7)
+    assert registry.on_arrival(tup, src="m:1", src_tid=43, mid=8) == tid
+    assert registry.duplicates_ignored == 0  # distinct send, same content
+
+
+def test_arrival_without_mid_skips_dedup(node, registry):
+    tup = Tuple("e", ("z:1", 5))
+    registry.on_arrival(tup, src="m:1", src_tid=42)
+    registry.on_arrival(tup, src="m:1", src_tid=42)
+    assert registry.duplicates_ignored == 0
+
+
+def test_wire_duplicates_do_not_double_register():
+    """End to end over a duplicating UDP fabric: the registry accounts
+    each sent message once, however many copies the fabric delivers."""
+    from repro.core.system import System
+
+    system = System(seed=9, duplicate_rate=0.45)
+    a = system.add_node("a", tracing=True)
+    b = system.add_node("b", tracing=True)
+    source = """
+    materialize(sink, 100, 100, keys(1,2)).
+    f1 sink@B(X) :- src@A(B, X).
+    """
+    a.install_source(source)
+    b.install_source(source)
+    for i in range(40):
+        a.inject("src", ("a", "b", i))
+    system.run_for(10.0)
+    assert system.network.stats.messages_duplicated > 0
+    assert b.registry.duplicates_ignored > 0
+    assert len(b.query("sink")) == 40

@@ -3,7 +3,12 @@ import pytest
 from repro.errors import NetworkError
 from repro.net.address import make_address, EMPTY_ADDRESS
 from repro.net.channel import Channel
-from repro.net.topology import ConstantLatency, UniformLatency
+from repro.net.topology import (
+    AsymmetricLatency,
+    ConstantLatency,
+    JitteredLatency,
+    UniformLatency,
+)
 from repro.sim.rand import SimRandom
 
 
@@ -35,6 +40,57 @@ def test_uniform_latency_deterministic():
 def test_uniform_latency_rejects_bad_range():
     with pytest.raises(NetworkError):
         UniformLatency(SimRandom(1), 0.05, 0.01)
+
+
+def test_jittered_latency_stays_in_band():
+    model = JitteredLatency(SimRandom(1), base=0.02, jitter=0.03)
+    for _ in range(100):
+        assert 0.02 <= model.delay("a", "b") < 0.05
+
+
+def test_jittered_latency_zero_jitter_is_constant():
+    model = JitteredLatency(SimRandom(1), base=0.02, jitter=0.0)
+    assert model.delay("a", "b") == 0.02
+
+
+def test_jittered_latency_deterministic_per_seed():
+    a = JitteredLatency(SimRandom(9), 0.01, 0.05)
+    b = JitteredLatency(SimRandom(9), 0.01, 0.05)
+    assert [a.delay("x", "y") for _ in range(10)] == [
+        b.delay("x", "y") for _ in range(10)
+    ]
+
+
+def test_jittered_latency_rejects_negative():
+    with pytest.raises(NetworkError):
+        JitteredLatency(SimRandom(1), -0.01, 0.05)
+    with pytest.raises(NetworkError):
+        JitteredLatency(SimRandom(1), 0.01, -0.05)
+
+
+def test_asymmetric_latency_is_directional():
+    model = AsymmetricLatency(ConstantLatency(0.01))
+    model.set_link("a", "b", 0.5)
+    assert model.delay("a", "b") == 0.5
+    assert model.delay("b", "a") == 0.01  # reverse direction untouched
+    assert model.delay("a", "c") == 0.01
+    model.clear_link("a", "b")
+    assert model.delay("a", "b") == 0.01
+
+
+def test_asymmetric_latency_nested_model_override():
+    model = AsymmetricLatency(
+        ConstantLatency(0.01),
+        overrides={("a", "b"): JitteredLatency(SimRandom(1), 0.1, 0.05)},
+    )
+    assert 0.1 <= model.delay("a", "b") < 0.15
+    assert model.delay("b", "a") == 0.01
+
+
+def test_asymmetric_latency_rejects_negative_override():
+    model = AsymmetricLatency(ConstantLatency(0.01))
+    with pytest.raises(NetworkError):
+        model.set_link("a", "b", -0.5)
 
 
 def test_channel_enforces_monotone_delivery():
