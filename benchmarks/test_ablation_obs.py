@@ -1,0 +1,124 @@
+"""Ablation: what the telemetry plane costs (docs/OBSERVABILITY.md).
+
+Three claims are pinned on a fixed single-node workload:
+
+- **determinism** — two disabled runs produce identical virtual-clock
+  measurements (the baseline is exact, not statistical);
+- **no heisenberg** — enabling observability does not change the
+  simulation: the virtual-clock sample (cpu%, tx, tuples, ops) of the
+  enabled run equals the disabled run *exactly*, because spans and the
+  flight recorder never touch the sim clock or the random streams;
+- **bounded wall cost** — the real-time overhead of recording spans,
+  histograms, and events is measured and written to
+  ``benchmarks/results/BENCH_obs.json`` for trend tooling, alongside
+  the usual text table.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import Row, sample_to_row, write_json, write_results
+from repro.core.metrics import Meter
+from repro.core.system import System
+
+WORKLOAD = """
+materialize(state, 60, 200, keys(1,2)).
+w1 state@N(E) :- periodic@N(E, 0.5).
+w2 derived@N(S) :- state@N(S).
+w3 chained@N(S) :- derived@N(S).
+"""
+
+WINDOW = 120.0
+
+
+def run_one(label: str, observability: bool):
+    wall0 = time.perf_counter()
+    system = System(seed=5, observability=observability)
+    node = system.add_node("n:1")
+    node.install_source(WORKLOAD, name="workload")
+    system.run_for(20.0)
+    meter = Meter(system)
+    meter.start()
+    system.run_for(WINDOW)
+    sample = meter.stop()
+    wall = time.perf_counter() - wall0
+    return sample_to_row(label, sample), sample, wall, system
+
+
+def virtual_signature(sample) -> tuple:
+    """Everything the simulation computed, independent of wall time."""
+    return (
+        sample.cpu_percent,
+        sample.tx_messages,
+        sample.live_tuples,
+        sample.memory_bytes,
+        sample.churn_bytes,
+        tuple(sorted(sample.ops.items())),
+    )
+
+
+def run_ablation():
+    baseline_row, baseline, wall_a, _ = run_one("disabled", False)
+    repeat_row, repeat, wall_b, _ = run_one("disabled#2", False)
+    enabled_row, enabled, wall_c, system = run_one("enabled", True)
+    return {
+        "rows": [baseline_row, repeat_row, enabled_row],
+        "samples": (baseline, repeat, enabled),
+        "walls": (wall_a, wall_b, wall_c),
+        "system": system,
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_obs_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    baseline, repeat, enabled = result["samples"]
+    wall_a, wall_b, wall_c = result["walls"]
+    system = result["system"]
+
+    # Determinism: same seed, same config => identical measurements.
+    assert virtual_signature(baseline) == virtual_signature(repeat)
+    # No heisenberg: telemetry must not perturb the simulation.
+    assert virtual_signature(enabled) == virtual_signature(baseline)
+
+    # The enabled run actually recorded something.
+    records = system.telemetry.recorder.snapshot()
+    spans = [r for r in records if r["type"] == "span"]
+    assert spans, "enabled run recorded no spans"
+    rule_hist = system.telemetry.rule_duration.merged()
+    assert rule_hist.count > 0
+
+    baseline_wall = min(wall_a, wall_b)
+    overhead = (wall_c - baseline_wall) / baseline_wall
+    write_results(
+        "ablation_obs",
+        f"Ablation: telemetry plane on a fixed workload "
+        f"(window {WINDOW:.0f}s, overhead {100 * overhead:+.1f}% wall)",
+        result["rows"],
+    )
+    write_json(
+        "BENCH_obs",
+        {
+            "workload": {"window_s": WINDOW, "seed": 5, "nodes": 1},
+            "wall_seconds": {
+                "disabled": baseline_wall,
+                "enabled": wall_c,
+            },
+            "overhead_ratio": overhead,
+            "spans_recorded": len(spans),
+            "records_total": len(records),
+            "rule_duration_seconds": {
+                "count": rule_hist.count,
+                "mean": rule_hist.mean(),
+                "p50": rule_hist.percentile(50),
+                "p95": rule_hist.percentile(95),
+                "p99": rule_hist.percentile(99),
+                "max": rule_hist.max,
+            },
+            "ops_per_wall_second": {
+                "disabled": sum(baseline.ops.values()) / baseline_wall,
+                "enabled": sum(enabled.ops.values()) / wall_c,
+            },
+        },
+    )

@@ -45,6 +45,7 @@ class ChordNetwork:
         reliable: Optional[ReliableConfig] = None,
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
+        observability: bool = False,
     ) -> None:
         self.params = params if params is not None else ChordParams()
         self.system = System(
@@ -60,6 +61,7 @@ class ChordNetwork:
             reliable=reliable,
             reorder_rate=reorder_rate,
             duplicate_rate=duplicate_rate,
+            observability=observability,
         )
         self.program = chord_program(self.params, recycle_dead_bug)
         self.addresses: List[str] = [

@@ -14,6 +14,12 @@ measures the simulated equivalents over a window of virtual time:
 - **memory_bytes** — mean over samples of estimated tuple bytes (our
   proxy for process memory, which in P2 is tuple-dominated).
 
+Every number is read through the system's telemetry registry
+(:class:`repro.obs.metrics.MetricsRegistry`), whose callback adapters
+expose the network and work-model counters — the meter never reaches
+into ``NetworkStats`` or a node's work model directly, so it measures
+exactly what the exporters export.
+
 Usage::
 
     meter = Meter(system, addresses=["n20:10020"])
@@ -98,6 +104,10 @@ class Meter:
             return list(self._addresses)
         return list(self._system.nodes)
 
+    @property
+    def _registry(self):
+        return self._system.telemetry.metrics
+
     def start(self) -> None:
         if self._running:
             raise ReproError("meter already running")
@@ -105,30 +115,45 @@ class Meter:
         self._t0 = self._system.sim.now
         self._tuple_samples = []
         self._byte_samples = []
-        stats = self._system.network.stats
-        self._retrans0 = stats.messages_retransmitted
-        self._drops0 = dict(stats.drop_reasons)
+        reg = self._registry
+        self._retrans0 = reg.value(
+            "net_counters_total", ("messages_retransmitted",)
+        )
+        self._drops0 = {
+            key[0]: count
+            for key, count in reg.snapshot("net_dropped_total").items()
+        }
         self._churn0 = {}
+        busy = reg.snapshot("node_busy_seconds")
+        sent = reg.snapshot("net_sent_total")
+        churn = reg.snapshot("node_bytes_delivered_total")
+        ops = reg.snapshot("node_work_ops_total")
         for address in self._targets():
-            node = self._system.node(address)
-            self._busy0[address] = node.work.busy_seconds
-            self._tx0[address] = stats.per_node_sent.get(address, 0)
-            self._churn0[address] = node.bytes_delivered
-            self._ops0[address] = dict(node.work.counters.counts)
+            key = (address,)
+            self._busy0[address] = busy.get(key, 0.0)
+            self._tx0[address] = sent.get(key, 0)
+            self._churn0[address] = churn.get(key, 0)
+            self._ops0[address] = {
+                op: count
+                for (node, op), count in ops.items()
+                if node == address
+            }
         self._sample()
         self._timer = self._system.sim.every(
             self._sample_period, self._sample
         )
 
     def _sample(self) -> None:
-        total_tuples = 0
-        total_bytes = 0
-        for address in self._targets():
-            node = self._system.node(address)
-            total_tuples += node.live_tuples()
-            total_bytes += node.memory_bytes()
-        self._tuple_samples.append(total_tuples)
-        self._byte_samples.append(total_bytes)
+        reg = self._registry
+        tuples = reg.snapshot("node_live_tuples")
+        memory = reg.snapshot("node_memory_bytes")
+        targets = self._targets()
+        self._tuple_samples.append(
+            sum(tuples.get((a,), 0) for a in targets)
+        )
+        self._byte_samples.append(
+            sum(memory.get((a,), 0) for a in targets)
+        )
 
     def stop(self) -> MetricsSample:
         if not self._running:
@@ -139,31 +164,34 @@ class Meter:
             self._timer = None
         self._sample()
         elapsed = max(self._system.sim.now - self._t0, 1e-9)
-        stats = self._system.network.stats
+        reg = self._registry
+        busy_now = reg.snapshot("node_busy_seconds")
+        sent_now = reg.snapshot("net_sent_total")
+        churn_now = reg.snapshot("node_bytes_delivered_total")
+        ops_now = reg.snapshot("node_work_ops_total")
         per_node_cpu: Dict[str, float] = {}
         per_node_tx: Dict[str, int] = {}
         for address in self._targets():
-            node = self._system.node(address)
-            busy = node.work.busy_seconds - self._busy0[address]
+            key = (address,)
+            busy = busy_now.get(key, 0.0) - self._busy0[address]
             per_node_cpu[address] = 100.0 * busy / elapsed
             per_node_tx[address] = (
-                stats.per_node_sent.get(address, 0) - self._tx0[address]
+                sent_now.get(key, 0) - self._tx0[address]
             )
         churn = sum(
-            self._system.node(address).bytes_delivered
-            - self._churn0[address]
+            churn_now.get((address,), 0) - self._churn0[address]
             for address in self._targets()
         )
+        targets = set(self._targets())
         ops: Dict[str, int] = {}
-        for address in self._targets():
-            counts = self._system.node(address).work.counters.counts
-            baseline = self._ops0.get(address, {})
-            for op, count in counts.items():
-                delta = count - baseline.get(op, 0)
-                if delta:
-                    ops[op] = ops.get(op, 0) + delta
+        for (node, op), count in ops_now.items():
+            if node not in targets:
+                continue
+            delta = count - self._ops0.get(node, {}).get(op, 0)
+            if delta:
+                ops[op] = ops.get(op, 0) + delta
         drop_reasons: Dict[str, int] = {}
-        for reason, count in stats.drop_reasons.items():
+        for (reason,), count in reg.snapshot("net_dropped_total").items():
             delta = count - self._drops0.get(reason, 0)
             if delta:
                 drop_reasons[reason] = delta
@@ -175,7 +203,10 @@ class Meter:
             live_tuples=sum(self._tuple_samples) / len(self._tuple_samples) / n,
             memory_bytes=sum(self._byte_samples) / len(self._byte_samples) / n,
             churn_bytes=churn,
-            tx_retransmits=stats.messages_retransmitted - self._retrans0,
+            tx_retransmits=int(
+                reg.value("net_counters_total", ("messages_retransmitted",))
+                - self._retrans0
+            ),
             drop_reasons=drop_reasons,
             per_node_cpu=per_node_cpu,
             per_node_tx=per_node_tx,

@@ -2,15 +2,24 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.net.address import Address
 from repro.net.network import Network, ReliableConfig
 from repro.net.topology import ConstantLatency, LatencyModel
+from repro.obs.hooks import ObsTraceHooks
+from repro.obs.telemetry import Telemetry, wire_system_metrics
+from repro.obs.export import (
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
 from repro.overlog.program import Program
 from repro.overlog.types import DEFAULT_ID_BITS
 from repro.runtime.node import P2Node
+from repro.runtime.strand import CompositeTraceHooks
 from repro.sim.simulator import Simulator
 from repro.introspect import EventLogger, Reflector, Tracer, enable_tracing
 
@@ -21,6 +30,11 @@ class System:
     Owns the discrete-event simulator and the network; creates nodes and
     optionally wires their introspection (tracing / event logging /
     reflection).  All randomness derives from ``seed``.
+
+    The telemetry plane (:mod:`repro.obs`) always exists — its metrics
+    registry is a lazy read layer over counters the runtime maintains
+    anyway — but spans and the flight recorder only activate with
+    ``observability=True``; disabled, no hot path ever calls into it.
     """
 
     def __init__(
@@ -33,8 +47,22 @@ class System:
         reliable: Optional[ReliableConfig] = None,
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
+        observability: bool = False,
+        obs_capacity: int = 65536,
+        obs_sample_rate: float = 1.0,
     ) -> None:
         self.sim = Simulator(seed=seed)
+        self.telemetry = Telemetry(
+            clock=lambda: self.sim.now,
+            enabled=observability,
+            capacity=obs_capacity,
+            sample_rate=obs_sample_rate,
+            rng=(
+                self.sim.random.stream("obs.sampling")
+                if obs_sample_rate < 1.0
+                else None
+            ),
+        )
         self.network = Network(
             self.sim,
             latency if latency is not None else ConstantLatency(0.01),
@@ -43,12 +71,14 @@ class System:
             reliable=reliable,
             reorder_rate=reorder_rate,
             duplicate_rate=duplicate_rate,
+            obs=self.telemetry if observability else None,
         )
         self.id_bits = id_bits
         self.nodes: Dict[Address, P2Node] = {}
         self.tracers: Dict[Address, Tracer] = {}
         self.loggers: Dict[Address, EventLogger] = {}
         self.reflectors: Dict[Address, Reflector] = {}
+        wire_system_metrics(self.telemetry, self)
 
     # ------------------------------------------------------------------
 
@@ -74,6 +104,13 @@ class System:
             self.loggers[address] = EventLogger(node)
         if reflection:
             self.reflectors[address] = Reflector(node)
+        if self.telemetry.enabled:
+            node.obs = self.telemetry
+            obs_hooks = ObsTraceHooks(self.telemetry, str(address))
+            if node.hooks is not None:
+                node.hooks = CompositeTraceHooks([node.hooks, obs_hooks])
+            else:
+                node.hooks = obs_hooks
         return node
 
     def node(self, address: Address) -> P2Node:
@@ -132,3 +169,35 @@ class System:
         for address in targets:
             self.node(address).subscribe(name, sink.append)
         return sink
+
+    # ------------------------------------------------------------------
+
+    def export_telemetry(
+        self,
+        directory: str,
+        prefix: str = "telemetry",
+        meta: Optional[dict] = None,
+    ) -> Dict[str, str]:
+        """Write the three telemetry artifacts into ``directory``.
+
+        Returns ``{"trace": ..., "jsonl": ..., "prom": ...}`` paths.  The
+        exports are byte-stable for a given seed and workload: every
+        timestamp comes from the virtual clock and every ordering is
+        explicitly sorted.
+        """
+        os.makedirs(directory, exist_ok=True)
+        if meta is None:
+            meta = {
+                "seed": self.sim.random.seed,
+                "now": self.sim.now,
+                "nodes": len(self.nodes),
+            }
+        paths = {
+            "trace": os.path.join(directory, f"{prefix}.trace.json"),
+            "jsonl": os.path.join(directory, f"{prefix}.jsonl"),
+            "prom": os.path.join(directory, f"{prefix}.prom"),
+        }
+        write_chrome_trace(self.telemetry, paths["trace"], meta=meta)
+        write_jsonl(self.telemetry, paths["jsonl"], meta=meta)
+        write_prometheus(self.telemetry, paths["prom"])
+        return paths

@@ -62,6 +62,14 @@ class CampaignConfig:
     oscillation_check: float = 20.0
     #: Include irreversible crashes in the sampled fault mix.
     allow_crash: bool = False
+    #: Run with the telemetry plane enabled (spans, flight recorder,
+    #: fault/alarm events).  Implied by ``artifact_dir``.
+    observability: bool = False
+    #: Export telemetry artifacts here after the run (trace + JSONL +
+    #: Prometheus, prefix ``campaign_seed<seed>``); the verdict embeds
+    #: the JSONL path so a failure can be replayed in Perfetto or
+    #: ``python -m repro.obs summarize``.
+    artifact_dir: Optional[str] = None
 
     def reliable_config(self) -> ReliableConfig:
         return self.reliable if self.reliable is not None else ReliableConfig()
@@ -83,6 +91,9 @@ class CampaignVerdict:
     schedule: List[str] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Path of the exported telemetry JSONL artifact (None when the
+    #: campaign ran without ``artifact_dir``).
+    artifact: Optional[str] = None
 
     @property
     def passed(self) -> bool:
@@ -112,6 +123,7 @@ class CampaignVerdict:
                 "schedule": self.schedule,
                 "counters": self.counters,
                 "drop_reasons": self.drop_reasons,
+                "artifact": self.artifact,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -208,6 +220,7 @@ class FaultCampaign:
             seed=self.seed,
             transport=config.transport,
             reliable=config.reliable_config(),
+            observability=config.observability or bool(config.artifact_dir),
         )
         net.start()
         stabilized = net.wait_stable(max_time=config.stabilize_time)
@@ -273,6 +286,22 @@ class FaultCampaign:
         )
         if control:
             sound = not alarms
+        artifact = None
+        if config.artifact_dir:
+            prefix = f"campaign_seed{self.seed}"
+            if control:
+                prefix += "_control"
+            paths = net.system.export_telemetry(
+                config.artifact_dir,
+                prefix=prefix,
+                meta={
+                    "seed": self.seed,
+                    "transport": config.transport,
+                    "nodes": config.num_nodes,
+                    "control": control,
+                },
+            )
+            artifact = paths["jsonl"]
         return CampaignVerdict(
             seed=self.seed,
             transport=config.transport,
@@ -295,6 +324,7 @@ class FaultCampaign:
                 "acks_sent": stats.acks_sent,
             },
             drop_reasons=dict(stats.drop_reasons),
+            artifact=artifact,
         )
 
 
@@ -321,12 +351,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the canonical verdict JSON per seed",
     )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="run with telemetry enabled and export trace/JSONL/Prometheus "
+        "artifacts per seed into DIR",
+    )
     args = parser.parse_args(argv)
 
     failures = 0
     for seed in args.seeds:
         config = CampaignConfig(
-            num_nodes=args.nodes, transport=args.transport
+            num_nodes=args.nodes,
+            transport=args.transport,
+            artifact_dir=args.artifacts,
         )
         verdict = FaultCampaign(seed, config).run(control=args.control)
         status = "PASS" if verdict.passed else "FAIL"
@@ -338,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for line in verdict.schedule:
             print(f"         {line}")
+        if verdict.artifact:
+            print(f"         artifact: {verdict.artifact}")
         if args.fingerprints:
             print(verdict.fingerprint())
         if not verdict.passed:

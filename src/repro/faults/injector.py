@@ -23,8 +23,16 @@ class FaultInjector:
         self._system = system
         self.log: List[Tuple[float, str, tuple]] = []
 
+    @property
+    def system(self) -> System:
+        """The system faults are injected into (read-only)."""
+        return self._system
+
     def _record(self, kind: str, args: tuple) -> None:
         self.log.append((self._system.now, kind, args))
+        tel = self._system.telemetry
+        if tel.enabled:
+            tel.event("fault", kind=kind, args=[str(a) for a in args])
 
     # ------------------------------------------------------------------
 

@@ -144,8 +144,24 @@ class FaultSchedule:
         if self._applied:
             raise ReproError("schedule already applied")
         self._applied = True
-        for entry in self.entries():
+        entries = self.entries()
+        for entry in entries:
             injector.apply_at(offset + entry.when, entry.kind, *entry.args)
+        tel = injector.system.telemetry
+        if tel.enabled and entries:
+            sim = injector.system.sim
+            tel.event(
+                "phase", phase="fault_schedule_armed",
+                entries=len(entries), offset=offset,
+            )
+            first = offset + entries[0].when
+            last = offset + self.end_time
+            sim.schedule_at(
+                first, lambda: tel.event("phase", phase="fault_window_begin")
+            )
+            sim.schedule_at(
+                last, lambda: tel.event("phase", phase="fault_window_end")
+            )
 
     def describe(self) -> List[str]:
         """One line per entry, in firing order (embedded in verdicts)."""

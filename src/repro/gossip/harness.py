@@ -32,6 +32,7 @@ class GossipNetwork:
         reliable=None,
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
+        observability: bool = False,
     ) -> None:
         from repro.net.topology import ConstantLatency
 
@@ -44,6 +45,7 @@ class GossipNetwork:
             reliable=reliable,
             reorder_rate=reorder_rate,
             duplicate_rate=duplicate_rate,
+            observability=observability,
         )
         self.program = gossip_program(self.params, stale_share_bug)
         self.addresses: List[str] = [

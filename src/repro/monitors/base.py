@@ -39,10 +39,35 @@ class MonitorHandle:
         self._subscriptions = []
         for node in nodes:
             for name in monitor.alarm_events:
-                sink = self.alarms[name].append
+                sink = self._make_sink(node, name)
                 node.subscribe(name, sink)
                 self._subscriptions.append((node, name, sink))
         self.removed = False
+
+    def _make_sink(self, node: P2Node, name: str):
+        """The subscription callback for one (node, alarm) pair.
+
+        When the node carries a telemetry plane the alarm is also
+        emitted as a ``monitor.alarm`` event, so exported traces show
+        detections on the same timeline as the faults that caused them.
+        """
+        collected = self.alarms[name].append
+        if node.obs is None:
+            return collected
+        obs = node.obs
+        monitor_name = self.monitor.name
+        node_label = str(node.address)
+
+        def sink(tup: Tuple) -> None:
+            collected(tup)
+            obs.event(
+                "monitor.alarm",
+                monitor=monitor_name,
+                event=name,
+                node=node_label,
+            )
+
+        return sink
 
     def remove(self) -> None:
         """Uninstall the monitor's rules and stop collecting alarms."""

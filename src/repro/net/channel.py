@@ -48,6 +48,10 @@ class Channel:
         self.messages_sent += 1
         return when
 
+    def obs_state(self) -> dict:
+        """Snapshot for the telemetry plane's per-channel gauges."""
+        return {"messages_sent": self.messages_sent}
+
 
 @dataclass
 class PendingSend:
@@ -164,3 +168,14 @@ class ReliableChannel(Channel):
     def gapped(self) -> bool:
         """True while frames are held behind an undelivered gap."""
         return bool(self.held)
+
+    def obs_state(self) -> dict:
+        """Snapshot for the telemetry plane's per-channel gauges:
+        sender window depth and receiver head-of-line state."""
+        return {
+            "messages_sent": self.messages_sent,
+            "pending": len(self.pending),
+            "held": len(self.held),
+            "next_seq": self.next_seq,
+            "next_deliver": self.next_deliver,
+        }

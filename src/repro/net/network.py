@@ -137,6 +137,7 @@ class Network:
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         reorder_window: float = 0.05,
+        obs=None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss rate must be in [0, 1): {loss_rate}")
@@ -164,6 +165,9 @@ class Network:
         self._blocked: Set[frozenset] = set()
         self._down: Set[Address] = set()
         self.stats = NetworkStats()
+        #: Telemetry plane (``repro.obs.telemetry.Telemetry``) or None;
+        #: None keeps every fast path free of telemetry calls.
+        self.obs = obs
         #: Called with the abandoned :class:`Message` when the reliable
         #: transport exhausts its retries — the sender-visible drop.
         self.on_send_failure: List[Callable[[Message], None]] = []
@@ -263,7 +267,7 @@ class Network:
             return
         reason = self._drop_reason(src, dst)
         if reason is not None:
-            self.stats.count_drop(reason)
+            self._drop(reason, src, dst)
             return
         channel = self._channel(src, dst)
         self._schedule_udp(channel, message)
@@ -288,6 +292,12 @@ class Network:
             fifo = False
         when = channel.next_delivery_time(self._sim.now, delay, fifo=fifo)
         self._sim.schedule_at(when, lambda: self._deliver(message))
+
+    def _drop(self, reason: str, src: Address, dst: Address) -> None:
+        """Account one dropped message (stats bucket + telemetry event)."""
+        self.stats.count_drop(reason)
+        if self.obs is not None:
+            self.obs.event("net.drop", reason=reason, link=f"{src}->{dst}")
 
     def _drop_reason(self, src: Address, dst: Address) -> Optional[str]:
         """Why a transmission attempt would fail right now (None = ok)."""
@@ -324,15 +334,20 @@ class Network:
         # Re-check faults at delivery time: a node that crashed while the
         # message was in flight must not receive it.
         if message.dst in self._down or message.src in self._down:
-            self.stats.count_drop(DROP_DOWN)
+            self._drop(DROP_DOWN, message.src, message.dst)
             return
         receiver = self._receivers.get(message.dst)
         if receiver is None:
-            self.stats.count_drop(DROP_NO_RECEIVER)
+            self._drop(DROP_NO_RECEIVER, message.src, message.dst)
             return
         self.stats.messages_delivered += 1
         per_node = self.stats.per_node_received
         per_node[message.dst] = per_node.get(message.dst, 0) + 1
+        if self.obs is not None:
+            self.obs.msg_latency.observe(
+                self._sim.now - message.sent_at,
+                link=f"{message.src}->{message.dst}",
+            )
         receiver(message)
 
     # ------------------------------------------------------------------
@@ -346,6 +361,13 @@ class Network:
         message = entry.message
         if not first:
             self.stats.messages_retransmitted += 1
+            if self.obs is not None:
+                self.obs.event(
+                    "net.retransmit",
+                    link=f"{message.src}->{message.dst}",
+                    seq=entry.seq,
+                    attempt=entry.attempts,
+                )
         reason = self._drop_reason(message.src, message.dst)
         if reason is None:
             base = channel.base
@@ -366,6 +388,10 @@ class Network:
             timeout += self._sim.random.stream("net.rto").uniform(
                 0, config.jitter
             )
+        if self.obs is not None:
+            self.obs.backoff.observe(
+                timeout, link=f"{message.src}->{message.dst}"
+            )
         entry.attempts += 1
         entry.timer = self._sim.schedule(
             timeout, lambda: self._retransmit(channel, entry)
@@ -376,11 +402,17 @@ class Network:
             return  # acked (or abandoned) in the meantime
         if entry.attempts > self.reliable_config.max_retries:
             channel.give_up(entry.seq)
-            self.stats.count_drop(DROP_RETRIES)
+            self._drop(DROP_RETRIES, entry.message.src, entry.message.dst)
             self.stats.send_failures += 1
             failed = self.stats.per_node_failed
             src = entry.message.src
             failed[src] = failed.get(src, 0) + 1
+            if self.obs is not None:
+                self.obs.event(
+                    "net.send_failure",
+                    link=f"{src}->{entry.message.dst}",
+                    seq=entry.seq,
+                )
             for callback in self.on_send_failure:
                 callback(entry.message)
             return
@@ -438,11 +470,16 @@ class Network:
     def _deliver_app(self, message: Message) -> None:
         receiver = self._receivers.get(message.dst)
         if receiver is None:
-            self.stats.count_drop(DROP_NO_RECEIVER)
+            self._drop(DROP_NO_RECEIVER, message.src, message.dst)
             return
         self.stats.messages_delivered += 1
         per_node = self.stats.per_node_received
         per_node[message.dst] = per_node.get(message.dst, 0) + 1
+        if self.obs is not None:
+            self.obs.msg_latency.observe(
+                self._sim.now - message.sent_at,
+                link=f"{message.src}->{message.dst}",
+            )
         receiver(message)
 
     def _send_ack(self, channel: ReliableChannel, seq: int) -> None:
@@ -470,6 +507,10 @@ class Network:
         if not channel.gapped:
             return
         self.stats.gap_skips += 1
+        if self.obs is not None:
+            self.obs.event(
+                "net.gap_skip", link=f"{channel.src}->{channel.dst}"
+            )
         for queued in channel.skip_gap():
             self._deliver_app(queued)
         if channel.gapped:
@@ -485,3 +526,11 @@ class Network:
             for ch in self._channels.values()
             if isinstance(ch, ReliableChannel)
         )
+
+    def channel_states(self) -> Dict[str, Dict[str, int]]:
+        """Per-channel state snapshots keyed ``"src->dst"`` (the metric
+        registry's channel gauges read this)."""
+        return {
+            f"{src}->{dst}": channel.obs_state()
+            for (src, dst), channel in self._channels.items()
+        }

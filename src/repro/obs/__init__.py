@@ -1,0 +1,68 @@
+"""Unified telemetry: spans, metrics, flight recorder, and exporters.
+
+The observability plane the paper argues every distributed system
+should carry (§2–§3 apply it to the *monitored* system; this package
+applies it to the reproduction itself):
+
+- :mod:`repro.obs.telemetry` — the :class:`Telemetry` hub: a span API
+  on the virtual clock with parent/child causality, instant events,
+  and the standard instruments;
+- :mod:`repro.obs.recorder` — the bounded, deterministic
+  :class:`FlightRecorder` ring the spans and events land in;
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of labeled
+  counters, gauges, and log-linear histograms, plus lazy callback
+  adapters over counters that live elsewhere;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (loads in
+  Perfetto), structured JSONL, and Prometheus text exporters;
+- :mod:`repro.obs.summarize` — the offline analyzer behind
+  ``python -m repro.obs summarize <artifact>``;
+- :mod:`repro.obs.hooks` — strand-level taps riding the tracer's
+  :class:`~repro.runtime.strand.TraceHooks` seam.
+
+Enable it per system with ``System(observability=True)``; export with
+``system.export_telemetry(directory)``.  When disabled (the default),
+every instrumentation point in the runtime and network layers holds a
+``None`` and the telemetry plane costs nothing.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import NULL_SPAN, Span, Telemetry, wire_system_metrics
+from repro.obs.hooks import ObsTraceHooks
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.summarize import Artifact, summarize
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "NULL_SPAN",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "ObsTraceHooks",
+    "wire_system_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "Artifact",
+    "summarize",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` — telemetry artifact analysis CLI."""
+
+from repro.obs.summarize import main
+
+raise SystemExit(main())

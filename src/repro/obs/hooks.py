@@ -1,0 +1,49 @@
+"""Strand-level telemetry through the planner's ``TraceHooks`` seam.
+
+The execution tracer already observes every strand firing through
+:class:`repro.runtime.strand.TraceHooks`; the telemetry plane rides the
+same seam instead of adding a second set of taps.  When both are active
+the node's hooks are a
+:class:`repro.runtime.strand.CompositeTraceHooks` fanning out to the
+tracer and to one :class:`ObsTraceHooks` per node.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import Telemetry
+from repro.runtime.strand import RuleStrand, TraceHooks
+from repro.runtime.tuples import Tuple
+
+
+class ObsTraceHooks(TraceHooks):
+    """Counts strand inputs / preconditions / outputs into the registry."""
+
+    def __init__(self, telemetry: Telemetry, node_label: str) -> None:
+        self._node = node_label
+        reg = telemetry.metrics
+        self._inputs = reg.counter(
+            "strand_inputs_total",
+            "trigger tuples observed by rule strands",
+            ("node", "rule"),
+        )
+        self._preconditions = reg.counter(
+            "strand_preconditions_total",
+            "precondition tuples observed at join stages",
+            ("node", "rule"),
+        )
+        self._outputs = reg.counter(
+            "strand_outputs_total",
+            "head tuples produced by rule strands",
+            ("node", "rule"),
+        )
+
+    def input_observed(self, strand: RuleStrand, tup: Tuple, when: float) -> None:
+        self._inputs.inc(1, node=self._node, rule=strand.rule_id)
+
+    def precondition_observed(
+        self, strand: RuleStrand, stage: int, tup: Tuple, when: float
+    ) -> None:
+        self._preconditions.inc(1, node=self._node, rule=strand.rule_id)
+
+    def output_observed(self, strand: RuleStrand, tup: Tuple, when: float) -> None:
+        self._outputs.inc(1, node=self._node, rule=strand.rule_id)

@@ -1,0 +1,281 @@
+"""``python -m repro.obs summarize <artifact>`` — offline artifact analysis.
+
+Loads an exported telemetry artifact (the JSONL event log by default;
+the Chrome trace JSON is also accepted) and prints what an operator or
+a CI log reader wants first:
+
+- **top-k slow rules** — per-rule firing counts and duration
+  statistics from the ``rule_duration_seconds`` histogram (or from
+  ``rule_exec`` spans when reading a Chrome trace);
+- **per-link latency percentiles** — p50/p90/p99/max of
+  ``net_message_latency_seconds`` per directed link;
+- **drop / retransmit attribution** — the per-reason drop breakdown,
+  transport retry counters, and per-link retransmit counts recovered
+  from the flight-recorder events.
+
+This is the external-analyzer half of the telemetry plane: it never
+imports the simulator, so any artifact from any run (CI upload, failing
+campaign seed) can be inspected after the fact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import HistogramData
+
+
+class Artifact:
+    """Parsed telemetry artifact: records plus metric snapshots."""
+
+    def __init__(self) -> None:
+        self.meta: dict = {}
+        self.spans: List[dict] = []
+        self.events: List[dict] = []
+        self.metrics: Dict[str, Dict[Tuple, float]] = {}
+        self.hists: Dict[str, Dict[Tuple, HistogramData]] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Artifact":
+        with open(path) as handle:
+            text = handle.read()
+        stripped = text.lstrip()
+        if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+            return cls._from_chrome(json.loads(text))
+        return cls._from_jsonl(text)
+
+    @classmethod
+    def _from_jsonl(cls, text: str) -> "Artifact":
+        art = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if kind == "meta":
+                art.meta = {k: v for k, v in rec.items() if k != "type"}
+            elif kind == "span":
+                art.spans.append(rec)
+            elif kind == "event":
+                art.events.append(rec)
+            elif kind == "metric":
+                key = tuple(rec.get("labels", {}).values())
+                art.metrics.setdefault(rec["name"], {})[key] = rec["value"]
+            elif kind == "hist":
+                key = tuple(rec.get("labels", {}).values())
+                art.hists.setdefault(rec["name"], {})[key] = (
+                    HistogramData.from_dict(rec)
+                )
+        return art
+
+    @classmethod
+    def _from_chrome(cls, payload: dict) -> "Artifact":
+        art = cls()
+        art.meta = dict(payload.get("otherData", {}))
+        for event in payload.get("traceEvents", []):
+            ph = event.get("ph")
+            if ph == "X":
+                args = event.get("args", {})
+                art.spans.append(
+                    {
+                        "name": event.get("name"),
+                        "t0": event.get("ts", 0.0) / 1e6,
+                        "t1": (event.get("ts", 0.0) + event.get("dur", 0.0))
+                        / 1e6,
+                        "attrs": args,
+                    }
+                )
+            elif ph == "i":
+                art.events.append(
+                    {
+                        "name": event.get("name"),
+                        "t": event.get("ts", 0.0) / 1e6,
+                        "attrs": event.get("args", {}),
+                    }
+                )
+        return art
+
+    # ------------------------------------------------------------------
+    # Derived views
+
+    def rule_stats(self) -> List[Tuple[str, dict]]:
+        """Per-rule duration statistics, slowest total first."""
+        merged: Dict[str, HistogramData] = {}
+        for key, data in self.hists.get("rule_duration_seconds", {}).items():
+            rule = str(key[1]) if len(key) > 1 else str(key)
+            bucket = merged.get(rule)
+            if bucket is None:
+                merged[rule] = HistogramData.from_dict(data.as_dict())
+            else:
+                bucket.merge(data)
+        if not merged:  # fall back to spans (Chrome trace input)
+            for span in self.spans:
+                if span.get("name") != "rule_exec":
+                    continue
+                rule = str(span.get("attrs", {}).get("rule", "?"))
+                merged.setdefault(rule, HistogramData()).observe(
+                    span["t1"] - span["t0"]
+                )
+        rows = [
+            (
+                rule,
+                {
+                    "count": data.count,
+                    "total": data.sum,
+                    "mean": data.mean(),
+                    "p95": data.percentile(95),
+                    "max": data.max if data.count else 0.0,
+                },
+            )
+            for rule, data in merged.items()
+        ]
+        rows.sort(key=lambda row: (-row[1]["total"], row[0]))
+        return rows
+
+    def link_latency(self) -> List[Tuple[str, dict]]:
+        """Per-link latency percentiles, busiest link first."""
+        rows = []
+        for key, data in self.hists.get(
+            "net_message_latency_seconds", {}
+        ).items():
+            link = str(key[0]) if key else "?"
+            rows.append(
+                (
+                    link,
+                    {
+                        "count": data.count,
+                        "p50": data.percentile(50),
+                        "p90": data.percentile(90),
+                        "p99": data.percentile(99),
+                        "max": data.max if data.count else 0.0,
+                    },
+                )
+            )
+        rows.sort(key=lambda row: (-row[1]["count"], row[0]))
+        return rows
+
+    def drop_attribution(self) -> Dict[str, float]:
+        return {
+            str(key[0]): value
+            for key, value in self.metrics.get("net_dropped_total", {}).items()
+        }
+
+    def transport_counters(self) -> Dict[str, float]:
+        return {
+            str(key[0]): value
+            for key, value in self.metrics.get(
+                "net_counters_total", {}
+            ).items()
+        }
+
+    def event_counts(self, name: str, attr: str) -> Dict[str, int]:
+        """Count recorder events of ``name`` grouped by one attribute."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            if event.get("name") != name:
+                continue
+            value = str(event.get("attrs", {}).get(attr, "?"))
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def summarize(path: str, top: int = 10) -> str:
+    """Render the artifact summary as deterministic text."""
+    art = Artifact.load(path)
+    lines: List[str] = [f"== telemetry summary: {path} =="]
+    if art.meta:
+        meta = ", ".join(f"{k}={art.meta[k]}" for k in sorted(art.meta))
+        lines.append(f"meta: {meta}")
+    lines.append(
+        f"records: {len(art.spans)} spans, {len(art.events)} events"
+    )
+
+    lines.append("")
+    lines.append(f"top {top} slow rules (by total duration):")
+    rules = art.rule_stats()
+    if not rules:
+        lines.append("  (no rule timing data)")
+    for rule, stats in rules[:top]:
+        lines.append(
+            f"  {rule:<16} fires={stats['count']:>7}  "
+            f"total={_ms(stats['total']):>12}  mean={_ms(stats['mean']):>10}  "
+            f"p95={_ms(stats['p95']):>10}  max={_ms(stats['max']):>10}"
+        )
+
+    lines.append("")
+    lines.append("per-link latency percentiles:")
+    links = art.link_latency()
+    if not links:
+        lines.append("  (no latency data)")
+    for link, stats in links[:top]:
+        lines.append(
+            f"  {link:<24} n={stats['count']:>7}  p50={_ms(stats['p50'])}  "
+            f"p90={_ms(stats['p90'])}  p99={_ms(stats['p99'])}  "
+            f"max={_ms(stats['max'])}"
+        )
+
+    lines.append("")
+    lines.append("drop / retransmit attribution:")
+    drops = art.drop_attribution()
+    counters = art.transport_counters()
+    total_drops = int(sum(drops.values()))
+    lines.append(f"  dropped: {total_drops}")
+    for reason in sorted(drops):
+        lines.append(f"    {reason:<20} {int(drops[reason])}")
+    for counter in (
+        "messages_retransmitted",
+        "send_failures",
+        "duplicates_suppressed",
+        "gap_skips",
+    ):
+        if counter in counters:
+            lines.append(f"  {counter:<22} {int(counters[counter])}")
+    retrans_by_link = art.event_counts("net.retransmit", "link")
+    if retrans_by_link:
+        lines.append("  retransmits by link (recorded window):")
+        for link in sorted(retrans_by_link):
+            lines.append(f"    {link:<24} {retrans_by_link[link]}")
+    drop_by_link = art.event_counts("net.drop", "link")
+    if drop_by_link:
+        lines.append("  drops by link (recorded window):")
+        for link in sorted(drop_by_link):
+            lines.append(f"    {link:<24} {drop_by_link[link]}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Offline analysis of exported telemetry artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="summarize a .jsonl or Chrome-trace artifact"
+    )
+    p_sum.add_argument("artifact", help="path to the exported artifact")
+    p_sum.add_argument(
+        "--top", type=int, default=10, help="rows per section (default 10)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        try:
+            print(summarize(args.artifact, top=args.top))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read artifact {args.artifact!r}: {exc}")
+            return 2
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

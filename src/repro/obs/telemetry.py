@@ -1,0 +1,354 @@
+"""The telemetry hub: spans on the virtual clock, events, instruments.
+
+One :class:`Telemetry` object serves a whole
+:class:`repro.core.system.System`.  It owns the flight recorder and the
+metrics registry and exposes the two write primitives every layer uses:
+
+- :meth:`Telemetry.span` — a context manager timing a region on the
+  *virtual* clock (optionally a node's micro-clock, so intra-event rule
+  durations are meaningful); spans carry parent/child causality through
+  an explicit stack, which is exact because the simulator is
+  single-threaded;
+- :meth:`Telemetry.event` — an instant record (drops, retransmits,
+  fault injections, monitor alarms, phase markers).
+
+**Zero-cost when disabled**: ``span()`` returns a shared no-op span and
+``event()`` returns immediately, but the callers are expected to do one
+better — every hot-path instrumentation site in the runtime/net layers
+holds ``obs = None`` when telemetry is off and never calls in at all,
+which is what the ablation benchmark
+(:mod:`benchmarks.test_ablation_obs`) pins.
+
+The metrics registry is *always* live (its callback adapters cost
+nothing until read), which is what lets :class:`repro.core.metrics.Meter`
+and the dashboard read through it unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+
+Clock = Callable[[], float]
+
+
+class _NullSpan:
+    """The shared disabled span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    span_id = 0
+    parent_id = 0
+    t0 = 0.0
+    t1 = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; records itself into the flight recorder on exit."""
+
+    __slots__ = (
+        "_telemetry",
+        "_clock",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "t0",
+        "t1",
+    )
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        name: str,
+        attrs: Dict,
+        clock: Clock,
+    ) -> None:
+        self._telemetry = telemetry
+        self._clock = clock
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.t0 = 0.0
+        self.t1 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after entry (e.g. results known at exit)."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __enter__(self) -> "Span":
+        self.t0 = self._clock()
+        self.span_id, self.parent_id = self._telemetry._open_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t1 = self._clock()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._telemetry._close_span(self)
+        return False
+
+
+class Telemetry:
+    """The per-system telemetry plane (see module docstring)."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        enabled: bool = False,
+        capacity: int = DEFAULT_CAPACITY,
+        sample_rate: float = 1.0,
+        rng: Optional[object] = None,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.recorder = FlightRecorder(
+            capacity=capacity, sample_rate=sample_rate, rng=rng
+        )
+        self.metrics = MetricsRegistry()
+        self._stack: List[Span] = []
+        self._next_span_id = 1
+
+        # Standard instruments every instrumentation point shares.
+        self.rule_duration = self.metrics.histogram(
+            "rule_duration_seconds",
+            "per-firing rule-strand duration on the work micro-clock",
+            ("node", "rule"),
+        )
+        self.join_rows = self.metrics.histogram(
+            "join_rows_examined",
+            "rows examined by the join elements of one rule firing",
+            ("node", "rule"),
+        )
+        self.msg_latency = self.metrics.histogram(
+            "net_message_latency_seconds",
+            "send-to-delivery latency per directed link",
+            ("link",),
+        )
+        self.backoff = self.metrics.histogram(
+            "net_retransmit_backoff_seconds",
+            "armed retransmit timeouts per directed link",
+            ("link",),
+        )
+
+    # ------------------------------------------------------------------
+    # Spans
+
+    def span(self, name: str, clock: Optional[Clock] = None, **attrs):
+        """Open a span (``with tel.span("rule_exec", node=...) as s:``).
+
+        ``clock`` overrides the telemetry clock for this span — nodes
+        pass their work micro-clock so same-instant rule firings get
+        strictly increasing, duration-bearing timestamps.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs, clock if clock is not None else self.clock)
+
+    def _open_span(self, span: Span):
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else 0
+        self._stack.append(span)
+        return span_id, parent_id
+
+    def _close_span(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # out-of-order exit; drop it wherever it is
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        self.recorder.record(
+            {
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "t0": span.t0,
+                "t1": span.t1,
+                "attrs": span.attrs,
+            }
+        )
+
+    @property
+    def current_span_id(self) -> int:
+        """Id of the innermost open span (0 when none)."""
+        return self._stack[-1].span_id if self._stack else 0
+
+    # ------------------------------------------------------------------
+    # Events
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.recorder.record(
+            {
+                "type": "event",
+                "name": name,
+                "t": self.clock(),
+                "span": self.current_span_id,
+                "attrs": attrs,
+            }
+        )
+
+
+def wire_system_metrics(telemetry: Telemetry, system) -> None:
+    """Register the standard registry callbacks over a ``System``.
+
+    These adapt the counters that already exist — ``NetworkStats``, the
+    per-node work models, table occupancy — into the registry, so the
+    Meter, the dashboard, and the exporters all read one surface and
+    nothing reaches into another layer's internals.  Callbacks close
+    over the *system*, not a node list, so nodes added later are
+    included automatically.
+    """
+    reg = telemetry.metrics
+    stats = system.network.stats
+
+    scalar_fields = (
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "bytes_sent",
+        "messages_retransmitted",
+        "messages_duplicated",
+        "messages_reordered",
+        "duplicates_suppressed",
+        "acks_sent",
+        "acks_dropped",
+        "send_failures",
+        "gap_skips",
+    )
+    reg.register_callback(
+        "net_counters_total",
+        lambda: {(f,): getattr(stats, f) for f in scalar_fields},
+        help="aggregate network/transport counters by name",
+        labelnames=("counter",),
+    )
+    reg.register_callback(
+        "net_sent_total",
+        lambda: {(str(a),): c for a, c in stats.per_node_sent.items()},
+        help="application messages sent per node",
+        labelnames=("node",),
+    )
+    reg.register_callback(
+        "net_received_total",
+        lambda: {(str(a),): c for a, c in stats.per_node_received.items()},
+        help="messages delivered per node",
+        labelnames=("node",),
+    )
+    reg.register_callback(
+        "net_dropped_total",
+        lambda: {(r,): c for r, c in stats.drop_reasons.items()},
+        help="dropped messages by drop reason",
+        labelnames=("reason",),
+    )
+    reg.register_callback(
+        "net_send_failures_total",
+        lambda: {(str(a),): c for a, c in stats.per_node_failed.items()},
+        help="sender-visible reliable-transport failures per node",
+        labelnames=("node",),
+    )
+    reg.register_callback(
+        "node_busy_seconds",
+        lambda: {
+            (str(a),): n.work.busy_seconds for a, n in system.nodes.items()
+        },
+        help="work-model busy seconds accumulated per node",
+        labelnames=("node",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "node_work_ops_total",
+        lambda: {
+            (str(a), op): c
+            for a, n in system.nodes.items()
+            for op, c in n.work.counters.counts.items()
+        },
+        help="work-model operation counts per node and op",
+        labelnames=("node", "op"),
+    )
+    reg.register_callback(
+        "node_live_tuples",
+        lambda: {(str(a),): n.live_tuples() for a, n in system.nodes.items()},
+        help="current table occupancy per node",
+        labelnames=("node",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "node_memory_bytes",
+        lambda: {(str(a),): n.memory_bytes() for a, n in system.nodes.items()},
+        help="estimated stored-tuple bytes per node",
+        labelnames=("node",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "node_bytes_delivered_total",
+        lambda: {
+            (str(a),): n.bytes_delivered for a, n in system.nodes.items()
+        },
+        help="bytes of tuples delivered per node (allocation churn)",
+        labelnames=("node",),
+    )
+    reg.register_callback(
+        "node_rule_executions_total",
+        lambda: {
+            (str(a),): n.rule_executions for a, n in system.nodes.items()
+        },
+        help="rule-strand firings per node",
+        labelnames=("node",),
+    )
+    reg.register_callback(
+        "net_channel_pending",
+        lambda: {
+            (link,): state["pending"]
+            for link, state in system.network.channel_states().items()
+            if "pending" in state
+        },
+        help="unacknowledged reliable-mode messages per channel",
+        labelnames=("link",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "net_channel_held",
+        lambda: {
+            (link,): state["held"]
+            for link, state in system.network.channel_states().items()
+            if "held" in state
+        },
+        help="frames held behind a sequence gap per channel",
+        labelnames=("link",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "obs_recorder",
+        lambda: {
+            ("recorded",): telemetry.recorder.recorded,
+            ("dropped",): telemetry.recorder.dropped,
+            ("sampled_out",): telemetry.recorder.sampled_out,
+        },
+        help="flight-recorder accounting",
+        labelnames=("counter",),
+    )

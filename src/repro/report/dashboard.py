@@ -13,8 +13,12 @@ class Dashboard:
 
     Register monitor handles as they are installed; ``render()`` at any
     time produces a deterministic snapshot.  ``diff_since_last()``
-    highlights what changed between renders (new alarms), the piece an
-    operator actually scans for.
+    highlights what changed between renders (new alarms, newly seen
+    drop reasons), the piece an operator actually scans for.
+
+    All numbers are read through the system's telemetry registry
+    (:class:`repro.obs.metrics.MetricsRegistry`), so the page shows the
+    same values the exporters write.
     """
 
     def __init__(self, system: System, title: str = "deployment") -> None:
@@ -22,23 +26,43 @@ class Dashboard:
         self.title = title
         self._handles: Dict[str, MonitorHandle] = {}
         self._last_counts: Dict[str, Dict[str, int]] = {}
+        self._last_drops: Dict[str, int] = {}
 
     def add_monitor(self, handle: MonitorHandle) -> None:
         self._handles[handle.monitor.name] = handle
 
     # ------------------------------------------------------------------
 
+    def _drop_breakdown(self) -> Dict[str, int]:
+        reg = self._system.telemetry.metrics
+        return {
+            key[0]: int(count)
+            for key, count in reg.snapshot("net_dropped_total").items()
+        }
+
     def render(self) -> str:
         system = self._system
+        reg = system.telemetry.metrics
+        sent = int(reg.value("net_counters_total", ("messages_sent",)))
+        dropped = int(reg.value("net_counters_total", ("messages_dropped",)))
+        drops = self._drop_breakdown()
+        breakdown = ""
+        if drops:
+            inner = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(drops.items())
+            )
+            breakdown = f" ({inner})"
         lines: List[str] = [
             f"== {self.title} @ t={system.now:.1f}s ==",
             f"nodes: {len(system.live_nodes())} live / "
             f"{len(system.nodes)} total   "
-            f"messages sent: {system.network.stats.messages_sent}   "
-            f"dropped: {system.network.stats.messages_dropped}",
+            f"messages sent: {sent}   "
+            f"dropped: {dropped}{breakdown}",
             "",
             "node                 cpu%      tuples   rule-execs",
         ]
+        tuples = reg.snapshot("node_live_tuples")
+        execs = reg.snapshot("node_rule_executions_total")
         for address in sorted(system.nodes):
             node = system.nodes[address]
             if node.stopped:
@@ -46,7 +70,8 @@ class Dashboard:
                 continue
             lines.append(
                 f"{address:<18} {100 * node.cpu_utilization():7.3f}  "
-                f"{node.live_tuples():>9}   {node.rule_executions:>9}"
+                f"{tuples.get((address,), 0):>9}   "
+                f"{execs.get((address,), 0):>9}"
             )
         lines.append("")
         lines.append("monitor alarms:")
@@ -62,7 +87,12 @@ class Dashboard:
         return "\n".join(lines)
 
     def diff_since_last(self) -> List[str]:
-        """New alarms since the previous call (empty = all quiet)."""
+        """What changed since the previous call (empty = all quiet).
+
+        Reports new alarms per monitor and drop reasons seen for the
+        first time — a fresh reason (e.g. the first ``down`` after a
+        partition) is a different signal than more of a known one.
+        """
         news: List[str] = []
         for name, handle in sorted(self._handles.items()):
             previous = self._last_counts.get(name, {})
@@ -73,4 +103,11 @@ class Dashboard:
             self._last_counts[name] = {
                 event: len(tuples) for event, tuples in handle.alarms.items()
             }
+        drops = self._drop_breakdown()
+        for reason in sorted(drops):
+            if reason not in self._last_drops:
+                news.append(
+                    f"drops: new reason {reason} (+{drops[reason]})"
+                )
+        self._last_drops = drops
         return news

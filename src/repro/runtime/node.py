@@ -75,6 +75,9 @@ class P2Node:
         # Introspection attachment points (set by repro.introspect).
         self.hooks: Optional[TraceHooks] = None
         self.registry = None  # repro.introspect.tuple_table.TupleRegistry
+        # Telemetry attachment point (set by repro.core.system when
+        # observability is enabled; None keeps every hot path no-op).
+        self.obs = None  # repro.obs.telemetry.Telemetry
         # Called with every locally delivered tuple (event logging).
         self.on_deliver: List[Callable[[Tuple], None]] = []
 
@@ -291,13 +294,50 @@ class P2Node:
             while self._queue:
                 strand, trigger = self._queue.popleft()
                 self.rule_executions += 1
-                actions = strand.fire(
-                    trigger, self.ctx, hooks=self.hooks, charge=self.work.charge
-                )
+                if self.obs is None:
+                    actions = strand.fire(
+                        trigger,
+                        self.ctx,
+                        hooks=self.hooks,
+                        charge=self.work.charge,
+                    )
+                else:
+                    actions = self._fire_observed(strand, trigger)
                 for action in actions:
                     self._route(action)
         finally:
             self._pumping = False
+
+    def _fire_observed(self, strand: RuleStrand, trigger: Tuple):
+        """Fire one strand inside a ``rule_exec`` telemetry span.
+
+        Durations come off the work micro-clock, so they measure charged
+        work (deterministic under the seed) rather than the stalled sim
+        clock; join rows-examined are the firing's delta of the work
+        model's probe counters.
+        """
+        obs = self.obs
+        label = str(self.address)
+        counts = self.work.counters.counts
+        rows0 = counts.get("join_probe", 0) + counts.get("join_indexed", 0)
+        with obs.span(
+            "rule_exec",
+            clock=self.work_clock,
+            node=label,
+            rule=strand.rule_id,
+            trigger=trigger.name,
+        ) as span:
+            actions = strand.fire(
+                trigger, self.ctx, hooks=self.hooks, charge=self.work.charge
+            )
+            span.set(actions=len(actions))
+        obs.rule_duration.observe(
+            span.t1 - span.t0, node=label, rule=strand.rule_id
+        )
+        rows = counts.get("join_probe", 0) + counts.get("join_indexed", 0) - rows0
+        if rows:
+            obs.join_rows.observe(rows, node=label, rule=strand.rule_id)
+        return actions
 
     def _route(self, action: Action) -> None:
         if isinstance(action, EmitAction):

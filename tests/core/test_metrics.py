@@ -86,6 +86,43 @@ def test_meter_samples_retransmits_and_drop_reasons():
     assert sample.drop_reasons.get("loss", 0) == 0
 
 
+def test_meter_ops_accounting_is_window_scoped():
+    system = System(seed=3)
+    node = system.add_node("a:1")
+    node.install_source(
+        """
+        materialize(peer, 600, 1000, keys(1,2)).
+        j out@N(P, X) :- evt@N(X), peer@N(P).
+        """
+    )
+    for i in range(10):
+        node.inject("peer", ("a:1", f"p{i}"))
+    # Pre-window firings must not leak into the sample's op deltas.
+    for i in range(5):
+        node.inject("evt", ("a:1", i))
+    system.run_for(1.0)
+
+    meter = Meter(system)
+    meter.start()
+    for i in range(4):
+        node.inject("evt", ("a:1", 100 + i))
+    system.run_for(1.0)
+    sample = meter.stop()
+
+    # Each in-window evt joins against the 10-row peer table.
+    assert sample.join_rows_examined == 40
+    assert sample.join_rows_examined == (
+        sample.ops.get("join_probe", 0) + sample.ops.get("join_indexed", 0)
+    )
+    assert sample.ops  # the raw per-op breakdown is exposed
+
+    # An idle window reports zero ops.
+    quiet = Meter(system)
+    quiet.start()
+    system.run_for(1.0)
+    assert quiet.stop().join_rows_examined == 0
+
+
 def test_meter_subset_of_nodes():
     system = busy_system()
     system.add_node("idle:1")

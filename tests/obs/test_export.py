@@ -1,0 +1,125 @@
+"""Exporters: schema validity and byte-stability across same-seed runs."""
+
+import json
+
+import pytest
+
+from repro.core.system import System
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+)
+
+WORKLOAD = """
+materialize(peer, 60, 50, keys(1,2)).
+p1 peer@N(M) :- hello@N(M).
+p2 echo@M(N) :- hello@N(M).
+p3 tick@N(E) :- periodic@N(E, 0.5).
+"""
+
+
+def run_system(seed=11, loss_rate=0.0, observability=True):
+    system = System(seed=seed, loss_rate=loss_rate, observability=observability)
+    a = system.add_node("a:1")
+    system.add_node("b:2")
+    system.install_source(WORKLOAD, name="w")
+    a.inject("hello", ("a:1", "b:2"))
+    system.run_for(10.0)
+    return system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return run_system()
+
+
+def test_chrome_trace_is_schema_valid(system):
+    payload = chrome_trace(system.telemetry, meta={"seed": 11})
+    # Round-trip through the serializer: must be plain JSON.
+    parsed = json.loads(json.dumps(payload))
+    assert parsed["displayTimeUnit"] == "ms"
+    assert parsed["otherData"] == {"seed": 11}
+    events = parsed["traceEvents"]
+    assert events, "no trace events exported"
+    phases = {e["ph"] for e in events}
+    assert "X" in phases and "M" in phases
+    for event in events:
+        assert event["ph"] in ("X", "i", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "span_id" in event["args"]
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+    # Every node appears as a named thread row.
+    thread_names = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"a:1", "b:2", "fabric"} <= thread_names
+    # Span rows land on their node's tid.
+    tid_of = {
+        e["args"]["name"]: e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for event in events:
+        if event["ph"] == "X" and "node" in event["args"]:
+            assert event["tid"] == tid_of[event["args"]["node"]]
+
+
+def test_jsonl_lines_parse_and_cover_everything(system):
+    lines = jsonl_lines(system.telemetry, meta={"seed": 11})
+    parsed = [json.loads(line) for line in lines]
+    kinds = [p["type"] for p in parsed]
+    assert kinds[0] == "meta"
+    assert "span" in kinds and "metric" in kinds and "hist" in kinds
+    hist = next(p for p in parsed if p["type"] == "hist")
+    assert {"name", "labels", "count", "sum", "buckets"} <= set(hist)
+    metric = next(p for p in parsed if p["type"] == "metric")
+    assert {"name", "kind", "labels", "value"} <= set(metric)
+
+
+def test_prometheus_text_format(system):
+    text = prometheus_text(system.telemetry)
+    lines = text.splitlines()
+    assert any(l.startswith("# TYPE net_counters_total counter") for l in lines)
+    assert any(l.startswith("# TYPE node_live_tuples gauge") for l in lines)
+    assert any(
+        l.startswith("# TYPE rule_duration_seconds histogram") for l in lines
+    )
+    assert any("rule_duration_seconds_bucket{" in l and 'le="' in l for l in lines)
+    assert any(l.startswith("rule_duration_seconds_count") for l in lines)
+    # Every non-comment line is "name{labels} value".
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        float(value)  # parses
+        assert name_part
+
+
+def test_exports_are_byte_stable_across_same_seed_runs(tmp_path):
+    def export_once(directory):
+        system = run_system(seed=23, loss_rate=0.1)
+        return system.export_telemetry(str(directory), prefix="stab")
+
+    first = export_once(tmp_path / "one")
+    second = export_once(tmp_path / "two")
+    for key in ("trace", "jsonl", "prom"):
+        with open(first[key], "rb") as f, open(second[key], "rb") as g:
+            assert f.read() == g.read(), f"{key} artifact not byte-stable"
+
+
+def test_different_seeds_differ(tmp_path):
+    a = run_system(seed=23, loss_rate=0.1).export_telemetry(
+        str(tmp_path / "a"), prefix="x"
+    )
+    b = run_system(seed=24, loss_rate=0.1).export_telemetry(
+        str(tmp_path / "b"), prefix="x"
+    )
+    with open(a["jsonl"], "rb") as f, open(b["jsonl"], "rb") as g:
+        assert f.read() != g.read()

@@ -1,0 +1,158 @@
+"""The metrics registry: instruments, labels, log-linear histograms."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_SUBBUCKETS,
+    HistogramData,
+    MetricsRegistry,
+    ZERO_BUCKET,
+    bucket_index,
+    bucket_upper,
+)
+
+
+# ----------------------------------------------------------------------
+# Log-linear bucket layout
+
+
+def test_bucket_index_is_monotone():
+    values = [1e-9, 1e-6, 0.001, 0.01, 0.5, 0.9, 1.0, 1.5, 2.0, 7.0, 1e6]
+    indices = [bucket_index(v) for v in values]
+    assert indices == sorted(indices)
+
+
+def test_bucket_upper_bounds_its_values():
+    for value in (1e-6, 0.004, 0.37, 1.0, 2.5, 9.99, 12345.6):
+        index = bucket_index(value)
+        assert value <= bucket_upper(index)
+        # ...and within one sub-bucket of relative error.
+        assert bucket_upper(index) <= value * (1 + 2.0 / DEFAULT_SUBBUCKETS)
+
+
+def test_nonpositive_values_use_the_zero_bucket():
+    assert bucket_index(0.0) == ZERO_BUCKET
+    assert bucket_index(-3.5) == ZERO_BUCKET
+    assert bucket_upper(ZERO_BUCKET) == 0.0
+
+
+def test_histogram_percentiles_are_clamped_to_observed_max():
+    data = HistogramData()
+    for v in (0.001, 0.002, 0.003, 0.004, 0.1):
+        data.observe(v)
+    assert data.count == 5
+    assert data.percentile(100) == pytest.approx(0.1)
+    assert data.percentile(0) <= data.percentile(50) <= data.percentile(100)
+    # p50 is within bucket error of the true median.
+    assert data.percentile(50) <= 0.003 * (1 + 2.0 / DEFAULT_SUBBUCKETS)
+
+
+def test_histogram_mean_and_empty_behaviour():
+    data = HistogramData()
+    assert data.mean() == 0.0
+    assert data.percentile(99) == 0.0
+    data.observe(2.0)
+    data.observe(4.0)
+    assert data.mean() == pytest.approx(3.0)
+
+
+def test_histogram_merge_matches_combined_observations():
+    a, b, combined = HistogramData(), HistogramData(), HistogramData()
+    for i in range(1, 50):
+        v = 0.001 * i
+        (a if i % 2 else b).observe(v)
+        combined.observe(v)
+    a.merge(b)
+    assert a.count == combined.count
+    assert a.sum == pytest.approx(combined.sum)
+    assert a.buckets == combined.buckets
+    for p in (10, 50, 90, 99):
+        assert a.percentile(p) == combined.percentile(p)
+
+
+def test_histogram_dict_roundtrip():
+    data = HistogramData()
+    for v in (0.5, 1.5, 0.25, 8.0):
+        data.observe(v)
+    clone = HistogramData.from_dict(data.as_dict())
+    assert clone.count == data.count
+    assert clone.sum == pytest.approx(data.sum)
+    assert clone.min == data.min and clone.max == data.max
+    assert clone.buckets == data.buckets
+
+
+def test_merge_rejects_mismatched_layouts():
+    with pytest.raises(ReproError):
+        HistogramData(subbuckets=8).merge(HistogramData(subbuckets=16))
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+
+def test_counter_and_gauge_with_labels():
+    reg = MetricsRegistry()
+    sent = reg.counter("sent_total", "msgs", ("node",))
+    sent.inc(node="a")
+    sent.inc(2, node="a")
+    sent.inc(node="b")
+    assert reg.value("sent_total", ("a",)) == 3
+    assert reg.value("sent_total", ("b",)) == 1
+    assert reg.value("sent_total", ("missing",)) == 0
+
+    depth = reg.gauge("queue_depth", "", ("node",))
+    depth.set(7, node="a")
+    depth.set(2, node="a")  # gauges overwrite
+    assert reg.value("queue_depth", ("a",)) == 2
+
+
+def test_label_mismatch_is_an_error():
+    reg = MetricsRegistry()
+    c = reg.counter("c", "", ("node", "rule"))
+    with pytest.raises(ReproError):
+        c.inc(node="a")  # missing 'rule'
+
+
+def test_declaration_is_get_or_create_but_kind_checked():
+    reg = MetricsRegistry()
+    first = reg.counter("x", "", ("node",))
+    assert reg.counter("x") is first
+    with pytest.raises(ReproError):
+        reg.gauge("x")
+
+
+def test_callback_metric_reads_lazily():
+    reg = MetricsRegistry()
+    state = {"calls": 0}
+
+    def read():
+        state["calls"] += 1
+        return {("a",): state["calls"]}
+
+    reg.register_callback("lazy_total", read, labelnames=("node",))
+    assert state["calls"] == 0  # registration does not invoke
+    assert reg.value("lazy_total", ("a",)) == 1
+    assert reg.value("lazy_total", ("a",)) == 2  # fresh read each time
+
+
+def test_callback_scalar_and_duplicate_name():
+    reg = MetricsRegistry()
+    reg.register_callback("scalar", lambda: 42)
+    assert reg.snapshot("scalar") == {(): 42}
+    with pytest.raises(ReproError):
+        reg.register_callback("scalar", lambda: 0)
+
+
+def test_snapshot_unknown_metric_degrades_to_empty():
+    assert MetricsRegistry().snapshot("nope") == {}
+
+
+def test_collect_is_name_sorted():
+    reg = MetricsRegistry()
+    reg.counter("zeta")
+    reg.gauge("alpha")
+    reg.histogram("mid")
+    assert [name for name, _, _ in reg.collect()] == ["alpha", "mid", "zeta"]

@@ -104,6 +104,51 @@ def test_dashboard_diff_highlights_new_alarms():
     assert dashboard.diff_since_last() == []  # nothing new
 
 
+def lossy_relay_system(seed=2, loss_rate=0.9):
+    system = System(seed=seed, loss_rate=loss_rate)
+    a = system.add_node("a:1")
+    system.add_node("b:1").install_source("r out@N(X) :- evt@N(X).")
+    a.install_source("r evt@Dst(X) :- go@N(Dst, X).")
+    return system, a
+
+
+def test_dashboard_render_breaks_down_drops_by_reason():
+    system, a = lossy_relay_system()
+    for i in range(20):
+        a.inject("go", ("a:1", "b:1", i))
+    system.run_for(2.0)
+    dropped = system.network.stats.messages_dropped
+    assert dropped > 0
+    text = Dashboard(system).render()
+    assert f"dropped: {dropped} (loss={dropped})" in text
+
+
+def test_dashboard_diff_surfaces_new_drop_reasons():
+    from repro.faults import FaultInjector
+
+    system, a = lossy_relay_system()
+    dashboard = Dashboard(system)
+    assert dashboard.diff_since_last() == []
+
+    for i in range(20):
+        a.inject("go", ("a:1", "b:1", i))
+    system.run_for(2.0)
+    loss = system.network.stats.drop_reasons["loss"]
+    assert dashboard.diff_since_last() == [f"drops: new reason loss (+{loss})"]
+    # More of a known reason is not news.
+    a.inject("go", ("a:1", "b:1", 99))
+    system.run_for(2.0)
+    assert dashboard.diff_since_last() == []
+
+    # A first-ever reason is.
+    FaultInjector(system).partition("a:1", "b:1")
+    a.inject("go", ("a:1", "b:1", 100))
+    system.run_for(2.0)
+    diff = dashboard.diff_since_last()
+    assert any(d.startswith("drops: new reason partition") for d in diff)
+    assert not any("new reason loss" in d for d in diff)
+
+
 def test_dashboard_marks_stopped_nodes():
     system = System(seed=1)
     system.add_node("a:1")
