@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.core.system import System
 from repro.chord import ids as ring
+from repro.errors import ReproError
 from repro.chord.program import ChordParams, chord_program
 from repro.net.address import make_address
 from repro.net.network import ReliableConfig
@@ -73,6 +74,8 @@ class ChordNetwork:
         }
         self.landmark = self.addresses[0]
         self._joined: set = set()
+        #: Set by :meth:`enable_recovery`.
+        self.recovery = None
         for addr in self.addresses:
             self.system.add_node(
                 addr,
@@ -206,7 +209,52 @@ class ChordNetwork:
 
     def kill(self, addr: str) -> None:
         """Fail-stop one node."""
-        self.system.crash(addr)
+        if self.recovery is not None:
+            self.recovery.crash(addr)
+        else:
+            self.system.crash(addr)
+
+    def enable_recovery(
+        self, checkpoint_interval: float = 30.0, rejoin_delay: float = 5.0
+    ):
+        """Protect every node with durable checkpoint+WAL state.
+
+        After :meth:`restart`, the recovered node re-enters the ring
+        through the existing :meth:`ensure_joined` machinery.  One check
+        is not enough: a successor entry whose TTL survived the downtime
+        replays as *stale* state, making the first ``ensure_joined`` a
+        no-op — and once it expires, nothing else would ever retry.  So
+        the hook arms a retry ladder (``rejoin_delay`` then 30 s apart)
+        long enough to outlive any replayed successor's remaining TTL;
+        every call after a successful re-join is a no-op.
+        """
+        from repro.recovery.manager import RecoveryManager
+
+        if self.recovery is not None:
+            return self.recovery
+        self.recovery = RecoveryManager(
+            self.system, checkpoint_interval=checkpoint_interval
+        )
+        self.recovery.protect_all()
+
+        def rejoin(addr, node, report, _delay=rejoin_delay):
+            for attempt in range(5):
+                self.system.sim.schedule(
+                    _delay + attempt * 30.0,
+                    lambda a=addr: self.ensure_joined(a),
+                )
+
+        self.recovery.on_restart.append(rejoin)
+        return self.recovery
+
+    def restart(self, addr: str):
+        """Recover a crashed node from its durable image (requires
+        :meth:`enable_recovery` before the crash)."""
+        if self.recovery is None:
+            raise ReproError(
+                "enable_recovery() was never called on this network"
+            )
+        return self.recovery.restart(addr)
 
     def node(self, addr: str) -> P2Node:
         return self.system.node(addr)

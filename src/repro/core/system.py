@@ -78,6 +78,11 @@ class System:
         self.tracers: Dict[Address, Tracer] = {}
         self.loggers: Dict[Address, EventLogger] = {}
         self.reflectors: Dict[Address, Reflector] = {}
+        #: Per-address ``add_node`` options, kept so ``restart_node`` can
+        #: rebuild a crashed node with identical introspection wiring.
+        self._node_config: Dict[Address, dict] = {}
+        #: Set by :class:`repro.recovery.manager.RecoveryManager`.
+        self.recovery = None
         wire_system_metrics(self.telemetry, self)
 
     # ------------------------------------------------------------------
@@ -96,6 +101,13 @@ class System:
             raise ReproError(f"node {address!r} already exists")
         node = P2Node(address, self.sim, self.network, id_bits=self.id_bits)
         self.nodes[address] = node
+        self._node_config[address] = {
+            "tracing": tracing,
+            "logging": logging,
+            "reflection": reflection,
+            "trace_lifetime": trace_lifetime,
+            "trace_entries": trace_entries,
+        }
         if tracing:
             self.tracers[address] = enable_tracing(
                 node, lifetime=trace_lifetime, max_entries=trace_entries
@@ -155,6 +167,34 @@ class System:
     def crash(self, address: Address) -> None:
         """Fail-stop a node (it stops processing and leaves the network)."""
         self.node(address).stop()
+        reflector = self.reflectors.get(address)
+        if reflector is not None:
+            reflector.stop()
+
+    def restart_node(self, address: Address) -> P2Node:
+        """Replace a crashed node with a fresh, empty one.
+
+        The new node gets the same introspection configuration the old
+        one was created with.  State replay and ring re-join are the
+        :class:`~repro.recovery.manager.RecoveryManager`'s job — this
+        only rebuilds the process.
+        """
+        old = self.nodes.get(address)
+        if old is None:
+            raise ReproError(f"no node {address!r} to restart")
+        if not old.stopped:
+            raise ReproError(
+                f"node {address!r} is still running; crash it first"
+            )
+        config = self._node_config.get(address, {})
+        restarts = old.restarts + 1
+        del self.nodes[address]
+        self.tracers.pop(address, None)
+        self.loggers.pop(address, None)
+        self.reflectors.pop(address, None)
+        node = self.add_node(address, **config)
+        node.restarts = restarts
+        return node
 
     def live_nodes(self) -> List[Address]:
         return [a for a, n in self.nodes.items() if not n.stopped]

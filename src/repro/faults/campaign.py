@@ -62,6 +62,18 @@ class CampaignConfig:
     oscillation_check: float = 20.0
     #: Include irreversible crashes in the sampled fault mix.
     allow_crash: bool = False
+    #: Churn mode: protect every node with durable checkpoint+WAL state
+    #: (:mod:`repro.recovery`) and add sampled crash→restart windows to
+    #: the schedule.  Restarted nodes replay their durable image and
+    #: re-join the ring; the verdict records each recovery outcome.
+    churn: bool = False
+    #: Most crash–restart cycles per churn campaign (distinct nodes).
+    max_restarts: int = 2
+    #: Sampled downtime bounds for churn windows (seconds).
+    min_down: float = 8.0
+    max_down: float = 45.0
+    #: Checkpoint period for churn-mode durable protection.
+    checkpoint_interval: float = 20.0
     #: Run with the telemetry plane enabled (spans, flight recorder,
     #: fault/alarm events).  Implied by ``artifact_dir``.
     observability: bool = False
@@ -91,6 +103,9 @@ class CampaignVerdict:
     schedule: List[str] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Recovery outcomes in churn mode: one ``(time, node, replayed,
+    #: lapsed)`` entry per crash–restart performed.
+    restarts: List[Tuple[float, str, int, int]] = field(default_factory=list)
     #: Path of the exported telemetry JSONL artifact (None when the
     #: campaign ran without ``artifact_dir``).
     artifact: Optional[str] = None
@@ -123,6 +138,10 @@ class CampaignVerdict:
                 "schedule": self.schedule,
                 "counters": self.counters,
                 "drop_reasons": self.drop_reasons,
+                "restarts": [
+                    [round(t, 6), node, replayed, lapsed]
+                    for t, node, replayed, lapsed in self.restarts
+                ],
                 "artifact": self.artifact,
             },
             sort_keys=True,
@@ -205,6 +224,16 @@ class FaultCampaign:
                 )
             elif kind == "crash":
                 schedule.at(start, "crash", rng.choice(addresses))
+        if config.churn:
+            # Crash→restart windows on distinct nodes: the window's
+            # inverse (crash → restart) recovers each node from its
+            # durable image after the sampled downtime.
+            count = rng.randint(1, config.max_restarts)
+            count = min(count, max(1, len(addresses) - 1))
+            for addr in rng.sample(sorted(addresses), count):
+                start = rng.uniform(1.0, config.fault_lead)
+                down = rng.uniform(config.min_down, config.max_down)
+                schedule.window(start, start + down, "crash", addr)
         return schedule
 
     # ------------------------------------------------------------------
@@ -224,6 +253,15 @@ class FaultCampaign:
         )
         net.start()
         stabilized = net.wait_stable(max_time=config.stabilize_time)
+
+        # Churn mode: durable protection attaches after stabilization
+        # (the baseline checkpoint captures the stable ring), in control
+        # runs too so both arms carry identical durability work.
+        recovery = None
+        if config.churn:
+            recovery = net.enable_recovery(
+                checkpoint_interval=config.checkpoint_interval
+            )
 
         nodes = [net.node(a) for a in net.live_addresses()]
         ring_monitor = RingProbeMonitor(
@@ -250,6 +288,26 @@ class FaultCampaign:
                         (sim.now, _e, _n)
                     ),
                 )
+
+        # Crash wipes a node's subscriptions (P2Node.stop detaches all
+        # callbacks), so each restart must re-attach the alarm taps on
+        # the fresh node — and gets recorded as a recovery outcome.
+        recoveries: List[Tuple[float, str, int, int]] = []
+        if recovery is not None:
+
+            def resubscribe(addr, new_node, report):
+                recoveries.append(
+                    (sim.now, addr, report.replayed, report.lapsed)
+                )
+                for event in events:
+                    new_node.subscribe(
+                        event,
+                        lambda tup, _e=event, _n=addr: alarms.append(
+                            (sim.now, _e, _n)
+                        ),
+                    )
+
+            recovery.on_restart.append(resubscribe)
 
         armed_at = net.system.now
         if control:
@@ -313,6 +371,7 @@ class FaultCampaign:
             alarm_counts=alarm_counts,
             alarms=alarms,
             schedule=schedule.describe(),
+            restarts=recoveries,
             counters={
                 "messages_sent": stats.messages_sent,
                 "messages_delivered": stats.messages_delivered,
@@ -347,6 +406,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--control", action="store_true", help="run without faults"
     )
     parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="enable durable recovery and add crash-restart windows",
+    )
+    parser.add_argument(
+        "--verdicts",
+        metavar="FILE",
+        default=None,
+        help="append each seed's canonical verdict JSON to FILE "
+        "(one line per seed, for CI artifact upload)",
+    )
+    parser.add_argument(
         "--fingerprints",
         action="store_true",
         help="print the canonical verdict JSON per seed",
@@ -361,11 +432,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     failures = 0
+    verdict_lines = []
     for seed in args.seeds:
         config = CampaignConfig(
             num_nodes=args.nodes,
             transport=args.transport,
             artifact_dir=args.artifacts,
+            churn=args.churn,
         )
         verdict = FaultCampaign(seed, config).run(control=args.control)
         status = "PASS" if verdict.passed else "FAIL"
@@ -377,12 +450,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for line in verdict.schedule:
             print(f"         {line}")
+        if verdict.restarts:
+            for t, node, replayed, lapsed in verdict.restarts:
+                print(
+                    f"         restart {node} at {t:g}: "
+                    f"replayed={replayed} lapsed={lapsed}"
+                )
         if verdict.artifact:
             print(f"         artifact: {verdict.artifact}")
         if args.fingerprints:
             print(verdict.fingerprint())
+        if args.verdicts:
+            verdict_lines.append(verdict.fingerprint())
         if not verdict.passed:
             failures += 1
+    if args.verdicts:
+        with open(args.verdicts, "a") as handle:
+            for line in verdict_lines:
+                handle.write(line + "\n")
     return 1 if failures else 0
 
 

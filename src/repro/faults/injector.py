@@ -10,6 +10,7 @@ dispatched through :meth:`apply`.
 
 from __future__ import annotations
 
+import inspect
 from typing import List, Tuple
 
 from repro.core.system import System
@@ -37,9 +38,40 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def crash(self, address: str) -> None:
-        """Fail-stop a node now."""
-        self._system.crash(address)
+        """Fail-stop a node now (stamps the durable image's crash time
+        when the node is recovery-protected)."""
+        recovery = getattr(self._system, "recovery", None)
+        if recovery is not None:
+            recovery.crash(address)
+        else:
+            self._system.crash(address)
         self._record("crash", (address,))
+
+    def restart(self, address: str) -> None:
+        """Recover a crashed node from its durable checkpoint+WAL image.
+
+        Requires a :class:`~repro.recovery.manager.RecoveryManager` on
+        the system.  Skipped (not recorded) if the node is already
+        running — a schedule's restart can race a manual one.
+        """
+        recovery = getattr(self._system, "recovery", None)
+        if recovery is None:
+            raise ReproError(
+                "restart fault requires a RecoveryManager on the system "
+                "(see repro.recovery)"
+            )
+        if not self._system.node(address).stopped:
+            return
+        recovery.restart(address)
+        self._record("restart", (address,))
+
+    def crash_restart(self, address: str, down_for: float) -> None:
+        """Crash now; restart from durable state after ``down_for``
+        seconds of virtual downtime."""
+        self.crash(address)
+        self._system.sim.schedule(
+            down_for, lambda: self.restart(address)
+        )
 
     def crash_at(self, when: float, address: str) -> None:
         """Schedule a fail-stop at absolute virtual time ``when``."""
@@ -103,6 +135,8 @@ class FaultInjector:
     #: kind → bound-method name; the vocabulary of the FaultSchedule DSL.
     KINDS = {
         "crash": "crash",
+        "restart": "restart",
+        "crash_restart": "crash_restart",
         "partition": "partition",
         "heal": "heal",
         "isolate": "isolate",
@@ -114,6 +148,39 @@ class FaultInjector:
         "reorder": "set_reorder_rate",
         "duplicate": "set_duplicate_rate",
     }
+
+    @classmethod
+    def validate_call(cls, kind: str, args: tuple) -> None:
+        """Check a (kind, args) pair against the injector's signature.
+
+        Schedules call this at *build* time so a typo'd kind or a wrong
+        argument count fails when the schedule is written, not hours of
+        virtual time into a campaign run.
+        """
+        method_name = cls.KINDS.get(kind)
+        if method_name is None:
+            known = ", ".join(sorted(cls.KINDS))
+            raise ReproError(
+                f"unknown fault kind: {kind!r} (known: {known})"
+            )
+        params = [
+            p
+            for p in inspect.signature(
+                getattr(cls, method_name)
+            ).parameters.values()
+            if p.name != "self"
+        ]
+        required = sum(1 for p in params if p.default is inspect.Parameter.empty)
+        if not (required <= len(args) <= len(params)):
+            want = (
+                str(required)
+                if required == len(params)
+                else f"{required}..{len(params)}"
+            )
+            raise ReproError(
+                f"fault {kind!r} takes {want} argument(s), got "
+                f"{len(args)}: {args!r}"
+            )
 
     def apply(self, kind: str, *args) -> None:
         """Inject a fault by its schedule-entry name."""

@@ -9,7 +9,11 @@ entries built with three combinators:
   comparable value);
 - :meth:`window` — a fault applied at a start time and automatically
   *inverted* at an end time (partition → heal, isolate → rejoin,
-  take_down → bring_up, rate faults → rate 0).
+  take_down → bring_up, crash → restart, rate faults → rate 0).
+
+Entries are validated against :attr:`FaultInjector.KINDS` signatures at
+build time, so a typo'd kind or wrong argument count fails when the
+schedule is written rather than when the entry fires mid-campaign.
 
 Schedules are inert data until :meth:`apply` arms them on a system's
 :class:`~repro.faults.injector.FaultInjector` via the sim clock, which
@@ -45,8 +49,13 @@ def _rate_inverse(kind: str) -> Callable[[Tuple], Tuple[str, Tuple]]:
 
 
 #: kind → function(args) -> (inverse kind, inverse args).  Kinds absent
-#: here (crash) are irreversible and rejected by :meth:`window`.
+#: here are irreversible and rejected by :meth:`window`.  ``crash``
+#: inverts to ``restart`` (durable-state recovery), so
+#: ``window(t0, t1, "crash", addr)`` models a crash–restart cycle with
+#: ``t1 - t0`` seconds of downtime — it requires a RecoveryManager on
+#: the target system at fire time.
 INVERSES: Dict[str, Callable[[Tuple], Tuple[str, Tuple]]] = {
+    "crash": lambda args: ("restart", args),
     "partition": lambda args: ("heal", args),
     "isolate": lambda args: ("rejoin", args),
     "take_down": lambda args: ("bring_up", args),
@@ -72,8 +81,9 @@ class FaultSchedule:
         self._check_mutable()
         if when < 0:
             raise ReproError(f"schedule time must be non-negative: {when}")
-        if kind not in FaultInjector.KINDS:
-            raise ReproError(f"unknown fault kind: {kind!r}")
+        # Build-time validation: a typo'd kind or wrong arity fails
+        # here, not mid-campaign when the entry finally fires.
+        FaultInjector.validate_call(kind, tuple(args))
         self._entries.append(ScheduleEntry(when, kind, tuple(args)))
         return self
 

@@ -104,3 +104,10 @@ class EventLogger:
                 ),
             )
         )
+
+    def resume_from(self, seq: int) -> None:
+        """Advance the log sequence past ``seq`` (crash-recovery: log
+        rows replayed from the durable image keep their pre-crash
+        sequence numbers, so fresh entries must sort after them)."""
+        if seq > self._seq:
+            self._seq = seq

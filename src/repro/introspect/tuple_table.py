@@ -184,3 +184,10 @@ class TupleRegistry:
     def retained(self) -> int:
         """Number of memoized tuples currently held."""
         return len(self._memo)
+
+    def resume_from(self, counter: int) -> None:
+        """Advance the tid counter past ``counter`` (crash-recovery:
+        replayed ``tupleTable`` rows keep their pre-crash IDs, so new
+        assignments must start above the replayed maximum)."""
+        if counter > self._counter:
+            self._counter = counter

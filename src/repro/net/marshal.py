@@ -48,6 +48,22 @@ def _decode_value(value: Any):
     return value
 
 
+def encode_value(value: Any):
+    """Public form of the tagged encoding (JSON-ready, NodeID-aware).
+
+    The crash-recovery durable store (:mod:`repro.recovery`) reuses the
+    wire encoding for checkpoint and WAL records: state that cannot
+    survive the wire cannot survive a restart either, and both fail
+    loudly at write time.
+    """
+    return _encode_value(value)
+
+
+def decode_value(value: Any):
+    """Inverse of :func:`encode_value` (sequences decode as tuples)."""
+    return _decode_value(value)
+
+
 def encode_message(
     tup: Tuple,
     src: str,

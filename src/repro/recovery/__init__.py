@@ -1,0 +1,32 @@
+"""Crash–restart recovery: durable node state and forensic replay.
+
+Layers (bottom up):
+
+- :mod:`repro.recovery.durable` — the medium: per-node checkpoint +
+  WAL images that outlive node objects, with file save/load for
+  campaign forensic artifacts;
+- :mod:`repro.recovery.recorder` — the node-side tap that keeps an
+  image current (observer-driven WAL appends, periodic checkpoints on
+  the virtual clock, work-model charges);
+- :mod:`repro.recovery.manager` — the system-level façade: protect
+  nodes, restart crashed ones (silent checkpoint+WAL replay with TTL
+  lapse, program reinstall, counter resume, ``on_restart`` hooks),
+  recovery metrics;
+- :mod:`repro.recovery.postmortem` — OverLog forensics over a dead
+  node's image in an isolated single-node replica.
+"""
+
+from repro.recovery.durable import DurableMedium, NodeImage
+from repro.recovery.manager import RecoveryManager, RecoveryReport, replay_image
+from repro.recovery.postmortem import PostMortem
+from repro.recovery.recorder import NodeRecorder
+
+__all__ = [
+    "DurableMedium",
+    "NodeImage",
+    "NodeRecorder",
+    "PostMortem",
+    "RecoveryManager",
+    "RecoveryReport",
+    "replay_image",
+]

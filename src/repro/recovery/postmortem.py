@@ -1,0 +1,100 @@
+"""Forensics over a dead node's durable log.
+
+The paper's forensic story is that the execution-trace tables
+(``ruleExec``, ``tupleTable``, the event logs) are *queryable data* —
+so the post-mortem interface is exactly the live interface: OverLog.
+A :class:`PostMortem` replays a crashed node's durable image
+(checkpoint + WAL, **without** its programs) into a quiet single-node
+replica system whose clock starts at zero.  Because durable rows carry
+absolute expiry deadlines stamped on the dead node's clock — which ran
+ahead of the replica's — every record the node ever journaled is alive
+in the replica, including rows that had *already expired* on the dead
+node by crash time (their removal is in the WAL, so replay drops them
+again; rows only the checkpoint knew stay queryable).
+
+Investigators then run ordinary OverLog over the replica::
+
+    pm = manager.post_mortem("n1:7000")
+    pm.install_source(
+        "fired(@X, Rule, T) :- ruleExec(@X, RId, Rule, NId, In, Out, T2, T).",
+        name="forensics",
+    )
+    pm.run_for(1.0)
+    history = pm.query("fired")
+
+No live node is touched: the replica has its own simulator and network,
+so forensic rule evaluation can't perturb the system under test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.address import Address
+from repro.overlog.program import Program
+from repro.recovery.durable import DurableMedium
+from repro.recovery.manager import RecoveryReport, replay_image
+from repro.runtime.tuples import Tuple
+
+
+class PostMortem:
+    """A single-node replica of one address's durable image."""
+
+    def __init__(
+        self,
+        medium: DurableMedium,
+        address: Address,
+        seed: int = 0,
+    ) -> None:
+        from repro.core.system import System
+
+        self.address = address
+        self.image = medium.image(address)
+        self.system = System(seed=seed)
+        self.node = self.system.add_node(address)
+        # Replay state only: the dead node's programs must not resume
+        # firing in the replica — forensics reads history, it does not
+        # continue the execution.
+        self.report: RecoveryReport = replay_image(
+            self.node, self.image, install_programs=False
+        )
+
+    # ------------------------------------------------------------------
+
+    def tables(self) -> List[str]:
+        return sorted(t.name for t in self.node.store.tables())
+
+    def query(self, name: str) -> List[Tuple]:
+        """Scan one reconstructed table (empty list if it never existed)."""
+        if not self.node.store.has(name):
+            return []
+        return self.node.query(name)
+
+    def install(self, program: Program) -> None:
+        """Install a forensic OverLog program on the replica."""
+        self.node.install(program)
+
+    def install_source(
+        self, source: str, name: str = "postmortem", bindings: Optional[dict] = None
+    ) -> None:
+        self.install(Program.compile(source, name=name, bindings=bindings))
+
+    def run_for(self, duration: float) -> None:
+        """Advance the replica's virtual clock (drains forensic rules)."""
+        self.system.run_for(duration)
+
+    # ------------------------------------------------------------------
+    # Canned forensic views
+
+    def rule_exec_history(self) -> List[Tuple]:
+        """The reconstructed ``ruleExec`` trace, oldest first.
+
+        Rows are ``(addr, rule, causeID, effectID, inT, outT, isEvent)``
+        — sorted by output time, then rule name.
+        """
+        rows = self.query("ruleExec")
+        return sorted(rows, key=lambda t: (t.values[5], t.values[1]))
+
+    def programs(self) -> List[str]:
+        """OverLog sources the dead node had installed (human-readable)."""
+        return [str(p) for p in self.image.programs]

@@ -27,6 +27,7 @@ class Dashboard:
         self._handles: Dict[str, MonitorHandle] = {}
         self._last_counts: Dict[str, Dict[str, int]] = {}
         self._last_drops: Dict[str, int] = {}
+        self._last_status: Dict[str, str] = {}
 
     def add_monitor(self, handle: MonitorHandle) -> None:
         self._handles[handle.monitor.name] = handle
@@ -59,20 +60,36 @@ class Dashboard:
             f"messages sent: {sent}   "
             f"dropped: {dropped}{breakdown}",
             "",
-            "node                 cpu%      tuples   rule-execs",
+            "node                 status         cpu%      tuples   rule-execs",
         ]
         tuples = reg.snapshot("node_live_tuples")
         execs = reg.snapshot("node_rule_executions_total")
         for address in sorted(system.nodes):
             node = system.nodes[address]
+            status = node.status
+            if node.restarts and not node.stopped:
+                status = f"{status} x{node.restarts}"
             if node.stopped:
-                lines.append(f"{address:<18} (stopped)")
+                lines.append(f"{address:<18} {status:<12}")
                 continue
             lines.append(
-                f"{address:<18} {100 * node.cpu_utilization():7.3f}  "
+                f"{address:<18} {status:<12} {100 * node.cpu_utilization():7.3f}  "
                 f"{tuples.get((address,), 0):>9}   "
                 f"{execs.get((address,), 0):>9}"
             )
+        recovery = getattr(system, "recovery", None)
+        if recovery is not None:
+            lines.append("")
+            lines.append("durability (checkpoint + WAL):")
+            medium = recovery.medium
+            for address in medium.addresses():
+                image = medium.ensure(address)
+                lines.append(
+                    f"  {address:<18} ckpt={image.checkpoint_bytes}B "
+                    f"@t={image.checkpoint_time:.1f}  "
+                    f"wal={len(image.wal)} rec/{image.wal_bytes}B  "
+                    f"restarts={system.nodes[address].restarts}"
+                )
         lines.append("")
         lines.append("monitor alarms:")
         if not self._handles:
@@ -110,4 +127,13 @@ class Dashboard:
                     f"drops: new reason {reason} (+{drops[reason]})"
                 )
         self._last_drops = drops
+        status = {
+            address: self._system.nodes[address].status
+            for address in sorted(self._system.nodes)
+        }
+        for address, state in status.items():
+            before = self._last_status.get(address)
+            if before is not None and before != state:
+                news.append(f"node {address}: {before} -> {state}")
+        self._last_status = status
         return news

@@ -80,6 +80,14 @@ class P2Node:
         self.obs = None  # repro.obs.telemetry.Telemetry
         # Called with every locally delivered tuple (event logging).
         self.on_deliver: List[Callable[[Tuple], None]] = []
+        # Called with every installed Program (crash-recovery durability:
+        # the recovery recorder journals installs so a restarted node can
+        # reinstall the same programs before state replay).
+        self.on_install: List[Callable[[Program], None]] = []
+        # How many times this address has been crash-restarted; the
+        # replacement node inherits predecessor's count + 1 (set by
+        # System.restart_node).
+        self.restarts = 0
 
         # Counters beyond the work model.
         self.tuples_delivered = 0
@@ -134,6 +142,8 @@ class P2Node:
                 # a different program materialized it.
                 if self.store.has(strand.trigger_name):
                     self._observe_table(strand.trigger_name)
+        for callback in list(self.on_install):
+            callback(program)
         return compiled
 
     def install_source(
@@ -433,20 +443,49 @@ class P2Node:
             self._pump()
 
     def stop(self) -> None:
-        """Crash/stop the node: cancel timers and leave the network."""
+        """Crash/stop the node: cancel timers and leave the network.
+
+        Every observation channel is detached too — table observers,
+        tracer taps, ``subscribe()`` callbacks, deliver/install hooks —
+        so a dead node stops accumulating callback work and sinks
+        registered through :meth:`subscribe` (e.g. ``System.collect``)
+        never receive post-mortem tuples from direct table pokes.  The
+        tables themselves (and any durable image a recovery recorder
+        wrote) survive for forensics.
+        """
         if self._stopped:
             return
         self._stopped = True
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
+        self._periodic_timers.clear()
         self._queue.clear()
+        for table in self.store.tables():
+            table.on_insert.clear()
+            table.on_remove.clear()
+            table.on_refresh.clear()
+        self.store.on_create.clear()
+        self._observed_tables.clear()
+        self._subscribers.clear()
+        self.on_deliver.clear()
+        self.on_install.clear()
+        self.hooks = None
+        self.obs = None
         if self.network.is_attached(self.address):
             self.network.detach(self.address)
 
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+    @property
+    def status(self) -> str:
+        """Lifecycle status for dashboards: ``up``, ``down``, or
+        ``recovered`` (up again after >= 1 crash-restart)."""
+        if self._stopped:
+            return "down"
+        return "recovered" if self.restarts else "up"
 
     def live_tuples(self) -> int:
         return self.store.live_tuples()

@@ -175,6 +175,11 @@ class Table:
         self._next_expiry = float("inf")
         self.on_insert: List[Callable[[Tuple, InsertOutcome], None]] = []
         self.on_remove: List[Callable[[Tuple, RemoveReason], None]] = []
+        # Fired on REFRESHED inserts (identical tuple re-inserted, TTL
+        # renewed).  Kept separate from on_insert because refreshes are
+        # not state *changes* — delta rules must not re-trigger — but
+        # durability (the recovery WAL) must still see the new deadline.
+        self.on_refresh: List[Callable[[Tuple, float], None]] = []
         # Lifetime counters for introspection.
         self.total_inserts = 0
         self.total_removals = 0
@@ -212,6 +217,8 @@ class Table:
             if existing.tuple == tup:
                 existing.expires_at = expires
                 existing.inserted_at = now
+                for callback in list(self.on_refresh):
+                    callback(tup, expires)
                 return InsertOutcome.REFRESHED
             old = existing.tuple
             self._seq += 1
@@ -274,6 +281,80 @@ class Table:
             self.total_removals += 1
             self._notify_remove(tup, RemoveReason.DELETED)
         return len(victims)
+
+    # ------------------------------------------------------------------
+    # Crash-recovery replay (repro.recovery)
+
+    def restore(
+        self,
+        tup: Tuple,
+        expires_at: float,
+        inserted_at: Optional[float] = None,
+    ) -> bool:
+        """Silently (re)load a row during checkpoint/WAL replay.
+
+        No observers fire (replayed state must not retro-trigger delta
+        rules, matching P2's install semantics) and ``expires_at`` is an
+        *absolute* deadline carried over from the durable record, so a
+        tuple whose lifetime lapsed while the node was down is dropped
+        here rather than resurrected.  Returns True if the row was kept.
+        """
+        if tup.name != self.name:
+            raise SchemaError(
+                f"tuple {tup.name!r} restored into table {self.name!r}"
+            )
+        now = self._now()
+        if expires_at <= now:
+            return False
+        key = self.key_of(tup)
+        existing = self._rows.get(key)
+        self._seq += 1
+        if existing is not None:
+            row = _Row(
+                tup,
+                inserted_at if inserted_at is not None else now,
+                expires_at,
+                self._seq,
+                existing.order,
+            )
+            self._index_discard(key, existing)
+        else:
+            self._order += 1
+            row = _Row(
+                tup,
+                inserted_at if inserted_at is not None else now,
+                expires_at,
+                self._seq,
+                self._order,
+            )
+        self._rows[key] = row
+        self._index_add(key, row)
+        if expires_at < self._next_expiry:
+            self._next_expiry = expires_at
+        return True
+
+    def snapshot_rows(self) -> List[PyTuple]:
+        """Live rows with their timing metadata, for checkpointing:
+        ``(tuple, inserted_at, expires_at)`` triples in scan order."""
+        self._expire_now()
+        return [
+            (row.tuple, row.inserted_at, row.expires_at)
+            for row in self._rows.values()
+        ]
+
+    def restore_remove(self, tup: Tuple) -> bool:
+        """Silently drop the row matching ``tup`` during WAL replay
+        (the removal was already observed pre-crash; replaying it must
+        not re-fire observers)."""
+        key = self.key_of(tup)
+        row = self._rows.get(key)
+        if row is None or row.tuple != tup:
+            return False
+        del self._rows[key]
+        self._index_discard(key, row)
+        return True
+
+    # ------------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple]:
         """Iterate live tuples (expired rows are dropped first)."""

@@ -99,9 +99,12 @@ def test_unknown_kind_rejected():
         FaultSchedule().at(1.0, "meteor", "a")
 
 
-def test_crash_has_no_window_inverse():
-    with pytest.raises(ReproError):
-        FaultSchedule().window(1.0, 2.0, "crash", "a")
+def test_crash_window_inverts_to_restart():
+    schedule = FaultSchedule().window(1.0, 9.0, "crash", "a")
+    assert schedule.describe() == [
+        "at 1: crash('a')",
+        "at 9: restart('a')",
+    ]
 
 
 def test_empty_or_negative_windows_rejected():
@@ -137,3 +140,43 @@ def test_injector_apply_dispatch(system, injector):
         injector.apply("meteor")
     with pytest.raises(ReproError):
         injector.apply_at(1.0, "meteor")
+
+
+def test_wrong_arity_rejected_at_build_time():
+    # partition needs two addresses.
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "partition", "a")
+    # crash takes exactly one.
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "crash", "a", "b")
+    # loss takes exactly one rate.
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "loss")
+    # link_loss takes (src, dst, rate).
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "link_loss", "a", "b")
+
+
+def test_correct_arity_accepted_for_every_kind():
+    schedule = FaultSchedule()
+    schedule.at(1.0, "crash", "a")
+    schedule.at(1.0, "restart", "a")
+    schedule.at(1.0, "crash_restart", "a", 5.0)
+    schedule.at(1.0, "partition", "a", "b")
+    schedule.at(1.0, "heal", "a", "b")
+    schedule.at(1.0, "isolate", "a")
+    schedule.at(1.0, "rejoin", "a")
+    schedule.at(1.0, "take_down", "a")
+    schedule.at(1.0, "bring_up", "a")
+    schedule.at(1.0, "loss", 0.1)
+    schedule.at(1.0, "link_loss", "a", "b", 0.5)
+    schedule.at(1.0, "reorder", 0.1)
+    schedule.at(1.0, "duplicate", 0.1)
+    assert len(schedule) == 13
+
+
+def test_validate_call_names_known_kinds_in_error():
+    from repro.faults.injector import FaultInjector
+
+    with pytest.raises(ReproError, match="crash_restart"):
+        FaultInjector.validate_call("meteor", ())

@@ -1,0 +1,80 @@
+"""Churn campaigns: monitor soundness under crash–restart cycles.
+
+Fast tier pins a couple of seeds plus byte-stable determinism of the
+extended (restart-bearing) verdict fingerprint; the nightly slow sweep
+runs the 50-seed soundness campaign with churn enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+
+FAST_SEEDS = [2, 7]
+CHURN_SEEDS = list(range(50))
+
+
+def churn_config(**overrides) -> CampaignConfig:
+    defaults = dict(num_nodes=6, stabilize_time=240.0, churn=True)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def assert_sound(verdict) -> None:
+    assert verdict.stabilized, "ring never stabilized before the campaign"
+    assert verdict.converged, (
+        f"ring did not re-converge after churn: schedule={verdict.schedule} "
+        f"restarts={verdict.restarts}"
+    )
+    assert verdict.sound, (
+        f"alarms still firing after heal: schedule={verdict.schedule} "
+        f"alarms={verdict.alarm_counts}"
+    )
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_churn_campaign_recovers_and_stays_sound(seed):
+    verdict = FaultCampaign(seed, churn_config()).run()
+    assert_sound(verdict)
+    assert verdict.restarts, "churn campaign performed no restarts"
+    for _, node, replayed, lapsed in verdict.restarts:
+        assert replayed > 0, f"restart of {node} replayed nothing"
+
+
+def test_churn_fingerprint_is_byte_stable_and_carries_restarts():
+    first = FaultCampaign(7, churn_config()).run()
+    second = FaultCampaign(7, churn_config()).run()
+    assert first.fingerprint() == second.fingerprint()
+    payload = json.loads(first.fingerprint())
+    assert payload["restarts"], "fingerprint dropped the recovery outcomes"
+    assert payload["restarts"] == [
+        [round(t, 6), node, replayed, lapsed]
+        for t, node, replayed, lapsed in first.restarts
+    ]
+
+
+def test_churn_schedules_include_crash_restart_windows():
+    camp = FaultCampaign(3, churn_config())
+    schedule = camp.sample_schedule([f"n{i}:1000{i}" for i in range(6)])
+    described = " ".join(schedule.describe())
+    assert "crash(" in described
+    assert "restart(" in described
+
+
+def test_control_churn_runs_raise_zero_alarms():
+    verdict = FaultCampaign(2, churn_config()).run(control=True)
+    assert verdict.alarm_counts == {}
+    assert verdict.restarts == []
+    assert verdict.passed
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", CHURN_SEEDS)
+def test_randomized_churn_soundness_sweep(seed):
+    """50 randomized churn campaigns: nodes crash, restart from durable
+    state, re-join the ring; monitors re-converge to silence."""
+    verdict = FaultCampaign(seed, churn_config()).run()
+    assert_sound(verdict)

@@ -155,5 +155,5 @@ def test_dashboard_marks_stopped_nodes():
     system.add_node("b:1")
     system.crash("b:1")
     text = Dashboard(system).render()
-    assert "(stopped)" in text
+    assert "b:1                down" in text
     assert "1 live / 2 total" in text

@@ -237,3 +237,66 @@ def test_symbolic_binding_parameterizes_program(make_node):
     node.inject("evt", ("a:1", 5))
     node.inject("evt", ("a:1", 15))
     assert [t.values[1] for t in got] == [15]
+
+
+def test_stop_detaches_table_observers_and_subscribers(make_node):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 10, 10, keys(1,2)).
+        r t@N(X) :- evt@N(X).
+        """
+    )
+    sink = []
+    node.subscribe("t", sink.append)
+    table = node.store.get("t")
+    node.inject("evt", ("a:1", 1))
+    assert len(sink) == 1
+    assert table.on_insert
+
+    node.stop()
+    # Every callback path is detached: observers, subscribers, hooks.
+    assert table.on_insert == []
+    assert table.on_remove == []
+    assert table.on_refresh == []
+    assert node.store.on_create == []
+    assert node.on_deliver == []
+    assert node.on_install == []
+    assert node.hooks is None and node.obs is None
+
+    # A direct post-mortem table write reaches no former subscriber.
+    from repro.runtime.tuples import Tuple as T
+
+    table.insert(T("t", ("a:1", 99)))
+    assert len(sink) == 1
+
+
+def test_stopped_node_sends_no_postmortem_tuples_to_collect(
+    sim, network, make_node
+):
+    node = make_node("a:1")
+    node.install_source(
+        """
+        materialize(t, 10, 10, keys(1,2)).
+        r t@N(X) :- evt@N(X).
+        """
+    )
+    got = node.collect("t")
+    node.inject("evt", ("a:1", 1))
+    assert len(got) == 1
+    table = node.store.get("t")
+    node.stop()
+    from repro.runtime.tuples import Tuple as T
+
+    table.insert(T("t", ("a:1", 2)))
+    sim.run_for(1.0)
+    assert len(got) == 1
+
+
+def test_node_status_property(make_node):
+    node = make_node("a:1")
+    assert node.status == "up"
+    node.restarts = 2
+    assert node.status == "recovered"
+    node.stop()
+    assert node.status == "down"
