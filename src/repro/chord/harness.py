@@ -22,6 +22,7 @@ from repro.chord.program import ChordParams, chord_program
 from repro.net.address import make_address
 from repro.net.network import ReliableConfig
 from repro.net.topology import ConstantLatency, LatencyModel
+from repro.overload.controller import OverloadConfig
 from repro.overlog.types import NodeID
 from repro.runtime.node import P2Node
 from repro.runtime.tuples import Tuple
@@ -47,6 +48,7 @@ class ChordNetwork:
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         observability: bool = False,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.params = params if params is not None else ChordParams()
         self.system = System(
@@ -63,6 +65,7 @@ class ChordNetwork:
             reorder_rate=reorder_rate,
             duplicate_rate=duplicate_rate,
             observability=observability,
+            overload=overload,
         )
         self.program = chord_program(self.params, recycle_dead_bug)
         self.addresses: List[str] = [

@@ -16,6 +16,7 @@ from repro.obs.export import (
     write_jsonl,
     write_prometheus,
 )
+from repro.overload.controller import OverloadConfig
 from repro.overlog.program import Program
 from repro.overlog.types import DEFAULT_ID_BITS
 from repro.runtime.node import P2Node
@@ -50,6 +51,7 @@ class System:
         observability: bool = False,
         obs_capacity: int = 65536,
         obs_sample_rate: float = 1.0,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.telemetry = Telemetry(
@@ -74,6 +76,9 @@ class System:
             obs=self.telemetry if observability else None,
         )
         self.id_bits = id_bits
+        #: Overload-protection config applied to every node (None keeps
+        #: all hot paths exactly as before; see :mod:`repro.overload`).
+        self.overload = overload
         self.nodes: Dict[Address, P2Node] = {}
         self.tracers: Dict[Address, Tracer] = {}
         self.loggers: Dict[Address, EventLogger] = {}
@@ -99,7 +104,15 @@ class System:
         """Create and register a node; optionally enable introspection."""
         if address in self.nodes:
             raise ReproError(f"node {address!r} already exists")
-        node = P2Node(address, self.sim, self.network, id_bits=self.id_bits)
+        node = P2Node(
+            address,
+            self.sim,
+            self.network,
+            id_bits=self.id_bits,
+            overload=self.overload,
+        )
+        if node.overload is not None and self.telemetry.enabled:
+            node.overload.telemetry = self.telemetry
         self.nodes[address] = node
         self._node_config[address] = {
             "tracing": tracing,

@@ -32,6 +32,8 @@ from repro.faults.schedule import FaultSchedule
 from repro.monitors.oscillation import OscillationMonitor
 from repro.monitors.ring import RingProbeMonitor
 from repro.net.network import ReliableConfig
+from repro.overload.controller import OverloadConfig
+from repro.overload.policy import CLASSES
 
 
 @dataclass
@@ -74,6 +76,32 @@ class CampaignConfig:
     max_down: float = 45.0
     #: Checkpoint period for churn-mode durable protection.
     checkpoint_interval: float = 20.0
+    #: Storm mode: replace the reversible-fault menu with randomized
+    #: ``traffic_storm`` bursts (plus sampled ``slow_node`` windows)
+    #: against overload-protected nodes.  The verdict gains an
+    #: ``overload`` summary — per-class offered/admitted/shed/deferred,
+    #: BUSY nacks, queue peaks, the priority invariant, and post-heal
+    #: lookup outcomes — and ``passed`` requires the invariant to hold.
+    storm: bool = False
+    #: Overload config for every node in storm mode (None derives one
+    #: from ``shedding``: bounded queues with ``service_time=0.002``,
+    #: or unbounded observe-only for the control arm).
+    overload: Optional[OverloadConfig] = None
+    #: False runs the storm control arm: unbounded queues, shedding
+    #: off — the verdict's queue peaks demonstrate unbounded growth.
+    shedding: bool = True
+    max_storms: int = 2
+    #: Storm arrival-rate bounds (msgs / virtual second).  With the
+    #: default 2 ms service time the node drains 500 msg/s, so these
+    #: are ~1.4–2.4x saturation.
+    storm_rate_min: float = 700.0
+    storm_rate_max: float = 1200.0
+    storm_duration_min: float = 4.0
+    storm_duration_max: float = 10.0
+    #: Probability each storm is accompanied by a slow_node window.
+    slow_node_prob: float = 0.5
+    #: Post-heal Chord lookups asserted in the storm verdict.
+    storm_lookups: int = 3
     #: Run with the telemetry plane enabled (spans, flight recorder,
     #: fault/alarm events).  Implied by ``artifact_dir``.
     observability: bool = False
@@ -84,7 +112,31 @@ class CampaignConfig:
     artifact_dir: Optional[str] = None
 
     def reliable_config(self) -> ReliableConfig:
-        return self.reliable if self.reliable is not None else ReliableConfig()
+        if self.reliable is not None:
+            return self.reliable
+        if self.storm:
+            # Bounded transport queues in storm mode: a capped sender
+            # window + backlog (overflow is a sender-visible drop) and a
+            # capped receiver reorder buffer, so a BUSY-induced sequence
+            # gap cannot park an unbounded pile of admitted frames that
+            # would later dump into the mailbox all at once.
+            return ReliableConfig(window=64, backlog=512, reorder_cap=64)
+        return ReliableConfig()
+
+    def storm_overload(self) -> OverloadConfig:
+        """The per-node overload config a storm campaign runs with."""
+        if self.overload is not None:
+            return self.overload
+        if self.shedding:
+            return OverloadConfig(service_time=0.002)
+        # Control arm: same service rate, but unbounded queues and no
+        # shedding — depth peaks show what the protection prevents.
+        return OverloadConfig(
+            mailbox_capacity=None,
+            strand_queue_capacity=None,
+            service_time=0.002,
+            shedding=False,
+        )
 
 
 @dataclass
@@ -106,13 +158,25 @@ class CampaignVerdict:
     #: Recovery outcomes in churn mode: one ``(time, node, replayed,
     #: lapsed)`` entry per crash–restart performed.
     restarts: List[Tuple[float, str, int, int]] = field(default_factory=list)
+    #: Storm-mode overload summary (None outside storm mode): per-class
+    #: shed accounting aggregated over nodes, transport backpressure
+    #: counters, queue depth peaks, the priority invariant, and
+    #: post-heal lookup outcomes.
+    overload: Optional[Dict] = None
     #: Path of the exported telemetry JSONL artifact (None when the
     #: campaign ran without ``artifact_dir``).
     artifact: Optional[str] = None
 
     @property
     def passed(self) -> bool:
-        return self.stabilized and self.converged and self.sound
+        ok = self.stabilized and self.converged and self.sound
+        if self.overload is not None:
+            ok = (
+                ok
+                and self.overload["invariant_ok"]
+                and all(r[1] for r in self.overload["lookups"])
+            )
+        return ok
 
     def fingerprint(self) -> str:
         """Canonical JSON of the whole verdict — byte-for-byte stable
@@ -142,6 +206,7 @@ class CampaignVerdict:
                     [round(t, 6), node, replayed, lapsed]
                     for t, node, replayed, lapsed in self.restarts
                 ],
+                "overload": self.overload,
                 "artifact": self.artifact,
             },
             sort_keys=True,
@@ -169,6 +234,10 @@ class FaultCampaign:
     ) -> None:
         self.seed = seed
         self.config = config if config is not None else CampaignConfig()
+        # Storms outlive their at() entries by their duration argument;
+        # sampling records the true quiet time here so heal_time (and
+        # the soundness window) starts after the last storm ends.
+        self._storm_end = 0.0
 
     # ------------------------------------------------------------------
     # Schedule sampling
@@ -184,6 +253,8 @@ class FaultCampaign:
         config = self.config
         rng = random.Random((self.seed * 0x9E3779B1 + 0xFA01) & 0xFFFFFFFF)
         schedule = FaultSchedule()
+        if config.storm:
+            return self._sample_storms(rng, schedule, addresses)
         menu = list(self.FAULT_MENU)
         if config.allow_crash:
             menu.append("crash")
@@ -236,6 +307,50 @@ class FaultCampaign:
                 schedule.window(start, start + down, "crash", addr)
         return schedule
 
+    def _sample_storms(
+        self,
+        rng: random.Random,
+        schedule: FaultSchedule,
+        addresses: List[str],
+    ) -> FaultSchedule:
+        """Storm-mode sampling: traffic bursts + slow-node windows only.
+
+        The ordinary fault menu is deliberately excluded — the storm
+        verdict isolates overload behaviour from partition/loss noise.
+        """
+        config = self.config
+        count = min(
+            rng.randint(1, config.max_storms), len(addresses)
+        )
+        self._storm_end = 0.0
+        for addr in rng.sample(sorted(addresses), count):
+            start = rng.uniform(1.0, config.fault_lead)
+            rate = round(
+                rng.uniform(config.storm_rate_min, config.storm_rate_max), 1
+            )
+            duration = round(
+                rng.uniform(
+                    config.storm_duration_min, config.storm_duration_max
+                ),
+                2,
+            )
+            schedule.at(start, "traffic_storm", addr, rate, duration)
+            self._storm_end = max(self._storm_end, start + duration)
+            if rng.random() < config.slow_node_prob:
+                slow_start = round(rng.uniform(start, start + duration), 2)
+                slow_len = round(rng.uniform(2.0, duration), 2)
+                schedule.window(
+                    slow_start,
+                    slow_start + slow_len,
+                    "slow_node",
+                    addr,
+                    round(rng.uniform(1.5, 3.0), 2),
+                )
+                self._storm_end = max(
+                    self._storm_end, slow_start + slow_len
+                )
+        return schedule
+
     # ------------------------------------------------------------------
     # Running
 
@@ -250,6 +365,7 @@ class FaultCampaign:
             transport=config.transport,
             reliable=config.reliable_config(),
             observability=config.observability or bool(config.artifact_dir),
+            overload=config.storm_overload() if config.storm else None,
         )
         net.start()
         stabilized = net.wait_stable(max_time=config.stabilize_time)
@@ -316,7 +432,11 @@ class FaultCampaign:
             schedule = self.sample_schedule(net.live_addresses())
             injector = FaultInjector(net.system)
             schedule.apply(injector, offset=armed_at)
-        heal_time = armed_at + schedule.end_time
+        # Storms run past their at() entry for their sampled duration,
+        # so quiet time is the later of the last entry and the last
+        # storm's end.
+        quiet_after = max(schedule.end_time, self._storm_end)
+        heal_time = armed_at + quiet_after
 
         # Chord's failure recovery: a node evicted during a long
         # isolation must re-join through the landmark once the network
@@ -329,9 +449,37 @@ class FaultCampaign:
                     net.ensure_joined(a) for a in net.live_addresses()
                 ],
             )
+            if config.storm:
+                # A storm-silenced node can still hold a stale successor
+                # at heal+10 (so the first pass no-ops on it) that only
+                # expires with the soft-state horizon; sweep again after
+                # it so the node re-joins within the recovery window.
+                sim.schedule_at(
+                    heal_time + 60.0,
+                    lambda: [
+                        net.ensure_joined(a) for a in net.live_addresses()
+                    ],
+                )
 
-        net.run_for(schedule.end_time + config.recovery_time)
+        net.run_for(quiet_after + config.recovery_time)
         converged = net.wait_stable(max_time=60.0)
+
+        # Storm mode: post-heal lookups prove the ring still routes
+        # after overload — DATA (lookup traffic) survived the shedding.
+        overload_summary = None
+        if config.storm:
+            lookups: List[List] = []
+            live = sorted(net.live_addresses())
+            src = live[0]
+            for addr in live[: config.storm_lookups]:
+                key = net.ids[addr]
+                result = net.lookup(src, key, timeout=20.0)
+                owner = net.lookup_owner(key)
+                ok = result is not None and (
+                    owner is None or result.values[3] == owner
+                )
+                lookups.append([addr, bool(ok)])
+            overload_summary = self._overload_summary(net, lookups)
 
         stats = net.system.network.stats
         alarm_counts: Dict[str, int] = {}
@@ -347,6 +495,8 @@ class FaultCampaign:
         artifact = None
         if config.artifact_dir:
             prefix = f"campaign_seed{self.seed}"
+            if config.storm:
+                prefix += "_storm" if config.shedding else "_storm_noshed"
             if control:
                 prefix += "_control"
             paths = net.system.export_telemetry(
@@ -381,10 +531,59 @@ class FaultCampaign:
                 "send_failures": stats.send_failures,
                 "gap_skips": stats.gap_skips,
                 "acks_sent": stats.acks_sent,
+                "busy_nacks": stats.busy_nacks,
+                "backlogged": stats.backlogged,
+                "held_overflow": stats.held_overflow,
             },
             drop_reasons=dict(stats.drop_reasons),
+            overload=overload_summary,
             artifact=artifact,
         )
+
+    def _overload_summary(self, net: ChordNetwork, lookups: List[List]) -> Dict:
+        """Aggregate every node's overload accounting into one
+        fingerprint-stable dict (sorted keys, ints and bools only)."""
+        classes = {
+            cls: {"offered": 0, "admitted": 0, "shed": 0, "deferred": 0}
+            for cls in CLASSES
+        }
+        shed_reasons: Dict[str, int] = {}
+        mailbox_peak = 0
+        strand_peak = 0
+        transitions = 0
+        invariant = True
+        for addr in sorted(net.system.nodes):
+            ctrl = net.system.nodes[addr].overload
+            if ctrl is None:
+                continue
+            for cls, counts in ctrl.counts.items():
+                agg = classes[cls]
+                agg["offered"] += counts.offered
+                agg["admitted"] += counts.admitted
+                agg["shed"] += counts.shed
+                agg["deferred"] += counts.deferred
+                for reason, n in counts.shed_reasons.items():
+                    shed_reasons[reason] = shed_reasons.get(reason, 0) + n
+            mailbox_peak = max(mailbox_peak, ctrl.mailbox.depth_peak)
+            strand_peak = max(strand_peak, ctrl.strand_state.depth_peak)
+            transitions += (
+                ctrl.mailbox.state.transitions
+                + ctrl.strand_state.transitions
+            )
+            invariant = invariant and ctrl.invariant_ok()
+        return {
+            "classes": classes,
+            "shed_reasons": {
+                reason: shed_reasons[reason]
+                for reason in sorted(shed_reasons)
+            },
+            "mailbox_peak": mailbox_peak,
+            "strand_peak": strand_peak,
+            "transitions": transitions,
+            "shedding": self.config.shedding,
+            "invariant_ok": invariant,
+            "lookups": lookups,
+        }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -409,6 +608,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--churn",
         action="store_true",
         help="enable durable recovery and add crash-restart windows",
+    )
+    parser.add_argument(
+        "--storm",
+        action="store_true",
+        help="overload mode: traffic storms + slow nodes against "
+        "overload-protected nodes; asserts the priority-shedding "
+        "invariant and post-heal lookups",
+    )
+    parser.add_argument(
+        "--no-shedding",
+        action="store_true",
+        help="storm control arm: unbounded observe-only queues "
+        "(demonstrates the growth shedding prevents)",
     )
     parser.add_argument(
         "--verdicts",
@@ -439,6 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             transport=args.transport,
             artifact_dir=args.artifacts,
             churn=args.churn,
+            storm=args.storm,
+            shedding=not args.no_shedding,
         )
         verdict = FaultCampaign(seed, config).run(control=args.control)
         status = "PASS" if verdict.passed else "FAIL"
@@ -450,6 +664,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for line in verdict.schedule:
             print(f"         {line}")
+        if verdict.overload is not None:
+            ov = verdict.overload
+            shed = {
+                cls: ov["classes"][cls]["shed"] for cls in ov["classes"]
+            }
+            print(
+                f"         overload: invariant_ok={ov['invariant_ok']} "
+                f"shed={shed} deferred="
+                f"{sum(c['deferred'] for c in ov['classes'].values())} "
+                f"mailbox_peak={ov['mailbox_peak']} "
+                f"lookups={ov['lookups']}"
+            )
         if verdict.restarts:
             for t, node, replayed, lapsed in verdict.restarts:
                 print(

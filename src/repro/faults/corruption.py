@@ -5,6 +5,13 @@ modelling the bugs, stale state, or malicious manipulation the paper's
 ring monitors (§3.1.1-§3.1.2) exist to detect.  Corruption goes through
 the normal insert path, so delta rules and monitors observe it exactly
 as they would observe an organic fault.
+
+Campaign and schedule code should prefer the injector verb
+``FaultInjector.corrupt(node, relation, wrong_addr)``, which routes
+through these helpers *and* records the corruption in the fault log —
+so it shows up in campaign fingerprints and schedule validation.  These
+functions remain the low-level implementation (and the direct entry
+point for unit tests that do not want an injector).
 """
 
 from __future__ import annotations

@@ -15,6 +15,19 @@ from typing import List, Tuple
 
 from repro.core.system import System
 from repro.errors import ReproError
+from repro.faults.corruption import corrupt_best_succ, corrupt_pred
+from repro.net.marshal import encode_message
+from repro.runtime.tuples import Tuple as RTuple
+
+#: Synthetic source address storm traffic is sent from.  It is never
+#: attached to the network, which is fine: reliable-mode acks and BUSY
+#: nacks act directly on the sender channel object, not on a receiver.
+STORM_SOURCE = "storm!injector"
+
+#: Relation name of storm payloads.  Unknown to every priority map, so
+#: admission control classes it DATA — a storm models an application
+#: traffic spike, the load the monitoring plane must yield to.
+STORM_RELATION = "stormPayload"
 
 
 class FaultInjector:
@@ -23,6 +36,9 @@ class FaultInjector:
     def __init__(self, system: System) -> None:
         self._system = system
         self.log: List[Tuple[float, str, tuple]] = []
+        # Monotone wire-mid counter shared by all storms from this
+        # injector, so overlapping storms never reuse a message id.
+        self._storm_seq = 0
 
     @property
     def system(self) -> System:
@@ -129,6 +145,79 @@ class FaultInjector:
         self._system.network.set_duplicate_rate(rate)
         self._record("duplicate", (rate,))
 
+    def traffic_storm(
+        self, address: str, rate: float, duration: float
+    ) -> None:
+        """Flood ``address`` with synthetic DATA-class tuples.
+
+        Sends ``rate`` messages per virtual second for ``duration``
+        seconds, on a deterministic tick chain (no randomness — the
+        storm is byte-identical under a given schedule).  The payloads
+        are ``stormPayload`` tuples, which no priority map knows, so
+        admission control treats them as application traffic: the
+        overload they create must shed MONITOR/TRACE work first.
+        """
+        if rate <= 0.0:
+            raise ReproError(f"storm rate must be > 0: {rate}")
+        if duration <= 0.0:
+            raise ReproError(f"storm duration must be > 0: {duration}")
+        self._record("traffic_storm", (address, rate, duration))
+        interval = 1.0 / rate
+        remaining = max(1, int(rate * duration))
+        system = self._system
+
+        def tick(left: int) -> None:
+            self._storm_seq += 1
+            tup = RTuple(STORM_RELATION, (address, self._storm_seq))
+            wire = encode_message(tup, STORM_SOURCE, None, mid=self._storm_seq)
+            system.network.send(STORM_SOURCE, address, wire, size=len(wire))
+            if left > 1:
+                system.sim.schedule(interval, lambda: tick(left - 1))
+
+        system.sim.schedule(0.0, lambda: tick(remaining))
+
+    def slow_node(self, address: str, factor: float) -> None:
+        """Scale a node's per-message service time by ``factor``.
+
+        Models a node that got slow (GC pauses, CPU contention) without
+        stopping: its mailbox drains ``factor``× slower, so the same
+        arrival rate saturates it sooner.  ``factor=1.0`` restores full
+        speed (the schedule DSL's inverse for a windowed slow-down).
+        Requires overload protection on the node — without a mailbox
+        there is no service rate to slow.
+        """
+        if factor <= 0.0:
+            raise ReproError(f"slow_node factor must be > 0: {factor}")
+        node = self._system.node(address)
+        if node.overload is None:
+            raise ReproError(
+                f"slow_node requires overload protection on {address!r} "
+                "(System overload=OverloadConfig(...))"
+            )
+        node.overload.slow_factor = factor
+        self._record("slow_node", (address, factor))
+
+    def corrupt(self, address: str, relation: str, wrong_addr: str) -> None:
+        """Corrupt one of a node's ring pointers to ``wrong_addr``.
+
+        ``relation`` is ``"pred"`` or ``"bestSucc"`` (``"succ"`` is an
+        alias).  Routing through the injector — rather than calling the
+        :mod:`repro.faults.corruption` helpers directly — records the
+        corruption in the fault log, so campaign fingerprints and
+        schedule validation see it like any other fault.
+        """
+        node = self._system.node(address)
+        if relation == "pred":
+            corrupt_pred(node, wrong_addr)
+        elif relation in ("bestSucc", "succ"):
+            corrupt_best_succ(node, wrong_addr)
+        else:
+            raise ReproError(
+                f"corrupt: unknown relation {relation!r} "
+                "(expected 'pred' or 'bestSucc')"
+            )
+        self._record("corrupt", (address, relation, wrong_addr))
+
     # ------------------------------------------------------------------
     # Schedule dispatch
 
@@ -147,6 +236,9 @@ class FaultInjector:
         "link_loss": "set_link_loss",
         "reorder": "set_reorder_rate",
         "duplicate": "set_duplicate_rate",
+        "traffic_storm": "traffic_storm",
+        "slow_node": "slow_node",
+        "corrupt": "corrupt",
     }
 
     @classmethod

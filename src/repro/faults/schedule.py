@@ -63,6 +63,10 @@ INVERSES: Dict[str, Callable[[Tuple], Tuple[str, Tuple]]] = {
     "reorder": _rate_inverse("reorder"),
     "duplicate": _rate_inverse("duplicate"),
     "link_loss": lambda args: ("link_loss", (args[0], args[1], 0.0)),
+    # A slow-node window restores full speed at the end.  traffic_storm
+    # is deliberately absent: its duration is an argument, so it is
+    # self-terminating and belongs in at() entries.
+    "slow_node": lambda args: ("slow_node", (args[0], 1.0)),
 }
 
 

@@ -112,9 +112,16 @@ class Monitor:
         self.bindings = dict(bindings or {})
 
     def program(self) -> Program:
-        """Compile the monitor's rules with its parameter bindings."""
+        """Compile the monitor's rules with its parameter bindings.
+
+        Monitors install with ``role="monitor"``, so under overload
+        protection their relations shed before application DATA does.
+        """
         return Program.compile(
-            self.source, name=self.name, bindings=self.bindings
+            self.source,
+            name=self.name,
+            bindings=self.bindings,
+            role="monitor",
         )
 
     def install(self, nodes: Iterable[P2Node]) -> MonitorHandle:

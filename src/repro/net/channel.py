@@ -17,6 +17,7 @@ unit-tested without a simulator.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
@@ -76,9 +77,11 @@ class ReliableChannel(Channel):
 
     def __init__(self, src: Address, dst: Address) -> None:
         super().__init__(src, dst)
-        # Sender side.
+        # Sender side.  ``backlog`` holds messages waiting for window
+        # space when ``ReliableConfig.window`` is set (otherwise unused).
         self.next_seq = 1
         self.pending: Dict[int, PendingSend] = {}
+        self.backlog: deque = deque()
         # Receiver side.
         self.next_deliver = 1
         self.held: Dict[int, Any] = {}
@@ -175,6 +178,7 @@ class ReliableChannel(Channel):
         return {
             "messages_sent": self.messages_sent,
             "pending": len(self.pending),
+            "backlog": len(self.backlog),
             "held": len(self.held),
             "next_seq": self.next_seq,
             "next_deliver": self.next_deliver,

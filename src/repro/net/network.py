@@ -42,17 +42,26 @@ DROP_PARTITION = "partition"
 DROP_DOWN = "down"
 DROP_NO_RECEIVER = "no_receiver"
 DROP_RETRIES = "retries_exhausted"
+DROP_BACKLOG = "send_backlog_full"
 
 
 @dataclass
 class Message:
-    """An in-flight network message (a marshaled tuple payload)."""
+    """An in-flight network message (a marshaled tuple payload).
+
+    ``decoded`` caches the unmarshaled payload when a receiver-side
+    admission gate (overload protection) had to inspect the relation
+    name before acking — the node's ``receive`` then reuses it instead
+    of decoding twice, and its presence signals the frame was already
+    admitted by the reliable gate.
+    """
 
     src: Address
     dst: Address
     payload: Any
     sent_at: float
     size: int = 0
+    decoded: Any = None
 
 
 @dataclass
@@ -69,6 +78,15 @@ class ReliableConfig:
     frame held behind a gap longer than this has its gap skipped
     (the sender must have given up on it).  ``None`` derives it from
     the full retransmit horizon.
+
+    The three ``None``-default capacities bound the transport's own
+    queues (overload protection; ``None`` keeps them unbounded, the
+    pre-overload behaviour): ``window`` caps in-flight unacked sends
+    per channel, ``backlog`` caps the sender-side queue of messages
+    waiting for window space (overflow is a sender-visible drop like
+    retry exhaustion), and ``reorder_cap`` caps the receiver's held
+    buffer (an over-cap out-of-order frame is not acked, so the
+    sender's retransmit redelivers it after the gap drains).
     """
 
     rto: float = 0.25
@@ -76,6 +94,9 @@ class ReliableConfig:
     max_retries: int = 6
     jitter: float = 0.05
     hold_timeout: Optional[float] = None
+    window: Optional[int] = None
+    backlog: Optional[int] = None
+    reorder_cap: Optional[int] = None
 
     def timeout_for(self, attempt: int) -> float:
         return self.rto * (self.backoff ** attempt)
@@ -114,6 +135,9 @@ class NetworkStats:
     acks_dropped: int = 0
     send_failures: int = 0
     gap_skips: int = 0
+    busy_nacks: int = 0
+    backlogged: int = 0
+    held_overflow: int = 0
     drop_reasons: Dict[str, int] = field(default_factory=dict)
     per_node_sent: Dict[Address, int] = field(default_factory=dict)
     per_node_received: Dict[Address, int] = field(default_factory=dict)
@@ -161,6 +185,7 @@ class Network:
         self._duplicate_rate = duplicate_rate
         self._reorder_window = reorder_window
         self._receivers: Dict[Address, Callable[[Message], None]] = {}
+        self._admission: Dict[Address, Callable[[Message], bool]] = {}
         self._channels: Dict[Tuple[Address, Address], Channel] = {}
         self._blocked: Set[frozenset] = set()
         self._down: Set[Address] = set()
@@ -181,9 +206,23 @@ class Network:
             raise NetworkError(f"address already attached: {address}")
         self._receivers[address] = receiver
 
+    def set_admission(
+        self, address: Address, gate: Callable[[Message], bool]
+    ) -> None:
+        """Register a receiver-side admission gate for reliable frames.
+
+        The gate is consulted before a non-duplicate data frame to
+        ``address`` is acknowledged; returning False withholds the ack
+        and sends an explicit BUSY nack, so the sender keeps the
+        message and retries under its normal backoff (receiver
+        pushback — overload protection's backpressure hook).
+        """
+        self._admission[address] = gate
+
     def detach(self, address: Address) -> None:
         """Remove a node from the network (future messages to it drop)."""
         self._receivers.pop(address, None)
+        self._admission.pop(address, None)
 
     def is_attached(self, address: Address) -> bool:
         return address in self._receivers
@@ -262,6 +301,23 @@ class Network:
         message = Message(src, dst, payload, self._sim.now, size)
         if self.transport == "reliable":
             channel = self._reliable_channel(src, dst)
+            config = self.reliable_config
+            if (
+                config.window is not None
+                and len(channel.pending) >= config.window
+            ):
+                if (
+                    config.backlog is not None
+                    and len(channel.backlog) >= config.backlog
+                ):
+                    # Sender-visible overflow, surfaced exactly like
+                    # retry exhaustion: drop + failure callbacks.
+                    self._drop(DROP_BACKLOG, src, dst)
+                    self._count_send_failure(message)
+                    return
+                channel.backlog.append(message)
+                self.stats.backlogged += 1
+                return
             entry = channel.open_send(message)
             self._transmit(channel, entry, first=True)
             return
@@ -403,20 +459,33 @@ class Network:
         if entry.attempts > self.reliable_config.max_retries:
             channel.give_up(entry.seq)
             self._drop(DROP_RETRIES, entry.message.src, entry.message.dst)
-            self.stats.send_failures += 1
-            failed = self.stats.per_node_failed
-            src = entry.message.src
-            failed[src] = failed.get(src, 0) + 1
             if self.obs is not None:
                 self.obs.event(
                     "net.send_failure",
-                    link=f"{src}->{entry.message.dst}",
+                    link=f"{entry.message.src}->{entry.message.dst}",
                     seq=entry.seq,
                 )
-            for callback in self.on_send_failure:
-                callback(entry.message)
+            self._count_send_failure(entry.message)
+            self._drain_backlog(channel)
             return
         self._transmit(channel, entry, first=False)
+
+    def _count_send_failure(self, message: Message) -> None:
+        self.stats.send_failures += 1
+        failed = self.stats.per_node_failed
+        failed[message.src] = failed.get(message.src, 0) + 1
+        for callback in self.on_send_failure:
+            callback(message)
+
+    def _drain_backlog(self, channel: ReliableChannel) -> None:
+        """Promote backlogged sends into freed window slots."""
+        config = self.reliable_config
+        if config.window is None:
+            return
+        while channel.backlog and len(channel.pending) < config.window:
+            message = channel.backlog.popleft()
+            entry = channel.open_send(message)
+            self._transmit(channel, entry, first=True)
 
     def _schedule_frame(
         self, channel: ReliableChannel, seq: int, base: int, message: Message
@@ -446,10 +515,30 @@ class Network:
             return
         if message.dst not in self._receivers:
             return
+        duplicate = seq in channel.seen or seq < channel.next_deliver
+        if not duplicate:
+            gate = self._admission.get(message.dst)
+            if gate is not None and not gate(message):
+                # Receiver pushback: withhold the ack and send an
+                # explicit BUSY nack instead — the sender keeps the
+                # message and re-arms its retransmit backoff.
+                self.stats.busy_nacks += 1
+                self._send_busy(channel, seq)
+                return
+            config = self.reliable_config
+            if (
+                config.reorder_cap is not None
+                and seq != channel.next_deliver
+                and len(channel.held) >= config.reorder_cap
+            ):
+                # Held-buffer cap: un-acked, so the retransmit timer
+                # redelivers this frame once the gap drains.
+                self.stats.held_overflow += 1
+                return
         # Ack every arriving frame — including duplicates, whose
         # original ack may have been the thing that got lost.
         self._send_ack(channel, seq)
-        if seq in channel.seen or seq < channel.next_deliver:
+        if duplicate:
             self.stats.duplicates_suppressed += 1
         # Everything below the frame's base is resolved at the sender
         # (acked or abandoned) — deliver held frames below it and stop
@@ -494,6 +583,44 @@ class Network:
 
     def _deliver_ack(self, channel: ReliableChannel, seq: int) -> None:
         channel.ack(seq)
+        self._drain_backlog(channel)
+
+    def _send_busy(self, channel: ReliableChannel, seq: int) -> None:
+        """Ship a BUSY nack back over the reverse link (lossy, like
+        acks — the retransmit timer still backstops everything)."""
+        if self.obs is not None:
+            self.obs.event(
+                "net.busy", link=f"{channel.src}->{channel.dst}", seq=seq
+            )
+        if self._drop_reason(channel.dst, channel.src) is not None:
+            return
+        delay = self._latency.delay(channel.dst, channel.src)
+        self._sim.schedule(delay, lambda: self._deliver_busy(channel, seq))
+
+    def _deliver_busy(self, channel: ReliableChannel, seq: int) -> None:
+        """Sender reaction to receiver pushback: re-arm the retransmit
+        at the *next* backoff step instead of letting the armed (shorter)
+        timer burn a transmission into a known-saturated receiver."""
+        entry = channel.pending.get(seq)
+        if entry is None:
+            return  # resolved (acked or abandoned) meanwhile
+        config = self.reliable_config
+        if entry.attempts > config.max_retries:
+            return  # exhaustion pending; the armed timer handles it
+        if entry.timer is not None:
+            entry.timer.cancel()
+        timeout = config.timeout_for(entry.attempts)
+        if config.jitter > 0:
+            timeout += self._sim.random.stream("net.rto").uniform(
+                0, config.jitter
+            )
+        if self.obs is not None:
+            self.obs.backoff.observe(
+                timeout, link=f"{channel.src}->{channel.dst}"
+            )
+        entry.timer = self._sim.schedule(
+            timeout, lambda: self._retransmit(channel, entry)
+        )
 
     def _arm_gap_timer(self, channel: ReliableChannel) -> None:
         if channel.gap_timer is not None:

@@ -11,7 +11,11 @@ a CI log reader wants first:
   ``net_message_latency_seconds`` per directed link;
 - **drop / retransmit attribution** — the per-reason drop breakdown,
   transport retry counters, and per-link retransmit counts recovered
-  from the flight-recorder events.
+  from the flight-recorder events;
+- **overload / shed attribution** — per-class × per-reason load-shed
+  totals, deferred (BUSY-nacked) offers, and the relations that were
+  shed or deferred in the recorded window, so an overloaded run can be
+  traced back to the offending rule or program (see docs/OVERLOAD.md).
 
 This is the external-analyzer half of the telemetry plane: it never
 imports the simulator, so any artifact from any run (CI upload, failing
@@ -183,6 +187,38 @@ class Artifact:
             counts[value] = counts.get(value, 0) + 1
         return counts
 
+    def overload_sheds(self) -> Dict[Tuple[str, str], float]:
+        """Shed totals keyed by ``(class, reason)``, summed over nodes.
+
+        Reads the ``overload_shed_total`` counter.  Label keys arrive
+        alphabetized by the JSONL writer (cls, node, reason); returns
+        empty when the run had no overload controller.
+        """
+        merged: Dict[Tuple[str, str], float] = {}
+        for key, value in self.metrics.get("overload_shed_total", {}).items():
+            cls = str(key[0]) if key else "?"
+            reason = str(key[2]) if len(key) > 2 else "?"
+            merged[(cls, reason)] = merged.get((cls, reason), 0.0) + value
+        return merged
+
+    def overload_deferred(self) -> Dict[str, float]:
+        """Deferred totals per class (``overload_deferred_total``)."""
+        merged: Dict[str, float] = {}
+        for key, value in self.metrics.get(
+            "overload_deferred_total", {}
+        ).items():
+            cls = str(key[0]) if key else "?"
+            merged[cls] = merged.get(cls, 0.0) + value
+        return merged
+
+    def watch_evictions(self) -> Dict[str, float]:
+        """Watch-ring evictions per relation (``watch_evicted_total``)."""
+        merged: Dict[str, float] = {}
+        for key, value in self.metrics.get("watch_evicted_total", {}).items():
+            name = str(key[0]) if key else "?"
+            merged[name] = merged.get(name, 0.0) + value
+        return merged
+
 
 def _ms(seconds: float) -> str:
     return f"{seconds * 1e3:.3f}ms"
@@ -249,6 +285,36 @@ def summarize(path: str, top: int = 10) -> str:
         lines.append("  drops by link (recorded window):")
         for link in sorted(drop_by_link):
             lines.append(f"    {link:<24} {drop_by_link[link]}")
+
+    sheds = {k: v for k, v in art.overload_sheds().items() if v}
+    deferred = {k: v for k, v in art.overload_deferred().items() if v}
+    shed_by_relation = art.event_counts("overload.shed", "relation")
+    defer_by_relation = art.event_counts("overload.defer", "relation")
+    evictions = art.watch_evictions()
+    if sheds or deferred or shed_by_relation or defer_by_relation or evictions:
+        lines.append("")
+        lines.append("overload / shed attribution:")
+        lines.append(f"  shed: {int(sum(sheds.values()))}")
+        for cls, reason in sorted(sheds):
+            lines.append(
+                f"    {cls + '/' + reason:<28} {int(sheds[(cls, reason)])}"
+            )
+        if deferred:
+            lines.append(f"  deferred: {int(sum(deferred.values()))}")
+            for cls in sorted(deferred):
+                lines.append(f"    {cls:<28} {int(deferred[cls])}")
+        if shed_by_relation:
+            lines.append("  sheds by relation (recorded window):")
+            for name in sorted(shed_by_relation):
+                lines.append(f"    {name:<24} {shed_by_relation[name]}")
+        if defer_by_relation:
+            lines.append("  defers by relation (recorded window):")
+            for name in sorted(defer_by_relation):
+                lines.append(f"    {name:<24} {defer_by_relation[name]}")
+        if evictions:
+            lines.append("  watch-ring evictions:")
+            for name in sorted(evictions):
+                lines.append(f"    {name:<24} {int(evictions[name])}")
     return "\n".join(lines)
 
 

@@ -240,6 +240,9 @@ def wire_system_metrics(telemetry: Telemetry, system) -> None:
         "acks_dropped",
         "send_failures",
         "gap_skips",
+        "busy_nacks",
+        "backlogged",
+        "held_overflow",
     )
     reg.register_callback(
         "net_counters_total",
@@ -341,6 +344,97 @@ def wire_system_metrics(telemetry: Telemetry, system) -> None:
         help="frames held behind a sequence gap per channel",
         labelnames=("link",),
         kind="gauge",
+    )
+    def _controllers():
+        return [
+            (str(a), n.overload)
+            for a, n in system.nodes.items()
+            if n.overload is not None
+        ]
+
+    reg.register_callback(
+        "overload_offered_total",
+        lambda: {
+            (label, cls): ctrl.counts[cls].offered
+            for label, ctrl in _controllers()
+            for cls in ctrl.counts
+        },
+        help="tuples offered to admission control per node and class",
+        labelnames=("node", "cls"),
+    )
+    reg.register_callback(
+        "overload_admitted_total",
+        lambda: {
+            (label, cls): ctrl.counts[cls].admitted
+            for label, ctrl in _controllers()
+            for cls in ctrl.counts
+        },
+        help="tuples admitted per node and class",
+        labelnames=("node", "cls"),
+    )
+    reg.register_callback(
+        "overload_shed_total",
+        lambda: {
+            (label, cls, reason): count
+            for label, ctrl in _controllers()
+            for cls in ctrl.counts
+            for reason, count in ctrl.counts[cls].shed_reasons.items()
+        },
+        help="tuples shed per node, class, and shed reason",
+        labelnames=("node", "cls", "reason"),
+    )
+    reg.register_callback(
+        "overload_deferred_total",
+        lambda: {
+            (label, cls): ctrl.counts[cls].deferred
+            for label, ctrl in _controllers()
+            for cls in ctrl.counts
+        },
+        help="tuples deferred via BUSY backpressure per node and class",
+        labelnames=("node", "cls"),
+    )
+    reg.register_callback(
+        "overload_mailbox_depth",
+        lambda: {
+            (label,): len(ctrl.mailbox) for label, ctrl in _controllers()
+        },
+        help="current inbound-mailbox depth per node",
+        labelnames=("node",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "overload_queue_peak",
+        lambda: {
+            (label, queue): peak
+            for label, ctrl in _controllers()
+            for queue, peak in (
+                ("mailbox", ctrl.mailbox.depth_peak),
+                ("strand_queue", ctrl.strand_state.depth_peak),
+            )
+        },
+        help="high-water depth per node and queue",
+        labelnames=("node", "queue"),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "overload_shedding",
+        lambda: {
+            (label,): int(ctrl.shed_active)
+            for label, ctrl in _controllers()
+        },
+        help="1 while a node's admission control is shedding",
+        labelnames=("node",),
+        kind="gauge",
+    )
+    reg.register_callback(
+        "watch_evicted_total",
+        lambda: {
+            (str(a), name): count
+            for a, n in system.nodes.items()
+            for name, count in n.watch_evicted.items()
+        },
+        help="oldest entries evicted from watch rings per node and watch",
+        labelnames=("node", "name"),
     )
     reg.register_callback(
         "obs_recorder",

@@ -1,0 +1,47 @@
+"""Overload protection for the monitoring plane.
+
+The paper's bargain — monitoring is "just more queries" running inside
+the monitored system — means a hot ring-check or a tracing-heavy
+profiling query competes for the same per-node budget as the
+application itself.  This package makes that competition safe:
+
+- :mod:`repro.overload.policy` — the three priority classes (``data`` >
+  ``monitor`` > ``trace``), the per-node :class:`PriorityMap` derived
+  at program-install time, and the built-in trace-relation set;
+- :mod:`repro.overload.queues` — :class:`BoundedQueue`, a capacity- and
+  watermark-tracking queue with hysteresis between ``normal`` and
+  ``shedding`` states;
+- :mod:`repro.overload.controller` — :class:`OverloadController`, the
+  per-node admission-control and load-shedding brain, plus
+  :class:`OverloadConfig`.
+
+The invariant the whole package enforces (and the storm campaign in
+:mod:`repro.faults.campaign` proves over randomized seeds): under
+overload, **application (DATA) tuples are never shed while lower-
+priority MONITOR/TRACE tuples were still being admitted** — the
+monitoring plane degrades first, the monitored system last.
+"""
+
+from repro.overload.policy import (
+    CLASS_DATA,
+    CLASS_MONITOR,
+    CLASS_TRACE,
+    CLASSES,
+    PriorityMap,
+    TRACE_RELATIONS,
+)
+from repro.overload.queues import BoundedQueue, QueueState
+from repro.overload.controller import OverloadConfig, OverloadController
+
+__all__ = [
+    "CLASS_DATA",
+    "CLASS_MONITOR",
+    "CLASS_TRACE",
+    "CLASSES",
+    "PriorityMap",
+    "TRACE_RELATIONS",
+    "BoundedQueue",
+    "QueueState",
+    "OverloadConfig",
+    "OverloadController",
+]

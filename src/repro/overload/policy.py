@@ -1,0 +1,92 @@
+"""Priority classes and the install-time priority map.
+
+Every tuple moving through a node belongs to one of three classes:
+
+- ``data`` — application relations (Chord's ring state, lookups,
+  gossip payloads): the system being monitored;
+- ``monitor`` — relations produced by installed monitoring programs
+  (ring probes, oscillation checks, consistency sweeps): the paper's
+  "just more queries";
+- ``trace`` — the introspection feeds (``ruleExec``, ``tupleLog``,
+  reflection tables) and any program installed with ``role="trace"``:
+  the heaviest, most expendable plane.
+
+Classification is *derived at program-install time*: when a node
+installs a :class:`~repro.overlog.program.Program`, every relation the
+program materializes or derives is mapped to the program's ``role``.
+A relation claimed by programs of different roles keeps the
+highest-priority claim (a relation the application writes is ``data``
+even if a monitor also derives it), so misclassifying can only ever
+*protect more*, never shed application state by accident.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+#: The three priority classes, highest priority first.
+CLASS_DATA = "data"
+CLASS_MONITOR = "monitor"
+CLASS_TRACE = "trace"
+CLASSES = (CLASS_DATA, CLASS_MONITOR, CLASS_TRACE)
+
+#: Class -> shed rank: higher sheds first.  DATA (rank 0) is only ever
+#: deferred (backpressure) or dropped at hard-full, after both lower
+#: classes are already being shed.
+SHED_RANK: Dict[str, int] = {
+    CLASS_DATA: 0,
+    CLASS_MONITOR: 1,
+    CLASS_TRACE: 2,
+}
+
+#: Relations the introspection layer materializes directly (outside any
+#: OverLog program); always classed ``trace``.
+TRACE_RELATIONS = frozenset(
+    {
+        "ruleExec",
+        "tupleLog",
+        "tableLog",
+        "tupleTable",
+        "sysTable",
+        "sysRule",
+        "sysElement",
+        "sysNode",
+    }
+)
+
+
+class PriorityMap:
+    """Relation-name -> priority-class mapping, learned at install time."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, str] = {}
+
+    def assign(self, relation: str, cls: str) -> None:
+        """Claim ``relation`` for ``cls``; higher-priority claims win."""
+        if cls not in SHED_RANK:
+            raise ValueError(f"unknown priority class: {cls!r}")
+        current = self._classes.get(relation)
+        if current is None or SHED_RANK[cls] < SHED_RANK[current]:
+            self._classes[relation] = cls
+
+    def learn(self, relations: Iterable[str], cls: str) -> None:
+        for relation in relations:
+            self.assign(relation, cls)
+
+    def classify(self, relation: str) -> str:
+        """The class of ``relation`` (unknown relations default to
+        ``data`` — admission control must never starve traffic it has
+        not been told is expendable)."""
+        cls = self._classes.get(relation)
+        if cls is not None:
+            return cls
+        if relation in TRACE_RELATIONS:
+            return CLASS_TRACE
+        return CLASS_DATA
+
+    def known(self) -> Dict[str, str]:
+        """Copy of the learned mapping (tests, dashboards)."""
+        return dict(self._classes)
+
+    def __repr__(self) -> str:
+        return f"<PriorityMap {len(self._classes)} relations>"

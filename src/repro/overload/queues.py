@@ -1,0 +1,154 @@
+"""Bounded queues with high/low-watermark hysteresis.
+
+:class:`QueueState` is the pure watermark state machine: feed it depth
+observations, read back ``normal`` / ``shedding`` with hysteresis (the
+state only flips *up* at the high watermark and *down* at the low one,
+so a queue hovering at the boundary cannot flap between shed and admit
+on every single tuple).  :class:`BoundedQueue` couples the state
+machine to an actual deque; the runtime's mailbox uses it directly,
+while the node's pending-strand deque keeps its raw form (uninstall
+rebuilds it) and drives a bare :class:`QueueState` instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, List, Optional
+
+from repro.errors import ReproError
+
+#: Default watermark fractions of capacity.
+DEFAULT_HIGH = 0.8
+DEFAULT_LOW = 0.5
+
+STATE_NORMAL = "normal"
+STATE_SHEDDING = "shedding"
+
+
+class QueueState:
+    """Watermark hysteresis over one queue's observed depth.
+
+    ``capacity=None`` means unbounded: the queue is never full and
+    never sheds (observe-only mode for control-arm campaigns, which
+    still track ``depth_peak``).  ``capacity=0`` is the degenerate
+    bound: permanently full and permanently shedding — nothing
+    sheddable is ever admitted.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        high: float = DEFAULT_HIGH,
+        low: float = DEFAULT_LOW,
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise ReproError(f"queue capacity must be >= 0: {capacity}")
+        if not 0.0 <= low <= high <= 1.0:
+            raise ReproError(
+                f"watermarks need 0 <= low <= high <= 1: {low}, {high}"
+            )
+        self.capacity = capacity
+        if capacity is None:
+            self.high_mark = None
+            self.low_mark = None
+        else:
+            self.high_mark = max(0, int(capacity * high))
+            self.low_mark = int(capacity * low)
+            if self.low_mark >= self.high_mark:
+                self.low_mark = max(0, self.high_mark - 1)
+        self.shedding = capacity == 0
+        self.depth_peak = 0
+        self.transitions = 0
+
+    def observe(self, depth: int) -> bool:
+        """Update hysteresis with the current depth; True on transition."""
+        if depth > self.depth_peak:
+            self.depth_peak = depth
+        if self.capacity is None:
+            return False
+        if self.capacity == 0:
+            return False  # permanently shedding
+        if not self.shedding and depth >= self.high_mark:
+            self.shedding = True
+            self.transitions += 1
+            return True
+        if self.shedding and depth <= self.low_mark:
+            self.shedding = False
+            self.transitions += 1
+            return True
+        return False
+
+    def full(self, depth: int) -> bool:
+        if self.capacity is None:
+            return False
+        return depth >= self.capacity
+
+    def __repr__(self) -> str:
+        state = STATE_SHEDDING if self.shedding else STATE_NORMAL
+        return (
+            f"<QueueState cap={self.capacity} {state} "
+            f"peak={self.depth_peak}>"
+        )
+
+
+class BoundedQueue:
+    """A deque fused with a :class:`QueueState`.
+
+    ``push`` refuses entries beyond capacity (returns False); the
+    caller decides what refusal means (shed, defer, nack).  Every push
+    and pop feeds the watermark state machine, so ``shedding`` always
+    reflects the *current* depth.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        high: float = DEFAULT_HIGH,
+        low: float = DEFAULT_LOW,
+    ) -> None:
+        self.state = QueueState(capacity, high=high, low=low)
+        self._items: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self._items)
+
+    @property
+    def shedding(self) -> bool:
+        return self.state.shedding
+
+    @property
+    def full(self) -> bool:
+        return self.state.full(len(self._items))
+
+    @property
+    def depth_peak(self) -> int:
+        return self.state.depth_peak
+
+    def push(self, item: Any) -> bool:
+        """Append ``item`` unless at capacity; feeds the watermarks."""
+        if self.state.full(len(self._items)):
+            return False
+        self._items.append(item)
+        self.state.observe(len(self._items))
+        return True
+
+    def pop(self) -> Any:
+        item = self._items.popleft()
+        self.state.observe(len(self._items))
+        return item
+
+    def clear(self) -> List[Any]:
+        """Drop everything (node stop); returns the abandoned items."""
+        items = list(self._items)
+        self._items.clear()
+        self.state.observe(0)
+        return items
+
+    def __repr__(self) -> str:
+        return f"<BoundedQueue {len(self._items)}/{self.state.capacity}>"

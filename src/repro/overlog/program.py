@@ -33,9 +33,15 @@ class Program:
         tree: ast.ProgramAST,
         name: str = "program",
         bindings: Optional[Dict[str, Any]] = None,
+        role: str = "data",
     ) -> None:
         self.name = name
         self.tree = tree
+        #: Overload-protection priority class for every relation this
+        #: program materializes or derives (``data`` / ``monitor`` /
+        #: ``trace``, highest priority first); the installing node's
+        #: priority map learns it.  See :mod:`repro.overload.policy`.
+        self.role = role
         if bindings:
             self.tree = _substitute(self.tree, bindings)
 
@@ -45,9 +51,10 @@ class Program:
         source: str,
         name: str = "program",
         bindings: Optional[Dict[str, Any]] = None,
+        role: str = "data",
     ) -> "Program":
         """Parse source text and wrap it (does not validate)."""
-        return cls(parse(source), name=name, bindings=bindings)
+        return cls(parse(source), name=name, bindings=bindings, role=role)
 
     @classmethod
     def compile(
@@ -55,9 +62,10 @@ class Program:
         source: str,
         name: str = "program",
         bindings: Optional[Dict[str, Any]] = None,
+        role: str = "data",
     ) -> "Program":
         """Parse + validate in one step; the common entry point."""
-        program = cls.parse(source, name=name, bindings=bindings)
+        program = cls.parse(source, name=name, bindings=bindings, role=role)
         program.validate()
         return program
 

@@ -28,6 +28,8 @@ class Dashboard:
         self._last_counts: Dict[str, Dict[str, int]] = {}
         self._last_drops: Dict[str, int] = {}
         self._last_status: Dict[str, str] = {}
+        self._last_sheds: Dict[str, int] = {}
+        self._last_shed_state: Dict[str, bool] = {}
 
     def add_monitor(self, handle: MonitorHandle) -> None:
         self._handles[handle.monitor.name] = handle
@@ -90,6 +92,32 @@ class Dashboard:
                     f"wal={len(image.wal)} rec/{image.wal_bytes}B  "
                     f"restarts={system.nodes[address].restarts}"
                 )
+        controllers = [
+            (address, system.nodes[address].overload)
+            for address in sorted(system.nodes)
+            if system.nodes[address].overload is not None
+        ]
+        if controllers:
+            lines.append("")
+            lines.append("overload / saturation:")
+            for address, ctrl in controllers:
+                cap = ctrl.mailbox.state.capacity
+                cap_text = "inf" if cap is None else str(cap)
+                state = "SHED" if ctrl.shed_active else "ok"
+                sheds = ", ".join(
+                    f"{cls}={counts['shed']}"
+                    for cls, counts in ctrl.totals().items()
+                )
+                deferred = sum(
+                    counts.deferred for counts in ctrl.counts.values()
+                )
+                lines.append(
+                    f"  {address:<18} {state:<5} "
+                    f"mailbox {len(ctrl.mailbox)}/{cap_text} "
+                    f"(peak {ctrl.mailbox.depth_peak})  "
+                    f"strand peak {ctrl.strand_state.depth_peak}  "
+                    f"shed {sheds}  deferred={deferred}"
+                )
         lines.append("")
         lines.append("monitor alarms:")
         if not self._handles:
@@ -106,9 +134,11 @@ class Dashboard:
     def diff_since_last(self) -> List[str]:
         """What changed since the previous call (empty = all quiet).
 
-        Reports new alarms per monitor and drop reasons seen for the
+        Reports new alarms per monitor, drop reasons seen for the
         first time — a fresh reason (e.g. the first ``down`` after a
-        partition) is a different signal than more of a known one.
+        partition) is a different signal than more of a known one —
+        plus overload activity: shed-count growth per node and
+        shedding/recovered state transitions of admission control.
         """
         news: List[str] = []
         for name, handle in sorted(self._handles.items()):
@@ -127,6 +157,23 @@ class Dashboard:
                     f"drops: new reason {reason} (+{drops[reason]})"
                 )
         self._last_drops = drops
+        for address in sorted(self._system.nodes):
+            ctrl = self._system.nodes[address].overload
+            if ctrl is None:
+                continue
+            total = sum(counts.shed for counts in ctrl.counts.values())
+            grown = total - self._last_sheds.get(address, 0)
+            if grown > 0:
+                news.append(f"overload {address}: +{grown} shed")
+            self._last_sheds[address] = total
+            active = ctrl.shed_active
+            before = self._last_shed_state.get(address)
+            if before is not None and before != active:
+                news.append(
+                    f"overload {address}: "
+                    f"{'shedding' if active else 'recovered'}"
+                )
+            self._last_shed_state[address] = active
         status = {
             address: self._system.nodes[address].status
             for address in sorted(self._system.nodes)

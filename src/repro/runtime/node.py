@@ -24,6 +24,11 @@ from repro.net.network import Message, Network
 from repro.overlog.builtins import EvalContext
 from repro.overlog.program import Program
 from repro.overlog.types import DEFAULT_ID_BITS
+from repro.overload.controller import (
+    SHED_STOPPED,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.runtime.planner import CompiledProgram, Planner
 from repro.runtime.store import TableStore
 from repro.runtime.strand import (
@@ -38,6 +43,10 @@ from repro.runtime.tuples import Tuple
 from repro.runtime.work import WorkModel
 from repro.sim.simulator import Simulator
 
+#: Watch-ring capacity when neither the caller nor an overload config
+#: specifies one (P2's default watchpoint buffer).
+DEFAULT_WATCH_CAPACITY = 1000
+
 
 class P2Node:
     """One participant in the simulated distributed system."""
@@ -49,6 +58,7 @@ class P2Node:
         network: Network,
         id_bits: int = DEFAULT_ID_BITS,
         sweep_interval: float = 1.0,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.address = address
         self.sim = sim
@@ -68,9 +78,24 @@ class P2Node:
         self._timers: List[Any] = []
         self._periodic_timers: Dict[RuleStrand, Any] = {}
         self._watches: Dict[str, List[PyTuple]] = {}
+        self._watch_caps: Dict[str, int] = {}
+        #: Oldest-evicted entries per watch ring (satellite accounting
+        #: for the obs registry's ``watch_evicted_total``).
+        self.watch_evicted: Dict[str, int] = {}
         self._queue: deque = deque()
         self._pumping = False
         self._stopped = False
+
+        # Overload protection (repro.overload): None keeps every hot
+        # path exactly as before — no admission checks, no mailbox.
+        self.overload: Optional[OverloadController] = None
+        self._drain_timer = None
+        if overload is not None:
+            self.overload = OverloadController(
+                overload,
+                clock=lambda: self.sim.now,
+                node_label=str(address),
+            )
 
         # Introspection attachment points (set by repro.introspect).
         self.hooks: Optional[TraceHooks] = None
@@ -98,6 +123,11 @@ class P2Node:
         self._wire_mid = 0
 
         network.attach(address, self.receive)
+        if self.overload is not None:
+            # Reliable-transport receiver pushback: the network asks us
+            # before acking a frame; a False here becomes a BUSY nack
+            # that feeds the sender's existing retransmit backoff.
+            network.set_admission(address, self._admit_frame)
         self._timers.append(
             sim.every(
                 sweep_interval,
@@ -128,6 +158,13 @@ class P2Node:
             raise RuntimeStateError(f"node {self.address} is stopped")
         compiled = self.planner.plan(program)
         self.programs.append(compiled)
+        role = getattr(program, "role", "data")
+        for strand in compiled.strands:
+            strand.overload_class = role
+        if self.overload is not None:
+            # Derive the priority map at install time: relations this
+            # program materializes or derives inherit its role.
+            self.overload.learn_program(compiled, role)
         for name in compiled.table_names:
             self._observe_table(name)
         for watch in program.tree.watches:
@@ -208,6 +245,11 @@ class P2Node:
     def _fire_periodic(self, strand: RuleStrand) -> None:
         if self._stopped:
             return
+        ctrl = self.overload
+        if ctrl is not None and not ctrl.admit_periodic(
+            strand.overload_class, strand.rule_id
+        ):
+            return
         self.work.charge("timer")
         nonce = self.rng.randrange(1 << 31)
         period = strand.periodic[1]
@@ -221,14 +263,45 @@ class P2Node:
     # Tuple entry points
 
     def receive(self, message: Message) -> None:
-        """Network delivery callback: unmarshal and deliver."""
+        """Network delivery callback: unmarshal, admit, and deliver."""
         if self._stopped:
             return
         self.work.reset_micro()
         self.work.charge("receive")
-        payload = decode_message(message.payload)
-        kind = payload["kind"]
-        if kind == "delete":
+        preadmitted = message.decoded is not None
+        payload = (
+            message.decoded if preadmitted else decode_message(message.payload)
+        )
+        ctrl = self.overload
+        if ctrl is None:
+            self._process_payload(payload)
+            self._pump()
+            return
+        relation = payload.get("name", "")
+        if preadmitted:
+            # The reliable-transport gate (:meth:`_admit_frame`) already
+            # ran admit_remote and accepted; count the arrival without
+            # re-deciding, or we would double-count the offer.
+            ctrl.count_arrival(relation)
+        elif not ctrl.admit_mailbox(relation):
+            return
+        if ctrl.service_delay <= 0.0:
+            # Zero service time: inline processing — exactly the
+            # pre-overload behaviour, plus admission accounting.
+            self._process_payload(payload)
+            self._pump()
+            return
+        if not ctrl.mailbox_push(payload):
+            # The mailbox hit hard-full after the admission decision
+            # (reordered reliable frames are admitted at arrival but
+            # delivered when gaps fill); retract the admission.
+            ctrl.shed_after_admit(relation)
+            return
+        self._schedule_drain()
+
+    def _process_payload(self, payload: Dict[str, Any]) -> None:
+        """Apply one decoded wire payload (tuple or delete) locally."""
+        if payload["kind"] == "delete":
             table = (
                 self.store.get(payload["name"])
                 if self.store.has(payload["name"])
@@ -237,7 +310,6 @@ class P2Node:
             if table is not None:
                 removed = table.delete_matching(list(payload["pattern"]))
                 self.work.charge("delete", max(1, removed))
-            self._pump()
             return
         tup = Tuple(payload["name"], tuple(payload["values"]))
         if self.registry is not None:
@@ -248,7 +320,40 @@ class P2Node:
                 mid=payload.get("mid"),
             )
         self._deliver_local(tup)
+
+    def _admit_frame(self, message: Message) -> bool:
+        """Reliable-transport receiver gate (``Network.set_admission``).
+
+        Called before a non-duplicate frame is acked; False becomes a
+        BUSY nack that feeds the sender's retransmit backoff.  Decodes
+        once and stashes the payload on the message so :meth:`receive`
+        neither decodes nor re-admits it.
+        """
+        if self._stopped or self.overload is None:
+            return True
+        if message.decoded is None:
+            message.decoded = decode_message(message.payload)
+        return self.overload.admit_remote(message.decoded.get("name", ""))
+
+    def _schedule_drain(self) -> None:
+        if self._drain_timer is not None or self._stopped:
+            return
+        self._drain_timer = self.sim.schedule(
+            self.overload.service_delay, self._drain_mailbox
+        )
+
+    def _drain_mailbox(self) -> None:
+        """Service one mailbox message, then re-arm while work remains."""
+        self._drain_timer = None
+        ctrl = self.overload
+        if self._stopped or ctrl is None or not ctrl.mailbox:
+            return
+        payload = ctrl.mailbox_pop()
+        self.work.reset_micro()
+        self._process_payload(payload)
         self._pump()
+        if ctrl.mailbox:
+            self._schedule_drain()
 
     def inject(self, name: str, values: PyTuple) -> None:
         """Introduce a tuple from outside (tests, harnesses, consoles).
@@ -289,8 +394,17 @@ class P2Node:
         self._pump()
 
     def _enqueue_strands(self, tup: Tuple) -> None:
-        for strand in self._strands_by_trigger.get(tup.name, ()):
-            self._queue.append((strand, tup))
+        strands = self._strands_by_trigger.get(tup.name, ())
+        ctrl = self.overload
+        if ctrl is None:
+            for strand in strands:
+                self._queue.append((strand, tup))
+            return
+        for strand in strands:
+            if ctrl.admit_strand(
+                strand.overload_class, len(self._queue), tup.name
+            ):
+                self._queue.append((strand, tup))
 
     def _notify(self, tup: Tuple) -> None:
         for callback in self._subscribers.get(tup.name, ()):
@@ -300,9 +414,12 @@ class P2Node:
         if self._pumping or self._stopped:
             return
         self._pumping = True
+        ctrl = self.overload
         try:
             while self._queue:
                 strand, trigger = self._queue.popleft()
+                if ctrl is not None:
+                    ctrl.note_strand_depth(len(self._queue))
                 self.rule_executions += 1
                 if self.obs is None:
                     actions = strand.fire(
@@ -387,25 +504,53 @@ class P2Node:
     # ------------------------------------------------------------------
     # Observation helpers
 
-    def watch(self, name: str, capacity: int = 1000) -> List[PyTuple]:
+    def watch(self, name: str, capacity: Optional[int] = None) -> List[PyTuple]:
         """Activate a P2-style watchpoint on ``name`` tuples.
 
         Every delivery is recorded as ``(virtual_time, tuple)`` in a
-        bounded buffer, returned here and via :meth:`watched`.  The
-        ``watch(name).`` OverLog statement calls this on install.
+        bounded ring, returned here and via :meth:`watched`; overflow
+        evicts the oldest entries and counts them in
+        :attr:`watch_evicted`.  ``capacity=None`` applies the node's
+        overload ``watch_capacity`` (default 1000) on first watch and
+        keeps the current capacity on a re-watch; an explicit capacity
+        on a re-watch resizes the existing ring.  The ``watch(name).``
+        OverLog statement calls this on install.
         """
+        if capacity is not None and capacity < 0:
+            raise RuntimeStateError(
+                f"watch capacity must be >= 0: {capacity}"
+            )
         if name in self._watches:
+            if capacity is not None:
+                self._watch_caps[name] = capacity
+                self._trim_watch(name)
             return self._watches[name]
+        if capacity is None:
+            capacity = (
+                self.overload.config.watch_capacity
+                if self.overload is not None
+                else DEFAULT_WATCH_CAPACITY
+            )
+        self._watch_caps[name] = capacity
         buffer: List[PyTuple] = []
         self._watches[name] = buffer
 
         def record(tup: Tuple) -> None:
             buffer.append((self.sim.now, tup))
-            if len(buffer) > capacity:
-                del buffer[: len(buffer) - capacity]
+            self._trim_watch(name)
 
         self.subscribe(name, record)
         return buffer
+
+    def _trim_watch(self, name: str) -> None:
+        buffer = self._watches[name]
+        cap = self._watch_caps[name]
+        overflow = len(buffer) - cap
+        if overflow > 0:
+            del buffer[:overflow]
+            self.watch_evicted[name] = (
+                self.watch_evicted.get(name, 0) + overflow
+            )
 
     def watched(self, name: str) -> List[PyTuple]:
         """The (time, tuple) buffer of a watchpoint (empty if not set)."""
@@ -461,6 +606,18 @@ class P2Node:
         self._timers.clear()
         self._periodic_timers.clear()
         self._queue.clear()
+        if self._drain_timer is not None:
+            self._drain_timer.cancel()
+            self._drain_timer = None
+        if self.overload is not None:
+            # Tuples still queued in the mailbox at crash time were
+            # admitted but never processed: account them as shed so the
+            # per-class identity offered == admitted + shed + deferred
+            # survives a stop() mid-storm.
+            for payload in self.overload.mailbox.clear():
+                self.overload.shed_after_admit(
+                    payload.get("name", ""), reason=SHED_STOPPED
+                )
         for table in self.store.tables():
             table.on_insert.clear()
             table.on_remove.clear()

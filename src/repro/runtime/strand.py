@@ -138,6 +138,9 @@ class RuleStrand:
         self.aggregate = aggregate
         # (nonce_var_name, period_seconds) when triggered by periodic().
         self.periodic = periodic
+        # Overload-protection priority class ("data"/"monitor"/"trace");
+        # set from the owning Program's role at install time.
+        self.overload_class = "data"
         self.firings = 0
         self.outputs = 0
 

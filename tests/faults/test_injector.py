@@ -1,5 +1,11 @@
+import pytest
+
+from repro.chord import ChordNetwork
 from repro.core.system import System
+from repro.errors import ReproError
 from repro.faults import FaultInjector
+from repro.faults.injector import STORM_SOURCE
+from repro.overload.controller import OverloadConfig
 
 
 def echo_pair():
@@ -65,3 +71,66 @@ def test_injection_log_records_everything():
     injector.crash("b:1")
     kinds = [kind for _, kind, _ in injector.log]
     assert kinds == ["partition", "heal", "loss", "crash"]
+
+
+# ----------------------------------------------------------------------
+# Overload-plane verbs (traffic_storm / slow_node / corrupt)
+
+
+def test_traffic_storm_floods_target_deterministically():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    injector.traffic_storm("b:1", rate=100.0, duration=0.5)
+    system.run_for(2.0)
+    stats = system.network.stats
+    assert stats.per_node_received["b:1"] == 50  # rate * duration
+    assert stats.per_node_sent[STORM_SOURCE] == 50
+    assert injector.log[-1][1] == "traffic_storm"
+    with pytest.raises(ReproError):
+        injector.traffic_storm("b:1", rate=0.0, duration=1.0)
+    with pytest.raises(ReproError):
+        injector.traffic_storm("b:1", rate=10.0, duration=-1.0)
+
+
+def test_overlapping_storms_never_reuse_message_ids():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    injector.traffic_storm("a:1", rate=50.0, duration=0.4)
+    injector.traffic_storm("b:1", rate=50.0, duration=0.4)
+    system.run_for(2.0)
+    assert injector._storm_seq == 40  # one monotone counter, no reuse
+
+
+def test_slow_node_requires_overload_protection():
+    system, a, b = echo_pair()
+    injector = FaultInjector(system)
+    with pytest.raises(ReproError):
+        injector.slow_node("b:1", 3.0)
+
+
+def test_slow_node_scales_service_and_inverts():
+    system = System(seed=1, overload=OverloadConfig(service_time=0.01))
+    system.add_node("a:1")
+    injector = FaultInjector(system)
+    injector.slow_node("a:1", 4.0)
+    ctrl = system.node("a:1").overload
+    assert ctrl.slow_factor == 4.0
+    assert ctrl.service_delay == pytest.approx(0.04)
+    injector.slow_node("a:1", 1.0)  # the schedule DSL's inverse
+    assert ctrl.slow_factor == 1.0
+
+
+def test_corrupt_verb_routes_through_helpers_and_logs():
+    net = ChordNetwork(num_nodes=4, seed=40)
+    net.start()
+    assert net.wait_stable(max_time=200.0)
+    injector = FaultInjector(net.system)
+    victim, wrong = net.live_addresses()[0], net.live_addresses()[2]
+    injector.corrupt(victim, "pred", wrong)
+    assert net.pred_of(victim) == wrong
+    injector.corrupt(victim, "bestSucc", wrong)
+    assert net.best_succ_of(victim) == wrong
+    kinds = [kind for _, kind, _ in injector.log]
+    assert kinds == ["corrupt", "corrupt"]
+    with pytest.raises(ReproError):
+        injector.corrupt(victim, "finger", wrong)

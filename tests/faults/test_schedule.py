@@ -180,3 +180,35 @@ def test_validate_call_names_known_kinds_in_error():
 
     with pytest.raises(ReproError, match="crash_restart"):
         FaultInjector.validate_call("meteor", ())
+
+
+def test_new_verbs_accepted_by_arity_validation():
+    schedule = FaultSchedule()
+    schedule.at(1.0, "traffic_storm", "a", 500.0, 5.0)
+    schedule.at(1.0, "slow_node", "a", 3.0)
+    schedule.at(1.0, "corrupt", "a", "pred", "b")
+    assert len(schedule) == 3
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "traffic_storm", "a")
+    with pytest.raises(ReproError):
+        FaultSchedule().at(1.0, "slow_node", "a", 3.0, "extra")
+
+
+def test_slow_node_window_inverts_to_full_speed():
+    schedule = FaultSchedule()
+    schedule.window(1.0, 5.0, "slow_node", "a", 4.0)
+    lines = schedule.describe()
+    assert lines[0] == "at 1: slow_node('a', 4.0)"
+    assert lines[1] == "at 5: slow_node('a', 1.0)"
+
+
+def test_traffic_storm_is_at_only():
+    # Storms self-terminate after their duration; a window has no
+    # meaningful inverse.
+    with pytest.raises(ReproError):
+        FaultSchedule().window(1.0, 5.0, "traffic_storm", "a", 500.0, 2.0)
+
+
+def test_corrupt_is_at_only():
+    with pytest.raises(ReproError):
+        FaultSchedule().window(1.0, 5.0, "corrupt", "a", "pred", "b")

@@ -1,0 +1,188 @@
+"""OverloadController admission, accounting, and the priority invariant."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.overload.controller import (
+    SHED_MAILBOX,
+    SHED_MAILBOX_FULL,
+    SHED_PERIODIC,
+    SHED_STOPPED,
+    SHED_LOG_CAPACITY,
+    OverloadConfig,
+    OverloadController,
+)
+from repro.overload.policy import (
+    CLASS_DATA,
+    CLASS_MONITOR,
+    CLASS_TRACE,
+    CLASSES,
+    PriorityMap,
+    TRACE_RELATIONS,
+)
+
+
+def make_controller(**overrides) -> OverloadController:
+    return OverloadController(OverloadConfig(**overrides))
+
+
+# ----------------------------------------------------------------------
+# Classification
+
+
+def test_trace_relations_classify_as_trace():
+    ctrl = make_controller()
+    for name in TRACE_RELATIONS:
+        assert ctrl.classify(name) == CLASS_TRACE
+
+
+def test_unknown_relations_default_to_data():
+    assert make_controller().classify("mystery") == CLASS_DATA
+
+
+def test_highest_priority_claim_wins():
+    pmap = PriorityMap()
+    pmap.learn(["shared"], "monitor")
+    pmap.learn(["shared"], "data")  # later, higher-priority claim
+    assert pmap.classify("shared") == CLASS_DATA
+    pmap.learn(["shared"], "monitor")  # lower claim cannot demote
+    assert pmap.classify("shared") == CLASS_DATA
+
+
+# ----------------------------------------------------------------------
+# Admission / shed reasons
+
+
+def test_full_mailbox_sheds_with_class_specific_reason():
+    ctrl = make_controller(mailbox_capacity=0)
+    ctrl.priorities.assign("probe", CLASS_MONITOR)
+    assert not ctrl.admit_mailbox("lookup")
+    assert not ctrl.admit_mailbox("probe")
+    assert ctrl.counts[CLASS_DATA].shed_reasons == {SHED_MAILBOX_FULL: 1}
+    assert ctrl.counts[CLASS_MONITOR].shed_reasons == {SHED_MAILBOX: 1}
+
+
+def test_shedding_state_refuses_low_priority_admits_data():
+    ctrl = make_controller(mailbox_capacity=10)
+    ctrl.priorities.assign("probe", CLASS_MONITOR)
+    for i in range(8):  # drive past the high watermark
+        assert ctrl.admit_mailbox("lookup")
+        ctrl.mailbox_push(i)
+    assert ctrl.shed_active
+    assert ctrl.admit_mailbox("lookup")  # DATA still admitted
+    assert not ctrl.admit_mailbox("probe")  # MONITOR refused
+    assert ctrl.counts[CLASS_MONITOR].shed_reasons == {SHED_MAILBOX: 1}
+
+
+def test_remote_gate_defers_instead_of_shedding():
+    ctrl = make_controller(mailbox_capacity=0)
+    assert not ctrl.admit_remote("lookup")
+    counts = ctrl.counts[CLASS_DATA]
+    assert counts.deferred == 1 and counts.shed == 0
+    # Accepting later counts the offer exactly once, at arrival.
+    ctrl2 = make_controller(mailbox_capacity=10)
+    assert ctrl2.admit_remote("lookup")
+    assert ctrl2.counts[CLASS_DATA].offered == 0  # gate counts nothing
+    ctrl2.count_arrival("lookup")
+    assert ctrl2.counts[CLASS_DATA].offered == 1
+    assert ctrl2.counts[CLASS_DATA].admitted == 1
+
+
+def test_periodic_skip_only_while_shedding():
+    ctrl = make_controller(mailbox_capacity=0)
+    assert ctrl.admit_periodic(CLASS_DATA, "r1")  # DATA never skipped
+    assert not ctrl.admit_periodic(CLASS_MONITOR, "m1")
+    assert ctrl.counts[CLASS_MONITOR].shed_reasons == {SHED_PERIODIC: 1}
+    calm = make_controller(mailbox_capacity=10)
+    assert calm.admit_periodic(CLASS_MONITOR, "m1")
+
+
+def test_shedding_disabled_admits_everything_but_counts():
+    ctrl = make_controller(mailbox_capacity=0, shedding=False)
+    assert ctrl.admit_mailbox("lookup")
+    assert ctrl.admit_remote("lookup")
+    assert not ctrl.shed_active
+    counts = ctrl.counts[CLASS_DATA]
+    assert counts.offered == 1 and counts.admitted == 1
+    assert counts.shed == 0 and counts.deferred == 0
+
+
+# ----------------------------------------------------------------------
+# Priority invariant
+
+
+def test_data_shed_while_admission_open_is_a_violation():
+    ctrl = make_controller(mailbox_capacity=100)
+    assert ctrl.admit_mailbox("lookup")
+    assert not ctrl.shed_active
+    ctrl.shed_after_admit("lookup")  # e.g. reordered-frame race
+    assert not ctrl.invariant_ok()
+    assert len(ctrl.invariant_violations) == 1
+
+
+def test_stop_time_abandonment_is_not_a_violation():
+    ctrl = make_controller(mailbox_capacity=100)
+    assert ctrl.admit_mailbox("lookup")
+    ctrl.shed_after_admit("lookup", reason=SHED_STOPPED)
+    assert ctrl.invariant_ok()
+    assert CLASS_DATA not in ctrl.first_shed
+
+
+def test_data_shed_while_shedding_active_is_clean():
+    ctrl = make_controller(mailbox_capacity=0)
+    assert not ctrl.admit_mailbox("lookup")  # capacity 0: always shed
+    assert ctrl.shed_active
+    assert ctrl.invariant_ok()
+
+
+def test_shed_log_is_bounded():
+    ctrl = make_controller(mailbox_capacity=0)
+    for _ in range(SHED_LOG_CAPACITY + 25):
+        ctrl.admit_mailbox("lookup")
+    assert len(ctrl.shed_log) == SHED_LOG_CAPACITY
+    assert ctrl.shed_log_dropped == 25
+
+
+# ----------------------------------------------------------------------
+# Accounting identity (property)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["mailbox", "remote", "strand", "periodic", "race"]),
+        st.sampled_from(["lookup", "probe", "ruleExec"]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=operations, capacity=st.integers(min_value=0, max_value=8))
+def test_offered_equals_admitted_plus_shed_plus_deferred(ops, capacity):
+    """The ledger identity every verdict and metrics panel relies on:
+    per class, offered == admitted + shed + deferred, whatever
+    interleaving of admission paths and after-admit races occurred."""
+    ctrl = make_controller(mailbox_capacity=capacity, strand_queue_capacity=4)
+    ctrl.priorities.assign("probe", CLASS_MONITOR)
+    depth = 0
+    for op, relation in ops:
+        if op == "mailbox":
+            if ctrl.admit_mailbox(relation) and not ctrl.mailbox_push(relation):
+                ctrl.shed_after_admit(relation)
+        elif op == "remote":
+            if ctrl.admit_remote(relation):
+                ctrl.count_arrival(relation)
+        elif op == "strand":
+            if ctrl.admit_strand(ctrl.classify(relation), depth, relation):
+                depth += 1
+        elif op == "periodic":
+            ctrl.admit_periodic(ctrl.classify(relation), relation)
+        elif op == "race":
+            cls = ctrl.classify(relation)
+            if ctrl.counts[cls].admitted > 0:
+                ctrl.shed_after_admit(relation, reason=SHED_STOPPED)
+    for cls in CLASSES:
+        counts = ctrl.counts[cls]
+        assert counts.offered == (
+            counts.admitted + counts.shed + counts.deferred
+        ), f"{cls}: {counts.as_dict()}"
+        assert sum(counts.shed_reasons.values()) == counts.shed

@@ -1,0 +1,108 @@
+"""Bounded queues and the watermark hysteresis state machine."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.overload.queues import BoundedQueue, QueueState
+
+
+# ----------------------------------------------------------------------
+# QueueState
+
+
+def test_zero_capacity_is_permanently_full_and_shedding():
+    state = QueueState(0)
+    assert state.shedding
+    assert state.full(0)
+    # Observations never flip a degenerate queue back to normal.
+    assert state.observe(0) is False
+    assert state.shedding
+    assert state.transitions == 0
+
+
+def test_unbounded_never_full_never_sheds_tracks_peak():
+    state = QueueState(None)
+    for depth in (5, 50, 5000):
+        assert state.observe(depth) is False
+        assert not state.full(depth)
+    assert not state.shedding
+    assert state.depth_peak == 5000
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ReproError):
+        QueueState(-1)
+
+
+def test_inverted_watermarks_rejected():
+    with pytest.raises(ReproError):
+        QueueState(10, high=0.3, low=0.6)
+
+
+def test_hysteresis_engages_at_high_releases_at_low():
+    state = QueueState(10, high=0.8, low=0.5)
+    assert state.high_mark == 8 and state.low_mark == 5
+    assert state.observe(7) is False and not state.shedding
+    assert state.observe(8) is True and state.shedding
+    assert state.observe(6) is False and state.shedding  # still above low
+    assert state.observe(5) is True and not state.shedding
+    assert state.transitions == 2
+
+
+def test_hysteresis_does_not_flap_on_single_tuple_oscillation():
+    """Depth bouncing one tuple around the high mark must not toggle
+    the state on every observation — that is the whole point of the
+    low watermark."""
+    state = QueueState(10, high=0.8, low=0.5)
+    state.observe(8)
+    assert state.shedding and state.transitions == 1
+    for _ in range(50):
+        state.observe(7)
+        state.observe(8)
+    assert state.shedding
+    assert state.transitions == 1  # zero additional flips
+
+
+def test_low_mark_forced_below_high_mark():
+    # capacity 2 with default fractions would give high=1, low=1;
+    # construction must separate them so hysteresis still exists.
+    state = QueueState(2)
+    assert state.low_mark < state.high_mark
+
+
+# ----------------------------------------------------------------------
+# BoundedQueue
+
+
+def test_bounded_queue_refuses_push_at_capacity():
+    queue = BoundedQueue(2)
+    assert queue.push("a") and queue.push("b")
+    assert not queue.push("c")
+    assert len(queue) == 2 and queue.full
+
+
+def test_zero_capacity_bounded_queue_refuses_everything():
+    queue = BoundedQueue(0)
+    assert not queue.push("a")
+    assert len(queue) == 0
+    assert queue.shedding and queue.full
+
+
+def test_pop_feeds_watermarks_back_down():
+    queue = BoundedQueue(10)
+    for i in range(8):
+        queue.push(i)
+    assert queue.shedding
+    while len(queue) > 5:
+        queue.pop()
+    assert not queue.shedding
+
+
+def test_clear_returns_abandoned_items_and_resets_depth():
+    queue = BoundedQueue(10)
+    for i in range(4):
+        queue.push(i)
+    abandoned = queue.clear()
+    assert abandoned == [0, 1, 2, 3]
+    assert len(queue) == 0
+    assert queue.depth_peak == 4  # peak survives the clear
