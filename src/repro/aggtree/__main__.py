@@ -1,0 +1,133 @@
+"""CLI for the differential-aggregation battery and volume benchmark.
+
+Used by the CI smoke step and by hand::
+
+    python -m repro.aggtree --seeds 0,1,2,3,4 --nodes 8 \\
+        --verdicts diff_verdicts.json
+    python -m repro.aggtree --bench BENCH_aggtree.json --bench-nodes 64
+
+Exit status is non-zero when any seed's centralized and tree runs
+disagree (or the benchmark's reduction falls below ``--min-reduction``),
+so CI fails loudly rather than uploading a green-looking artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.aggtree.differential import (
+    DEFAULT_MONITORS,
+    run_differential,
+    run_volume_benchmark,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.aggtree",
+        description="Differential in-network aggregation battery",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="0,1,2,3,4",
+        help="comma-separated seeds to sweep (default 0-4)",
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--epoch-len", type=float, default=20.0)
+    parser.add_argument("--fanout", type=int, default=3)
+    parser.add_argument(
+        "--monitors",
+        default=",".join(DEFAULT_MONITORS),
+        help="battery subset (comma-separated keys)",
+    )
+    parser.add_argument(
+        "--verdicts", default=None, help="write per-seed verdict JSON here"
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help="also run the volume benchmark and write its JSON here",
+    )
+    parser.add_argument("--bench-nodes", type=int, default=64)
+    parser.add_argument("--bench-seed", type=int, default=0)
+    parser.add_argument("--min-reduction", type=float, default=5.0)
+    parser.add_argument(
+        "--skip-diff",
+        action="store_true",
+        help="run only the benchmark (with --bench)",
+    )
+    args = parser.parse_args(argv)
+    monitors = tuple(
+        key for key in args.monitors.split(",") if key
+    )
+
+    failed = False
+    verdicts = []
+    if not args.skip_diff:
+        for seed in (int(s) for s in args.seeds.split(",") if s):
+            verdict = run_differential(
+                seed,
+                monitors=monitors,
+                nodes=args.nodes,
+                duration=args.duration,
+                epoch_len=args.epoch_len,
+                fanout=args.fanout,
+            )
+            verdicts.append(verdict)
+            status = "OK " if verdict["equal"] else "DIVERGED"
+            print(
+                f"seed {seed}: {status} alarms="
+                f"{verdict['alarms']['tree']} inbound "
+                f"centralized={verdict['inbound']['centralized']} "
+                f"tree={verdict['inbound']['tree']} "
+                f"reduction={verdict['reduction']:.1f}x"
+            )
+            failed = failed or not verdict["equal"]
+        if args.verdicts:
+            with open(args.verdicts, "w") as fh:
+                json.dump(
+                    {
+                        "battery": "aggtree_differential",
+                        "monitors": list(monitors),
+                        "all_equal": not failed,
+                        "verdicts": verdicts,
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"wrote {args.verdicts}")
+
+    if args.bench:
+        bench = run_volume_benchmark(
+            seed=args.bench_seed,
+            nodes=args.bench_nodes,
+            monitors=monitors,
+            epoch_len=args.epoch_len,
+        )
+        with open(args.bench, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+        print(
+            f"wrote {args.bench}: reduction "
+            f"{bench['reduction_tuples']:.1f}x tuples, "
+            f"{bench['reduction_bytes']:.1f}x bytes"
+        )
+        if not bench["equal"]:
+            print("benchmark runs DIVERGED", file=sys.stderr)
+            failed = True
+        if bench["reduction_tuples"] < args.min_reduction:
+            print(
+                f"reduction {bench['reduction_tuples']:.1f}x below the "
+                f"{args.min_reduction:.1f}x floor",
+                file=sys.stderr,
+            )
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""The bundled global Chord monitors the differential battery runs.
+
+Each factory pairs one of the repo's per-node monitors (installed
+unchanged, so local alarms keep working) with a global summary program
+whose aggregate rules the planner decomposes onto the tree:
+
+- **oscillation** — population-wide count of oscillation proclamations
+  plus the top-k oscillating neighbors (the recycled-dead-neighbor bug
+  of §3.1.3, summarized across the whole ring instead of per node);
+- **consistency** — the ring-wide minimum and count of §3.1.4's
+  per-probe consistency fractions: one number answering "how consistent
+  is routing anywhere right now?";
+- **partition** — the ring census: how many nodes answered the
+  successor sample, and how many are self-looped (isolated).
+
+``fallback_demo_monitor`` exists for the planner's *negative* space: a
+global program whose rules join per-tuple detail (``multi_relation_join``)
+or use a non-mergeable aggregate (``avg``), pinned by the regression
+test to stay on the centralized path with an ``agg.fallback`` reason.
+"""
+
+from __future__ import annotations
+
+from repro.aggtree.runtime import GlobalAggregateMonitor
+from repro.monitors.consistency import CONSISTENCY_SOURCE
+from repro.monitors.oscillation import OSCILLATION_SOURCE
+from repro.monitors.partition import PARTITION_SOURCE
+
+GLOBAL_OSCILLATION_SOURCE = """
+go1 gOscillTotal@collector(count<*>) :- oscill@NAddr(A, T).
+go2 gOscillTop@collector(topk<A>) :- oscill@NAddr(A, T).
+goa gOscillAlarm@collector(E, C) :- gOscillTotal@collector(E, C),
+    C >= oscillAlarmThresh.
+"""
+
+GLOBAL_CONSISTENCY_SOURCE = """
+gc1 gConsMin@collector(min<C>) :- consistency@NAddr(P, C).
+gc2 gConsCount@collector(count<*>) :- consistency@NAddr(P, C).
+gca gConsAlarm@collector(E, V) :- gConsMin@collector(E, V),
+    V < consAlarmThresh.
+"""
+
+GLOBAL_PARTITION_SOURCE = """
+gp1 gRingCensus@collector(count<*>) :- succSample@NAddr(Me, SAddr, T).
+gp2 gIsolated@collector(count<*>) :- selfLoop@NAddr(Me, T).
+gpa gPartitionAlarm@collector(E, C) :- gIsolated@collector(E, C), C > 0.
+"""
+
+#: fd1 joins the probe detail table per tuple (not decomposable), fd2
+#: wants ``avg`` (not mergeable); fd3 is the control that decomposes.
+FALLBACK_DEMO_GLOBAL_SOURCE = """
+fd1 gDetailCount@collector(count<*>) :- probeResp@NAddr(P, C),
+    probeDetail@NAddr(P, D).
+fd2 gRespAvg@collector(avg<C>) :- probeResp@NAddr(P, C).
+fd3 gRespTotal@collector(count<*>) :- probeResp@NAddr(P, C).
+materialize(probeDetail, 120, 1000, keys(2)).
+"""
+
+
+def global_oscillation_monitor(
+    epoch_len: float = 20.0,
+    fanout: int = 4,
+    alarm_threshold: int = 1,
+    check_period: float = 60.0,
+    **kwargs,
+) -> GlobalAggregateMonitor:
+    """Population-wide oscillation totals + top-k oscillators."""
+    return GlobalAggregateMonitor(
+        name="g-oscillation",
+        global_source=GLOBAL_OSCILLATION_SOURCE,
+        local_source=OSCILLATION_SOURCE,
+        alarm_events=("gOscillAlarm",),
+        bindings={
+            "tOscCheck": check_period,
+            "repeatThresh": 3,
+            "chaoticThresh": 3,
+            "oscillAlarmThresh": alarm_threshold,
+        },
+        epoch_len=epoch_len,
+        fanout=fanout,
+        **kwargs,
+    )
+
+
+def global_consistency_monitor(
+    epoch_len: float = 20.0,
+    fanout: int = 4,
+    alarm_threshold: float = 0.5,
+    probe_period: float = 40.0,
+    tally_period: float = 20.0,
+    **kwargs,
+) -> GlobalAggregateMonitor:
+    """Ring-wide minimum + count of routing-consistency fractions."""
+    return GlobalAggregateMonitor(
+        name="g-consistency",
+        global_source=GLOBAL_CONSISTENCY_SOURCE,
+        local_source=CONSISTENCY_SOURCE,
+        alarm_events=("gConsAlarm",),
+        bindings={
+            "tProbe": probe_period,
+            "tTally": tally_period,
+            "alarmThresh": alarm_threshold,
+            "consAlarmThresh": alarm_threshold,
+        },
+        epoch_len=epoch_len,
+        fanout=fanout,
+        **kwargs,
+    )
+
+
+def global_partition_monitor(
+    epoch_len: float = 20.0,
+    fanout: int = 4,
+    sample_period: float = 15.0,
+    **kwargs,
+) -> GlobalAggregateMonitor:
+    """Ring census + isolated-node count, alarm on any isolation."""
+    return GlobalAggregateMonitor(
+        name="g-partition",
+        global_source=GLOBAL_PARTITION_SOURCE,
+        local_source=PARTITION_SOURCE,
+        alarm_events=("gPartitionAlarm",),
+        bindings={"tSample": sample_period},
+        epoch_len=epoch_len,
+        fanout=fanout,
+        **kwargs,
+    )
+
+
+def fallback_demo_monitor(
+    epoch_len: float = 20.0, fanout: int = 4, **kwargs
+) -> GlobalAggregateMonitor:
+    """The planner's negative space (see module docstring)."""
+    return GlobalAggregateMonitor(
+        name="g-fallback-demo",
+        global_source=FALLBACK_DEMO_GLOBAL_SOURCE,
+        alarm_events=(),
+        epoch_len=epoch_len,
+        fanout=fanout,
+        **kwargs,
+    )
+
+
+#: The battery the differential tests and the CLI sweep, by key.
+BUNDLED_MONITORS = {
+    "oscillation": global_oscillation_monitor,
+    "consistency": global_consistency_monitor,
+    "partition": global_partition_monitor,
+}

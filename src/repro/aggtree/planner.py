@@ -1,0 +1,243 @@
+"""The decomposition pass: global monitor rules -> partials + merges.
+
+A *global monitor program* is ordinary OverLog whose aggregate rules
+send a population-wide summary to a constant collector address, e.g.::
+
+    g1 gOscillTotal@collector(count<*>) :- oscill@NAddr(A, T).
+    a1 gOscillAlarm@collector(E, C) :- gOscillTotal@collector(E, C),
+        C >= oscillThresh.
+
+``plan_global`` splits such a program three ways:
+
+- **decomposed rules** — aggregate rules whose function is mergeable
+  (:data:`~repro.aggtree.partials.DECOMPOSABLE_FUNCS`) and whose body
+  is a single node-local predicate.  These never run as OverLog;
+  the aggtree runtime evaluates them as per-node partial aggregates
+  merged up the tree (or, in centralized mode, as raw rows folded at
+  the collector — same algebra, same answer).  The emitted global
+  tuple is ``name(Collector, Epoch, <head args with the aggregate
+  replaced by its value>)`` — the epoch is injected after the location
+  so downstream rules can correlate verdicts across ticks.
+- **collector rules** — everything else that *can* run as ordinary
+  OverLog at the collector (alarm predicates over the emitted global
+  relations), plus the program's materializations.
+- **fallbacks** — aggregate rules the pass cannot decompose (joins on
+  per-tuple detail, non-mergeable functions like ``avg``, non-constant
+  collectors).  They are left on the existing centralized path
+  *unchanged* — installed as plain OverLog on every node — and each
+  carries a machine-readable reason that the runtime surfaces as an
+  ``agg.fallback`` telemetry event and ``agg_fallback_total`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AggregationError
+from repro.overlog import ast
+from repro.overlog.program import Program
+from repro.aggtree.partials import DECOMPOSABLE_FUNCS
+
+#: Fallback reasons (stable identifiers; telemetry and tests pin them).
+FALLBACK_UNSUPPORTED_AGG = "unsupported_aggregate"
+FALLBACK_MULTI_JOIN = "multi_relation_join"
+FALLBACK_COMPLEX_BODY = "complex_body"
+FALLBACK_NON_CONSTANT_COLLECTOR = "non_constant_collector"
+FALLBACK_BODY_NOT_NODE_LOCAL = "body_not_node_local"
+FALLBACK_GROUP_NOT_PROJECTABLE = "group_not_projectable"
+FALLBACK_PERIODIC_BODY = "periodic_body"
+
+
+@dataclass
+class DecomposedRule:
+    """One aggregate rule split into partial + merge form."""
+
+    rule_id: str
+    #: Head relation: the emitted global tuple's name.
+    global_name: str
+    #: Body relation: the per-node contribution stream.
+    relation: str
+    func: str
+    #: Body-functor arg index holding the aggregated value (None for
+    #: ``count<*>``).
+    value_index: Optional[int]
+    #: Body-functor arg indices of the group-by fields, in head order.
+    group_indices: Tuple[int, ...]
+    #: Head layout after the location: each entry is ``("epoch",)``,
+    #: ``("group", body_index)`` or ``("agg",)`` — how to assemble the
+    #: emitted tuple from (epoch, group, finalized value).
+    head_layout: Tuple[Tuple, ...]
+    collector: str
+
+    def emit_values(self, epoch: int, group: Tuple, value) -> Tuple:
+        """Assemble the emitted global tuple's value fields."""
+        out = [self.collector, epoch]
+        by_index = dict(zip(self.group_indices, group))
+        for entry in self.head_layout:
+            if entry[0] == "group":
+                out.append(by_index[entry[1]])
+            else:  # ("agg",)
+                out.append(value)
+        return tuple(out)
+
+
+@dataclass
+class FallbackRule:
+    """An aggregate rule left on the centralized path, with the reason."""
+
+    rule_id: str
+    head_name: str
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class AggPlan:
+    """The planner's verdict over one global monitor program."""
+
+    name: str
+    decomposed: List[DecomposedRule] = field(default_factory=list)
+    fallbacks: List[FallbackRule] = field(default_factory=list)
+    #: Alarm rules + materializations, to install at the collector.
+    collector_program: Optional[Program] = None
+    #: Non-decomposable rules, to install on every node unchanged.
+    fallback_program: Optional[Program] = None
+    collector: Optional[str] = None
+
+    def relations(self) -> Set[str]:
+        """The per-node contribution relations the runtime must tap."""
+        return {rule.relation for rule in self.decomposed}
+
+    def global_names(self) -> Set[str]:
+        return {rule.global_name for rule in self.decomposed}
+
+
+def _constant_location(expr: ast.Expr) -> Optional[str]:
+    """The literal address of a constant location specifier, or None."""
+    if isinstance(expr, ast.Const) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.SymbolicConst):
+        # Unbound symbolic constants evaluate to their own name; a bound
+        # one was already substituted into a Const.
+        return expr.name
+    return None
+
+
+def _decompose(rule: ast.Rule, aggregate: ast.Aggregate):
+    """Try to split one aggregate rule; returns DecomposedRule or
+    FallbackRule."""
+    rule_id = rule.rule_id or rule.head.name
+    head_name = rule.head.name
+
+    def fallback(reason: str, detail: str = "") -> FallbackRule:
+        return FallbackRule(rule_id, head_name, reason, detail)
+
+    collector = _constant_location(rule.head.location)
+    if collector is None:
+        return fallback(
+            FALLBACK_NON_CONSTANT_COLLECTOR, str(rule.head.location)
+        )
+    if aggregate.func not in DECOMPOSABLE_FUNCS:
+        return fallback(FALLBACK_UNSUPPORTED_AGG, aggregate.func)
+    functors = rule.body_functors()
+    if len(functors) > 1:
+        return fallback(
+            FALLBACK_MULTI_JOIN,
+            " x ".join(f.name for f in functors),
+        )
+    if len(functors) != len(rule.body):
+        return fallback(FALLBACK_COMPLEX_BODY)
+    trigger = functors[0]
+    if trigger.name == "periodic":
+        return fallback(FALLBACK_PERIODIC_BODY)
+    if not isinstance(trigger.location, ast.Var):
+        return fallback(
+            FALLBACK_BODY_NOT_NODE_LOCAL, str(trigger.location)
+        )
+
+    positions = {}
+    for index, arg in enumerate(trigger.args):
+        if isinstance(arg, ast.Var) and arg.name not in positions:
+            positions[arg.name] = index
+
+    value_index: Optional[int] = None
+    if aggregate.var is not None:
+        value_index = positions.get(aggregate.var)
+        if value_index is None:
+            return fallback(FALLBACK_GROUP_NOT_PROJECTABLE, aggregate.var)
+
+    group_indices: List[int] = []
+    head_layout: List[Tuple] = []
+    for arg in rule.head.args[1:]:
+        if isinstance(arg, ast.Aggregate):
+            head_layout.append(("agg",))
+            continue
+        if not isinstance(arg, ast.Var) or arg.name not in positions:
+            return fallback(FALLBACK_GROUP_NOT_PROJECTABLE, str(arg))
+        index = positions[arg.name]
+        group_indices.append(index)
+        head_layout.append(("group", index))
+
+    return DecomposedRule(
+        rule_id=rule_id,
+        global_name=head_name,
+        relation=trigger.name,
+        func=aggregate.func,
+        value_index=value_index,
+        group_indices=tuple(group_indices),
+        head_layout=tuple(head_layout),
+        collector=collector,
+    )
+
+
+def plan_global(program: Program) -> AggPlan:
+    """Split a (bound, validated) global monitor program (module doc)."""
+    plan = AggPlan(name=program.name)
+    collector_statements: List[ast.Statement] = []
+    fallback_statements: List[ast.Statement] = []
+
+    for statement in program.tree.statements:
+        if not isinstance(statement, ast.Rule):
+            collector_statements.append(statement)
+            continue
+        aggregates = statement.head.aggregates()
+        if not aggregates:
+            collector_statements.append(statement)
+            continue
+        outcome = _decompose(statement, aggregates[0])
+        if isinstance(outcome, DecomposedRule):
+            plan.decomposed.append(outcome)
+        else:
+            plan.fallbacks.append(outcome)
+            fallback_statements.append(statement)
+
+    collectors = {rule.collector for rule in plan.decomposed}
+    if len(collectors) > 1:
+        raise AggregationError(
+            f"{program.name}: decomposed rules name multiple collectors: "
+            f"{sorted(collectors)}"
+        )
+    plan.collector = collectors.pop() if collectors else None
+
+    if any(isinstance(s, ast.Rule) for s in collector_statements):
+        plan.collector_program = Program(
+            ast.ProgramAST(collector_statements),
+            name=f"{program.name}.collector",
+            role="monitor",
+        )
+        plan.collector_program.validate()
+    if fallback_statements:
+        # Fallback rules may join tables the program declares; tables
+        # re-materialize as a no-op, so shipping the declarations with
+        # both programs is safe.
+        materials = [
+            s for s in collector_statements if isinstance(s, ast.Materialize)
+        ]
+        plan.fallback_program = Program(
+            ast.ProgramAST(materials + fallback_statements),
+            name=f"{program.name}.fallback",
+            role="monitor",
+        )
+        plan.fallback_program.validate()
+    return plan

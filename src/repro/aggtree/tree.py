@@ -1,0 +1,96 @@
+"""The deterministic fanout-k aggregation overlay.
+
+The tree is a pure function of ``(collector, live addresses, fanout)``:
+the collector is the root, the remaining addresses are sorted and laid
+out breadth-first, so every participant derives identical parent/child
+edges with no coordination and no randomness.  Churn is handled by
+recomputation — each epoch (and each recovery-manager restart hook)
+rebuilds the overlay from the live population, which is exactly how the
+ring itself re-stabilizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AggregationError
+
+
+class AggregationTree:
+    """Fanout-k tree rooted at the collector over a fixed address set."""
+
+    def __init__(
+        self, collector: str, addresses: Sequence[str], fanout: int = 4
+    ) -> None:
+        if fanout < 1:
+            raise AggregationError(f"tree fanout must be >= 1: {fanout}")
+        members = sorted(set(addresses) - {collector})
+        self.collector = collector
+        self.fanout = fanout
+        #: Breadth-first layout: index 0 is the root; the children of
+        #: index i are indices k*i+1 .. k*i+k.
+        self.order: List[str] = [collector] + members
+        self._index: Dict[str, int] = {
+            addr: i for i, addr in enumerate(self.order)
+        }
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, addr: str) -> bool:
+        return addr in self._index
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def parent(self, addr: str) -> Optional[str]:
+        """The upstream address (None for the collector itself)."""
+        index = self._require(addr)
+        if index == 0:
+            return None
+        return self.order[(index - 1) // self.fanout]
+
+    def children(self, addr: str) -> List[str]:
+        index = self._require(addr)
+        lo = self.fanout * index + 1
+        return self.order[lo: lo + self.fanout]
+
+    def depth(self, addr: str) -> int:
+        """Hops from the collector (0 for the collector)."""
+        index = self._require(addr)
+        depth = 0
+        while index > 0:
+            index = (index - 1) // self.fanout
+            depth += 1
+        return depth
+
+    def max_depth(self) -> int:
+        if len(self.order) == 1:
+            return 0
+        return self.depth(self.order[-1])
+
+    def subtree_size(self, addr: str) -> int:
+        """Members in ``addr``'s subtree, itself included."""
+        total = 1
+        for child in self.children(addr):
+            total += self.subtree_size(child)
+        return total
+
+    def edges(self) -> List[tuple]:
+        """All (child, parent) edges, in layout order (for panels)."""
+        return [
+            (addr, self.parent(addr)) for addr in self.order[1:]
+        ]
+
+    def _require(self, addr: str) -> int:
+        index = self._index.get(addr)
+        if index is None:
+            raise AggregationError(
+                f"{addr!r} is not a member of this aggregation tree"
+            )
+        return index
+
+    def __repr__(self) -> str:
+        return (
+            f"<AggregationTree root={self.collector} n={len(self.order)} "
+            f"fanout={self.fanout} depth={self.max_depth()}>"
+        )

@@ -68,3 +68,17 @@ class SimulationError(ReproError):
 
 class NetworkError(ReproError):
     """Raised on invalid network operations (unknown address, etc.)."""
+
+
+class AggregationError(ReproError):
+    """Raised on invalid in-network aggregation operations."""
+
+
+class EpochMismatchError(AggregationError):
+    """Raised when partial aggregates from different epochs would merge.
+
+    Epoch isolation is a hard invariant of the aggregation tree
+    (:mod:`repro.aggtree`): merging across virtual-clock epochs would
+    silently blend two different snapshots of the population, so the
+    partial-state algebra refuses instead of guessing.
+    """

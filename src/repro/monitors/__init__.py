@@ -15,6 +15,9 @@ the paper argues for:
   (os5-os9);
 - :mod:`repro.monitors.consistency` — proactive routing-consistency
   probes (§3.1.4, cs1-cs12);
+- :mod:`repro.monitors.partition` — ring-partition census sampling
+  (pt1-pt2), the per-node feed of the global isolation count in
+  :mod:`repro.aggtree.monitors`;
 - :mod:`repro.monitors.profiling` — execution profiling by walking
   ruleExec/tupleTable backwards (§3.2, ep1-ep6);
 - :mod:`repro.monitors.snapshot` — Chandy-Lamport consistent snapshots
@@ -34,6 +37,7 @@ from repro.monitors.ordering import (
 )
 from repro.monitors.oscillation import OscillationMonitor
 from repro.monitors.consistency import ConsistencyProbeMonitor
+from repro.monitors.partition import PartitionMonitor
 from repro.monitors.profiling import ExecutionProfiler
 from repro.monitors.snapshot import SnapshotMonitor, SnapshotConsistencyProbes
 from repro.monitors.reactive import ReactiveWatchpoint
@@ -54,6 +58,7 @@ __all__ = [
     "RingTraversalMonitor",
     "OscillationMonitor",
     "ConsistencyProbeMonitor",
+    "PartitionMonitor",
     "ExecutionProfiler",
     "SnapshotMonitor",
     "SnapshotConsistencyProbes",

@@ -1,0 +1,40 @@
+"""Ring-partition census sampling (the split-ring forensic question).
+
+A partitioned or evicted node eventually points its best successor at
+itself — a one-node ring.  This monitor samples every node's successor
+pointer on a timer:
+
+- ``pt1`` emits one ``succSample`` per node per sample tick (the ring
+  census: how many nodes currently hold a successor at all);
+- ``pt2`` derives ``selfLoop`` when the sampled successor is the node
+  itself — the local symptom of isolation.
+
+The per-node symptoms are deliberately tiny; the population-wide
+verdict ("how many nodes are isolated *right now*?") is the job of the
+global aggregation layer (:mod:`repro.aggtree.monitors`), which counts
+``selfLoop`` and ``succSample`` across the ring.  Standalone, this
+class is an ordinary :class:`~repro.monitors.base.Monitor` whose
+``selfLoop`` alarms surface per node.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.base import Monitor
+
+PARTITION_SOURCE = """
+pt1 succSample@NAddr(Me, SAddr, T) :- periodic@NAddr(E, tSample),
+    bestSucc@NAddr(SID, SAddr), Me := NAddr, T := f_now().
+pt2 selfLoop@NAddr(Me, T) :- succSample@NAddr(Me, SAddr, T), SAddr == Me.
+"""
+
+
+class PartitionMonitor(Monitor):
+    """pt1-pt2: successor census with self-loop (isolation) alarms."""
+
+    def __init__(self, sample_period: float = 15.0) -> None:
+        super().__init__(
+            name="partition-census",
+            source=PARTITION_SOURCE,
+            alarm_events=["selfLoop"],
+            bindings={"tSample": sample_period},
+        )

@@ -15,7 +15,11 @@ a CI log reader wants first:
 - **overload / shed attribution** — per-class × per-reason load-shed
   totals, deferred (BUSY-nacked) offers, and the relations that were
   shed or deferred in the recorded window, so an overloaded run can be
-  traced back to the offending rule or program (see docs/OVERLOAD.md).
+  traced back to the offending rule or program (see docs/OVERLOAD.md);
+- **in-network aggregation** — per-monitor epoch/flush/late totals,
+  collector-inbound volume per evaluation mode, and the planner's
+  fallback reasons from the ``agg_*`` metric family
+  (see docs/AGGREGATION.md).
 
 This is the external-analyzer half of the telemetry plane: it never
 imports the simulator, so any artifact from any run (CI upload, failing
@@ -219,6 +223,51 @@ class Artifact:
             merged[name] = merged.get(name, 0.0) + value
         return merged
 
+    def agg_activity(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Per ``(monitor, mode)``: finalized epochs + collector inbound.
+
+        Reads ``agg_epochs_total`` and ``agg_collector_inbound_total``
+        (label keys arrive alphabetized: mode, monitor).
+        """
+        merged: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for metric, field in (
+            ("agg_epochs_total", "epochs"),
+            ("agg_collector_inbound_total", "inbound"),
+        ):
+            for key, value in self.metrics.get(metric, {}).items():
+                mode = str(key[0]) if key else "?"
+                monitor = str(key[1]) if len(key) > 1 else "?"
+                row = merged.setdefault(
+                    (monitor, mode), {"epochs": 0.0, "inbound": 0.0}
+                )
+                row[field] += value
+        return merged
+
+    def agg_traffic(self) -> Dict[str, Dict[str, float]]:
+        """Per monitor: partials/raws shipped and late arrivals."""
+        merged: Dict[str, Dict[str, float]] = {}
+        for metric, field in (
+            ("agg_partials_sent_total", "partials"),
+            ("agg_raws_sent_total", "raws"),
+            ("agg_late_total", "late"),
+        ):
+            for key, value in self.metrics.get(metric, {}).items():
+                monitor = str(key[0]) if key else "?"
+                row = merged.setdefault(
+                    monitor, {"partials": 0.0, "raws": 0.0, "late": 0.0}
+                )
+                row[field] += value
+        return merged
+
+    def agg_fallbacks(self) -> Dict[Tuple[str, str], float]:
+        """Planner fallbacks as ``(monitor, reason) -> rule count``."""
+        merged: Dict[Tuple[str, str], float] = {}
+        for key, value in self.metrics.get("agg_fallback_total", {}).items():
+            monitor = str(key[0]) if key else "?"
+            reason = str(key[1]) if len(key) > 1 else "?"
+            merged[(monitor, reason)] = merged.get((monitor, reason), 0.0) + value
+        return merged
+
 
 def _ms(seconds: float) -> str:
     return f"{seconds * 1e3:.3f}ms"
@@ -315,6 +364,43 @@ def summarize(path: str, top: int = 10) -> str:
             lines.append("  watch-ring evictions:")
             for name in sorted(evictions):
                 lines.append(f"    {name:<24} {int(evictions[name])}")
+
+    activity = art.agg_activity()
+    traffic = art.agg_traffic()
+    fallbacks = {k: v for k, v in art.agg_fallbacks().items() if v}
+    flushes = art.event_counts("agg.flush", "monitor")
+    late_events = art.event_counts("agg.late", "monitor")
+    if activity or traffic or fallbacks:
+        lines.append("")
+        lines.append("in-network aggregation:")
+        for monitor, mode in sorted(activity):
+            row = activity[(monitor, mode)]
+            lines.append(
+                f"  {monitor + ' [' + mode + ']':<28} "
+                f"epochs={int(row['epochs']):>4}  "
+                f"collector-inbound={int(row['inbound'])}"
+            )
+        for monitor in sorted(traffic):
+            row = traffic[monitor]
+            lines.append(
+                f"  {monitor:<28} partials={int(row['partials'])}  "
+                f"raws={int(row['raws'])}  late={int(row['late'])}"
+            )
+        if fallbacks:
+            lines.append("  planner fallbacks (centralized path):")
+            for monitor, reason in sorted(fallbacks):
+                lines.append(
+                    f"    {monitor + '/' + reason:<36} "
+                    f"{int(fallbacks[(monitor, reason)])}"
+                )
+        if flushes:
+            lines.append("  flushes by monitor (recorded window):")
+            for name in sorted(flushes):
+                lines.append(f"    {name:<24} {flushes[name]}")
+        if late_events:
+            lines.append("  late arrivals by monitor (recorded window):")
+            for name in sorted(late_events):
+                lines.append(f"    {name:<24} {late_events[name]}")
     return "\n".join(lines)
 
 

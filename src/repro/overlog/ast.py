@@ -169,7 +169,7 @@ class Aggregate(Expr):
         return f"{self.func}<{self.var if self.var else '*'}>"
 
 
-AGGREGATE_FUNCS = ("count", "min", "max", "sum", "avg")
+AGGREGATE_FUNCS = ("count", "min", "max", "sum", "avg", "topk")
 
 
 # ---------------------------------------------------------------------------

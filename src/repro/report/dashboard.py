@@ -25,14 +25,21 @@ class Dashboard:
         self._system = system
         self.title = title
         self._handles: Dict[str, MonitorHandle] = {}
+        self._agg_handles: Dict[str, object] = {}
         self._last_counts: Dict[str, Dict[str, int]] = {}
         self._last_drops: Dict[str, int] = {}
         self._last_status: Dict[str, str] = {}
         self._last_sheds: Dict[str, int] = {}
         self._last_shed_state: Dict[str, bool] = {}
+        self._last_agg_alarms: Dict[str, int] = {}
 
     def add_monitor(self, handle: MonitorHandle) -> None:
         self._handles[handle.monitor.name] = handle
+
+    def add_aggregate(self, handle) -> None:
+        """Register an installed global monitor
+        (:class:`repro.aggtree.runtime.AggHandle`) for the tree panel."""
+        self._agg_handles[handle.name] = handle
 
     # ------------------------------------------------------------------
 
@@ -118,6 +125,36 @@ class Dashboard:
                     f"strand peak {ctrl.strand_state.depth_peak}  "
                     f"shed {sheds}  deferred={deferred}"
                 )
+        if self._agg_handles:
+            lines.append("")
+            lines.append("in-network aggregation:")
+            for name in sorted(self._agg_handles):
+                handle = self._agg_handles[name]
+                totals = handle.ledger.totals()
+                tree = handle.last_tree
+                shape = (
+                    f"depth={tree.max_depth()} fanout={tree.fanout} "
+                    f"members={len(tree)}"
+                    if tree is not None
+                    else "tree not built yet"
+                )
+                lines.append(
+                    f"  {name:<24} [{handle.mode}] root={handle.collector} "
+                    f"{shape}"
+                )
+                lines.append(
+                    f"    merged {totals['merged']}/{totals['expected']} "
+                    f"origins  late={totals['late_origins']}  "
+                    f"missing={totals['missing']}  "
+                    f"collector-inbound={totals['inbound_tuples']}  "
+                    f"alarms={handle.alarm_count()}"
+                )
+                fallbacks = getattr(handle.plan, "fallbacks", [])
+                if fallbacks:
+                    reasons = ", ".join(
+                        f"{rule.rule_id}:{rule.reason}" for rule in fallbacks
+                    )
+                    lines.append(f"    fallbacks: {reasons}")
         lines.append("")
         lines.append("monitor alarms:")
         if not self._handles:
@@ -150,6 +187,12 @@ class Dashboard:
             self._last_counts[name] = {
                 event: len(tuples) for event, tuples in handle.alarms.items()
             }
+        for name, handle in sorted(self._agg_handles.items()):
+            total = handle.alarm_count()
+            fresh = total - self._last_agg_alarms.get(name, 0)
+            if fresh > 0:
+                news.append(f"{name}: +{fresh} global alarms")
+            self._last_agg_alarms[name] = total
         drops = self._drop_breakdown()
         for reason in sorted(drops):
             if reason not in self._last_drops:

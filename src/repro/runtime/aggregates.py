@@ -39,12 +39,31 @@ def _agg_avg(values: List[Any]) -> float:
     return sum(float(v) for v in values) / len(values)
 
 
+def _agg_topk(values: List[Any]) -> tuple:
+    """Heavy hitters: the top-k distinct values by multiplicity.
+
+    Returns a tuple of ``(value, count)`` pairs, heaviest first, ties
+    broken by the value's canonical order so the result is
+    deterministic.  k is :data:`repro.aggtree.partials.DEFAULT_TOP_K`;
+    the in-network path (:mod:`repro.aggtree`) computes the same answer
+    through its bounded mergeable sketch.
+    """
+    from repro.aggtree.partials import DEFAULT_TOP_K, sort_key
+
+    counts: Dict[Any, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], sort_key(kv[0])))
+    return tuple(ranked[:DEFAULT_TOP_K])
+
+
 _FUNCS: Dict[str, Callable[[List[Any]], Any]] = {
     "count": _agg_count,
     "min": _agg_min,
     "max": _agg_max,
     "sum": _agg_sum,
     "avg": _agg_avg,
+    "topk": _agg_topk,
 }
 
 EMPTY_GROUP_RESULTS = {"count": 0}

@@ -1,0 +1,159 @@
+"""Hypothesis properties over the partial-aggregate algebra.
+
+These pin the contract the aggregation tree relies on (ISSUE 6
+satellite b): ``merge`` is commutative and associative, finalizing a
+merge of partials equals finalizing one partial over the concatenated
+inputs (so any tree shape computes the centralized answer), cross-epoch
+merges raise, wire encodings round-trip, and the bounded top-k sketch
+never under-reports a member heavier than its ``spill`` bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggtree.partials import (
+    DECOMPOSABLE_FUNCS,
+    TopKPartial,
+    make_partial,
+    partial_from_wire,
+)
+from repro.errors import AggregationError, EpochMismatchError
+
+FUNCS = st.sampled_from(DECOMPOSABLE_FUNCS)
+VALUES = st.integers(min_value=-50, max_value=50)
+#: A deliberately small member pool so top-k sketches see heavy hitters.
+MEMBER_POOL = ["a", "b", "c", "d", "e", "f", "g", "h"]
+MEMBERS = st.sampled_from(MEMBER_POOL)
+
+
+def build(func, values, epoch=0, **kwargs):
+    """A leaf partial (origins=1) folded over ``values`` in order."""
+    partial = make_partial(func, epoch, **kwargs)
+    partial.origins = 1
+    for value in values:
+        partial.add(value)
+    return partial
+
+
+def reference(func, values):
+    """The centralized evaluation: one partial over all inputs."""
+    return build(func, values).finalize()
+
+
+@settings(deadline=None, max_examples=200)
+@given(FUNCS, st.lists(VALUES), st.lists(VALUES))
+def test_merge_is_commutative(func, xs, ys):
+    ab = build(func, xs).merge(build(func, ys))
+    ba = build(func, ys).merge(build(func, xs))
+    assert ab.finalize() == ba.finalize()
+    assert ab.origins == ba.origins == 2
+
+
+@settings(deadline=None, max_examples=200)
+@given(FUNCS, st.lists(VALUES), st.lists(VALUES), st.lists(VALUES))
+def test_merge_is_associative(func, xs, ys, zs):
+    left = build(func, xs).merge(build(func, ys)).merge(build(func, zs))
+    right = build(func, xs).merge(build(func, ys).merge(build(func, zs)))
+    assert left.finalize() == right.finalize()
+    assert left.origins == right.origins == 3
+
+
+@settings(deadline=None, max_examples=200)
+@given(FUNCS, st.lists(st.lists(VALUES), min_size=1, max_size=6))
+def test_finalize_equals_concatenated_evaluation(func, chunks):
+    merged = build(func, chunks[0])
+    for chunk in chunks[1:]:
+        merged.merge(build(func, chunk))
+    flat = [value for chunk in chunks for value in chunk]
+    assert merged.finalize() == reference(func, flat)
+    assert merged.origins == len(chunks)
+
+
+@settings(deadline=None)
+@given(FUNCS, st.integers(0, 5), st.integers(0, 5))
+def test_cross_epoch_merge_raises(func, e1, e2):
+    if e1 == e2:
+        e2 = e1 + 1
+    with pytest.raises(EpochMismatchError):
+        build(func, [1], epoch=e1).merge(build(func, [2], epoch=e2))
+
+
+def test_mixed_function_merge_raises():
+    with pytest.raises(AggregationError):
+        build("count", [1]).merge(build("sum", [1]))
+
+
+@settings(deadline=None)
+@given(st.lists(VALUES))
+def test_scalar_functions_match_python(xs):
+    assert build("count", xs).finalize() == len(xs)
+    assert build("sum", xs).finalize() == (sum(xs) if xs else None)
+    assert build("min", xs).finalize() == (min(xs) if xs else None)
+    assert build("max", xs).finalize() == (max(xs) if xs else None)
+
+
+@settings(deadline=None, max_examples=200)
+@given(FUNCS, st.lists(VALUES))
+def test_wire_roundtrip_preserves_state(func, xs):
+    partial = build(func, xs)
+    clone = partial_from_wire(partial.to_wire())
+    assert clone.func == partial.func
+    assert clone.epoch == partial.epoch
+    assert clone.origins == partial.origins
+    assert clone.finalize() == partial.finalize()
+
+
+def test_malformed_wire_raises():
+    with pytest.raises(AggregationError):
+        partial_from_wire(("count", 0))
+    with pytest.raises(AggregationError):
+        partial_from_wire(("median", 0, 1, 3))
+
+
+@settings(deadline=None, max_examples=200)
+@given(st.lists(st.lists(MEMBERS), min_size=1, max_size=8))
+def test_topk_never_under_reports(chunks):
+    """The sketch invariant under adds, trims, wire hops, and merges.
+
+    Every kept count is exact-or-under (never over-reports), and any
+    member whose true count exceeds the merged ``spill`` bound is
+    guaranteed to still be in the sketch.
+    """
+    truth = PyCounter(member for chunk in chunks for member in chunk)
+    merged = None
+    for chunk in chunks:
+        part = build("topk", chunk, k=2, sketch_capacity=3)
+        # Force the trim + wire hop every real flush performs.
+        part = partial_from_wire(part.to_wire())
+        merged = part if merged is None else merged.merge(part)
+    for member, count in merged.counts.items():
+        assert count <= truth[member]
+    for member, count in truth.items():
+        if count > merged.spill:
+            assert member in merged.counts
+
+
+@settings(deadline=None, max_examples=100)
+@given(st.lists(MEMBERS, max_size=40))
+def test_topk_exact_within_capacity(stream):
+    """No trimming, no spill, exact ranked counts while <= capacity."""
+    partial = build("topk", stream, k=3, sketch_capacity=len(MEMBER_POOL))
+    assert partial.spill == 0
+    ranked = partial.finalize()
+    truth = PyCounter(stream)
+    for member, count in ranked:
+        assert truth[member] == count
+    # Heaviest first, deterministic ties (descending counts).
+    counts = [count for _, count in ranked]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_topk_rejects_bad_shape():
+    with pytest.raises(AggregationError):
+        TopKPartial(0, k=0)
+    with pytest.raises(AggregationError):
+        TopKPartial(0, k=8, capacity=4)

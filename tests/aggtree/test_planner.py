@@ -1,0 +1,156 @@
+"""The decomposition pass: what splits, what falls back, and why.
+
+The fallback *reasons* are a stable surface — telemetry
+(``agg_fallback_total{reason}``) and the regression test in
+``test_runtime.py`` pin them — so these tests assert the exact strings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggtree.monitors import BUNDLED_MONITORS, fallback_demo_monitor
+from repro.aggtree.planner import (
+    FALLBACK_COMPLEX_BODY,
+    FALLBACK_GROUP_NOT_PROJECTABLE,
+    FALLBACK_MULTI_JOIN,
+    FALLBACK_NON_CONSTANT_COLLECTOR,
+    FALLBACK_PERIODIC_BODY,
+    FALLBACK_UNSUPPORTED_AGG,
+    plan_global,
+)
+from repro.errors import AggregationError
+from repro.overlog import ast
+from repro.overlog.program import Program
+
+COLLECTOR = "n:0"
+
+
+def plan_source(source, bindings=None):
+    merged = {"collector": COLLECTOR}
+    merged.update(bindings or {})
+    program = Program.compile(
+        source, name="t.global", bindings=merged, role="monitor"
+    )
+    return plan_global(program)
+
+
+@pytest.mark.parametrize("key", sorted(BUNDLED_MONITORS))
+def test_bundled_monitors_fully_decompose(key):
+    plan = BUNDLED_MONITORS[key]().plan(COLLECTOR)
+    assert plan.fallbacks == []
+    assert len(plan.decomposed) == 2
+    assert plan.collector == COLLECTOR
+    # Every bundled monitor carries an alarm rule for the collector.
+    assert plan.collector_program is not None
+
+
+def test_fallback_demo_reasons_are_pinned():
+    plan = fallback_demo_monitor().plan(COLLECTOR)
+    reasons = {rule.rule_id: rule.reason for rule in plan.fallbacks}
+    assert reasons == {
+        "fd1": FALLBACK_MULTI_JOIN,
+        "fd2": FALLBACK_UNSUPPORTED_AGG,
+    }
+    assert [rule.rule_id for rule in plan.decomposed] == ["fd3"]
+    # No non-aggregate rules -> nothing to run at the collector...
+    assert plan.collector_program is None
+    # ...but the fallback program ships, with the probeDetail
+    # materialization fd1's join needs on every node.
+    assert plan.fallback_program is not None
+    tables = [
+        s.name
+        for s in plan.fallback_program.tree.statements
+        if isinstance(s, ast.Materialize)
+    ]
+    assert "probeDetail" in tables
+
+
+def test_grouped_aggregate_layout_and_emit_values():
+    plan = plan_source("g1 gPerKey@collector(K, count<*>) :- ev@N(K, V).")
+    assert plan.fallbacks == []
+    (rule,) = plan.decomposed
+    assert rule.relation == "ev"
+    assert rule.func == "count"
+    assert rule.value_index is None  # count<*> aggregates rows, not a var
+    assert rule.group_indices == (1,)
+    assert rule.head_layout == (("group", 1), ("agg",))
+    assert rule.emit_values(7, ("x",), 3) == (COLLECTOR, 7, "x", 3)
+
+
+def test_value_index_tracks_the_aggregated_variable():
+    plan = plan_source("g1 gTotal@collector(sum<V>) :- ev@N(K, V).")
+    (rule,) = plan.decomposed
+    assert rule.func == "sum"
+    assert rule.value_index == 2
+    assert rule.group_indices == ()
+    assert rule.emit_values(4, (), 99) == (COLLECTOR, 4, 99)
+
+
+def test_distinct_collectors_raise():
+    source = """
+    g1 gA@collectorA(count<*>) :- ev@N(K).
+    g2 gB@collectorB(count<*>) :- ev@N(K).
+    """
+    program = Program.compile(source, name="t.global", role="monitor")
+    with pytest.raises(AggregationError):
+        plan_global(program)
+
+
+@pytest.mark.parametrize(
+    "source,reason",
+    [
+        (
+            "g1 gX@N(count<*>) :- ev@N(K).",
+            FALLBACK_NON_CONSTANT_COLLECTOR,
+        ),
+        (
+            "g1 gX@collector(avg<K>) :- ev@N(K).",
+            FALLBACK_UNSUPPORTED_AGG,
+        ),
+        (
+            "g1 gX@collector(count<*>) :- ev@N(K), detail@N(K, D).\n"
+            "materialize(detail, 60, 100, keys(1)).",
+            FALLBACK_MULTI_JOIN,
+        ),
+        (
+            "g1 gX@collector(count<*>) :- ev@N(K), K > 0.",
+            FALLBACK_COMPLEX_BODY,
+        ),
+        (
+            "g1 gX@collector(count<*>) :- periodic@N(E, tTick).",
+            FALLBACK_PERIODIC_BODY,
+        ),
+        (
+            # A non-variable head field cannot be projected from the
+            # trigger tuple (unbound head vars never reach the planner;
+            # program validation rejects them first).
+            'g1 gX@collector("fixed", count<*>) :- ev@N(K).',
+            FALLBACK_GROUP_NOT_PROJECTABLE,
+        ),
+    ],
+)
+def test_fallback_reasons(source, reason):
+    plan = plan_source(source, bindings={"tTick": 5.0})
+    assert plan.decomposed == []
+    (rule,) = plan.fallbacks
+    assert rule.reason == reason
+    assert plan.fallback_program is not None
+
+
+def test_non_aggregate_rules_stay_with_the_collector():
+    source = """
+    g1 gTotal@collector(count<*>) :- ev@N(K).
+    a1 gAlarm@collector(E, C) :- gTotal@collector(E, C), C > 5.
+    """
+    plan = plan_source(source)
+    assert plan.relations() == {"ev"}
+    assert plan.global_names() == {"gTotal"}
+    assert plan.collector_program is not None
+    assert plan.fallback_program is None
+    heads = [
+        s.head.name
+        for s in plan.collector_program.tree.statements
+        if isinstance(s, ast.Rule)
+    ]
+    assert heads == ["gAlarm"]

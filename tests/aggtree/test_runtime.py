@@ -1,0 +1,207 @@
+"""Epoch execution, the attribution ledger, and the fallback path.
+
+These run on a toy :class:`System` population (no Chord) so each case
+isolates one runtime behavior; the full-stack equivalence proof lives
+in ``test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggtree import (
+    AGG_PARTIAL,
+    MODE_CENTRALIZED,
+    MODE_TREE,
+    GlobalAggregateMonitor,
+    fallback_demo_monitor,
+)
+from repro.core.system import System
+from repro.errors import AggregationError
+
+TOY_SOURCE = """
+t1 gEvTotal@collector(count<*>) :- ev@N(A).
+t2 gEvMax@collector(max<A>) :- ev@N(A).
+ta gEvAlarm@collector(E, C) :- gEvTotal@collector(E, C),
+    C >= evAlarmThresh.
+"""
+
+
+def toy_monitor(**kwargs):
+    return GlobalAggregateMonitor(
+        name="g-toy",
+        global_source=TOY_SOURCE,
+        alarm_events=("gEvAlarm",),
+        bindings={"evAlarmThresh": 3},
+        epoch_len=10.0,
+        fanout=2,
+        **kwargs,
+    )
+
+
+def boot(n=6, mode=MODE_TREE, seed=7, monitor=None, **system_kwargs):
+    system = System(seed=seed, **system_kwargs)
+    addrs = [f"n:{i}" for i in range(n)]
+    for addr in addrs:
+        system.add_node(addr)
+    handle = (monitor or toy_monitor()).install(
+        system, addrs[0], addrs, mode=mode
+    )
+    return system, addrs, handle
+
+
+def feed(system, addrs, at, relation="ev", rows=None):
+    """Schedule one local contribution tuple per node at virtual ``at``."""
+
+    def inject():
+        for i, addr in enumerate(addrs):
+            values = rows[i] if rows else (addr, i * 10)
+            system.nodes[addr].inject(relation, values)
+
+    system.sim.schedule(at - system.sim.now, inject)
+
+
+def test_tree_and_centralized_agree_on_toy_population():
+    results = {}
+    for mode in (MODE_CENTRALIZED, MODE_TREE):
+        system, addrs, handle = boot(mode=mode)
+        feed(system, addrs, at=12.0)
+        system.run_until(25.0)
+        results[mode] = (handle, addrs[0])
+    tree, collector = results[MODE_TREE]
+    central, _ = results[MODE_CENTRALIZED]
+
+    assert tree.fingerprint() == central.fingerprint()
+    # Epoch 1 saw one row per node: count 6, max 50, alarm (6 >= 3).
+    assert (collector, 1, 6) in tree.globals["gEvTotal"]
+    assert (collector, 1, 50) in tree.globals["gEvMax"]
+    assert tree.alarm_count() == central.alarm_count() == 1
+    # An empty epoch still reports its census (count 0, no max row).
+    assert (collector, 0, 0) in tree.globals["gEvTotal"]
+    assert all(row[1] != 0 for row in tree.globals["gEvMax"])
+    # Full attribution on the quiet toy network: everyone merged.
+    for handle in (tree, central):
+        row = {r["epoch"]: r for r in handle.ledger.rows()}[1]
+        assert row["expected"] == row["merged"] == 6
+        assert row["missing"] == row["late_origins"] == 0
+        assert row["finalized"]
+    # The point of the tree: the collector hears far fewer tuples.
+    assert (
+        tree.verdict()["collector_inbound_tuples"]
+        < central.verdict()["collector_inbound_tuples"]
+    )
+
+
+def test_late_partial_is_attributed_never_merged():
+    system, addrs, handle = boot(mode=MODE_TREE)
+    feed(system, addrs, at=12.0)
+    system.run_until(25.0)
+    emitted = {name: list(rows) for name, rows in handle.globals.items()}
+
+    # A straggler partial for the already-finalized epoch 1, claiming
+    # two origins, shipped from a child straight to the collector.
+    system.nodes[addrs[1]].inject(
+        AGG_PARTIAL, (addrs[0], handle.name, 1, 2, ())
+    )
+    system.run_for(1.0)
+
+    assert handle.ledger.totals()["late_origins"] == 2
+    assert handle.globals == emitted  # nothing recomputed or re-emitted
+    late = system.telemetry.metrics.counter(
+        "agg_late_total",
+        "partials/raws that arrived after their epoch window",
+        ("monitor",),
+    )
+    assert late.value("g-toy") == 2
+
+
+def test_collector_crash_skips_the_epoch():
+    system, addrs, handle = boot(mode=MODE_TREE)
+    feed(system, addrs, at=12.0)
+    system.sim.schedule(15.0, lambda: system.crash(addrs[0]))
+    system.run_until(25.0)
+    rows = {r["epoch"]: r for r in handle.ledger.rows()}
+    assert rows[1]["skipped"]
+    assert not rows[1]["finalized"]
+    # Epoch 0 finalized before the crash; nothing emitted for epoch 1.
+    assert [row for row in handle.globals["gEvTotal"] if row[1] == 1] == []
+
+
+def test_fallback_rules_stay_centralized_with_telemetry():
+    """ISSUE 6 satellite d: the regression pin on the fallback path."""
+    system, addrs, handle = boot(
+        n=4,
+        mode=MODE_TREE,
+        monitor=fallback_demo_monitor(epoch_len=10.0),
+        observability=True,
+    )
+    # The planner's verdict: fd1/fd2 fall back (with pinned reasons),
+    # fd3 decomposes.
+    reasons = {rule.rule_id: rule.reason for rule in handle.plan.fallbacks}
+    assert reasons == {
+        "fd1": "multi_relation_join",
+        "fd2": "unsupported_aggregate",
+    }
+    assert [rule.rule_id for rule in handle.plan.decomposed] == ["fd3"]
+
+    # Surfaced as the agg_fallback_total counter and agg.fallback events.
+    fallback_counter = system.telemetry.metrics.counter(
+        "agg_fallback_total",
+        "global rules left on the centralized path by the planner",
+        ("monitor", "reason"),
+    )
+    assert fallback_counter.value("g-fallback-demo", "multi_relation_join") == 1
+    assert fallback_counter.value("g-fallback-demo", "unsupported_aggregate") == 1
+    events = [
+        record
+        for record in system.telemetry.recorder.snapshot()
+        if record["name"] == "agg.fallback"
+    ]
+    assert {event["attrs"]["rule"] for event in events} == {"fd1", "fd2"}
+    assert all(
+        event["attrs"]["monitor"] == "g-fallback-demo" for event in events
+    )
+
+    # Behavior: the fallback avg rule still evaluates as plain OverLog
+    # (per-trigger, centralized at the collector) while the decomposed
+    # count rides the tree.
+    received = []
+    system.nodes[addrs[0]].subscribe(
+        "gRespAvg", lambda tup: received.append(tuple(tup.values))
+    )
+    feed(
+        system,
+        addrs,
+        at=12.0,
+        relation="probeResp",
+        rows=[(addr, f"p{i}", 4) for i, addr in enumerate(addrs)],
+    )
+    system.run_until(25.0)
+    assert (addrs[0], 1, len(addrs)) in handle.globals["gRespTotal"]
+    assert received, "fallback avg rule must still run on the old path"
+
+
+def test_remove_detaches_everything():
+    system, addrs, handle = boot(mode=MODE_TREE)
+    handle.remove()
+    feed(system, addrs, at=12.0)
+    system.run_until(25.0)
+    assert all(rows == [] for rows in handle.globals.values())
+    assert handle.ledger.rows() == []
+    handle.remove()  # idempotent
+
+
+def test_install_validation():
+    system, addrs, _ = boot(mode=MODE_TREE)
+    with pytest.raises(AggregationError):
+        toy_monitor().install(system, addrs[0], addrs, mode="gossip")
+    with pytest.raises(AggregationError):
+        toy_monitor().install(system, "n:99", addrs)
+    with pytest.raises(AggregationError):
+        GlobalAggregateMonitor(
+            name="bad", global_source=TOY_SOURCE, epoch_len=0.0
+        )
+    with pytest.raises(AggregationError):
+        GlobalAggregateMonitor(
+            name="bad", global_source=TOY_SOURCE, hop_delay=0.0
+        )

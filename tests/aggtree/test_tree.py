@@ -1,0 +1,76 @@
+"""The deterministic fanout-k overlay: layout, membership, invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggtree.tree import AggregationTree
+from repro.errors import AggregationError
+
+ADDRS = [f"n:{i}" for i in range(10)]
+
+
+def test_layout_is_independent_of_input_order():
+    forward = AggregationTree("n:0", ADDRS, fanout=3)
+    backward = AggregationTree("n:0", list(reversed(ADDRS)), fanout=3)
+    shuffled = AggregationTree("n:0", ADDRS[5:] + ADDRS[:5], fanout=3)
+    assert forward.order == backward.order == shuffled.order
+    assert forward.edges() == backward.edges() == shuffled.edges()
+
+
+def test_root_and_parent_child_consistency():
+    tree = AggregationTree("n:0", ADDRS, fanout=3)
+    assert tree.parent("n:0") is None
+    assert tree.depth("n:0") == 0
+    for addr in tree.order[1:]:
+        parent = tree.parent(addr)
+        assert addr in tree.children(parent)
+        assert tree.depth(addr) == tree.depth(parent) + 1
+    for addr in tree.order:
+        assert len(tree.children(addr)) <= tree.fanout
+
+
+def test_subtree_sizes_partition_the_population():
+    tree = AggregationTree("n:0", ADDRS, fanout=3)
+    assert tree.subtree_size("n:0") == len(ADDRS)
+    for addr in tree.order:
+        assert tree.subtree_size(addr) == 1 + sum(
+            tree.subtree_size(child) for child in tree.children(addr)
+        )
+
+
+def test_edges_mirror_parent_pointers():
+    tree = AggregationTree("n:0", ADDRS, fanout=4)
+    edges = tree.edges()
+    assert len(edges) == len(ADDRS) - 1
+    for child, parent in edges:
+        assert tree.parent(child) == parent
+
+
+def test_fanout_one_degenerates_to_a_chain():
+    tree = AggregationTree("n:0", ADDRS, fanout=1)
+    assert tree.max_depth() == len(ADDRS) - 1
+    for addr in tree.order:
+        assert len(tree.children(addr)) <= 1
+
+
+def test_single_node_tree():
+    tree = AggregationTree("n:0", ["n:0"], fanout=4)
+    assert len(tree) == 1
+    assert tree.max_depth() == 0
+    assert tree.edges() == []
+
+
+def test_duplicate_and_collector_addresses_collapse():
+    tree = AggregationTree("n:0", ADDRS + ADDRS + ["n:0"], fanout=3)
+    assert len(tree) == len(ADDRS)
+
+
+def test_membership_and_validation_errors():
+    tree = AggregationTree("n:0", ADDRS, fanout=3)
+    assert "n:3" in tree
+    assert "n:99" not in tree
+    with pytest.raises(AggregationError):
+        tree.parent("n:99")
+    with pytest.raises(AggregationError):
+        AggregationTree("n:0", ADDRS, fanout=0)

@@ -1,0 +1,117 @@
+"""Aggregation traffic under overload: shed as MONITOR, never DATA.
+
+The tree's wire tuples (``aggPartial``/``aggRaw`` and the emitted
+global relations) ride the same admission control as everything else,
+learned into the ``monitor`` priority class on every node — so a
+data-plane traffic storm sheds them *before* any application tuple,
+and every partial that is shed or delayed past its window shows up in
+the handle's ledger as missing/late origins, never silently merged
+(ISSUE 6 satellite c).
+"""
+
+from __future__ import annotations
+
+from repro.aggtree import (
+    AGG_PARTIAL,
+    AGG_RAW,
+    MODE_CENTRALIZED,
+    MODE_TREE,
+    GlobalAggregateMonitor,
+)
+from repro.core.system import System
+from repro.faults.injector import STORM_RELATION, FaultInjector
+from repro.overload.controller import OverloadConfig
+from repro.overload.policy import CLASS_DATA, CLASS_MONITOR, CLASSES
+
+STORM_GLOBAL_SOURCE = """
+s1 gEvTotal@collector(count<*>) :- ev@N(A).
+sa gEvAlarm@collector(E, C) :- gEvTotal@collector(E, C), C > 0.
+"""
+
+
+def storm_monitor():
+    return GlobalAggregateMonitor(
+        name="g-storm",
+        global_source=STORM_GLOBAL_SOURCE,
+        alarm_events=("gEvAlarm",),
+        epoch_len=10.0,
+        fanout=2,
+    )
+
+
+def boot(mode, seed=11):
+    system = System(
+        seed=seed,
+        overload=OverloadConfig(mailbox_capacity=4, service_time=0.5),
+    )
+    addrs = [f"n:{i}" for i in range(5)]
+    for addr in addrs:
+        system.add_node(addr)
+    handle = storm_monitor().install(system, addrs[0], addrs, mode=mode)
+
+    def contribute():
+        for i, addr in enumerate(addrs):
+            system.nodes[addr].inject("ev", (addr, i))
+
+    system.sim.schedule(12.0, contribute)
+    injector = FaultInjector(system)
+    # Saturate the collector across epoch 1's whole flush window.
+    system.sim.schedule(
+        19.5, lambda: injector.traffic_storm(addrs[0], rate=40.0, duration=4.0)
+    )
+    return system, addrs, handle
+
+
+def assert_accounting(system, addrs, handle):
+    collector_counts = system.nodes[addrs[0]].overload.counts
+    # The storm shed the collector's inbound aggregation traffic as
+    # MONITOR class...
+    assert collector_counts[CLASS_MONITOR].shed > 0
+    # ...with the per-class accounting identity and the DATA-first
+    # shedding invariant intact on every node.
+    for addr in addrs:
+        controller = system.nodes[addr].overload
+        for cls in CLASSES:
+            counts = controller.counts[cls]
+            assert (
+                counts.offered
+                == counts.admitted + counts.shed + counts.deferred
+            )
+        assert controller.invariant_ok()
+    # Shed and delayed partials are attributed, never silently merged:
+    # epoch 1's census adds up exactly.
+    rows = {row["epoch"]: row for row in handle.ledger.rows()}
+    storm_row = rows[1]
+    assert storm_row["expected"] == len(addrs)
+    assert (
+        storm_row["merged"] + storm_row["late_origins"] + storm_row["missing"]
+        == storm_row["expected"]
+    )
+    totals = handle.ledger.totals()
+    assert totals["missing"] + totals["late_origins"] > 0
+
+
+def test_storm_sheds_tree_partials_as_monitor_class():
+    system, addrs, handle = boot(MODE_TREE)
+
+    # Aggregation relations are MONITOR class on every node; the
+    # storm's payloads are unknown, hence DATA.
+    for addr in addrs:
+        controller = system.nodes[addr].overload
+        assert controller.classify(AGG_PARTIAL) == CLASS_MONITOR
+        assert controller.classify(AGG_RAW) == CLASS_MONITOR
+        assert controller.classify("gEvTotal") == CLASS_MONITOR
+        assert controller.classify("gEvAlarm") == CLASS_MONITOR
+        assert controller.classify(STORM_RELATION) == CLASS_DATA
+
+    system.run_until(40.0)
+    assert_accounting(system, addrs, handle)
+    # Degraded, not dead: the collector's own contribution still
+    # produced a (smaller) verdict and fired the alarm.
+    assert handle.alarm_count() >= 1
+
+
+def test_storm_sheds_centralized_raws_as_monitor_class():
+    system, addrs, handle = boot(MODE_CENTRALIZED)
+    system.run_until(40.0)
+    assert_accounting(system, addrs, handle)
