@@ -24,6 +24,7 @@ from repro.net.network import ReliableConfig
 from repro.net.topology import ConstantLatency, LatencyModel
 from repro.overload.controller import OverloadConfig
 from repro.overlog.types import NodeID
+from repro.sim.batch import ExecutionConfig
 from repro.runtime.node import P2Node
 from repro.runtime.tuples import Tuple
 
@@ -49,6 +50,7 @@ class ChordNetwork:
         duplicate_rate: float = 0.0,
         observability: bool = False,
         overload: Optional[OverloadConfig] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         self.params = params if params is not None else ChordParams()
         self.system = System(
@@ -66,6 +68,7 @@ class ChordNetwork:
             duplicate_rate=duplicate_rate,
             observability=observability,
             overload=overload,
+            execution=execution,
         )
         self.program = chord_program(self.params, recycle_dead_bug)
         self.addresses: List[str] = [

@@ -21,6 +21,7 @@ from repro.overlog.program import Program
 from repro.overlog.types import DEFAULT_ID_BITS
 from repro.runtime.node import P2Node
 from repro.runtime.strand import CompositeTraceHooks
+from repro.sim.batch import BatchKernel, ExecutionConfig
 from repro.sim.simulator import Simulator
 from repro.introspect import EventLogger, Reflector, Tracer, enable_tracing
 
@@ -52,8 +53,18 @@ class System:
         obs_capacity: int = 65536,
         obs_sample_rate: float = 1.0,
         overload: Optional[OverloadConfig] = None,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
-        self.sim = Simulator(seed=seed)
+        #: How events execute (:mod:`repro.sim.batch`).  ``None`` keeps
+        #: the original continuous-time per-tuple loop, bit-identical to
+        #: every pre-batch release.  An :class:`ExecutionConfig` puts the
+        #: simulator in tick mode; its ``batch_size`` selects the batch
+        #: kernel (default) or the per-tuple compatibility kernel (1).
+        self.execution = execution
+        self.sim = Simulator(
+            seed=seed,
+            tick=execution.tick if execution is not None else 0.0,
+        )
         self.telemetry = Telemetry(
             clock=lambda: self.sim.now,
             enabled=observability,
@@ -75,6 +86,13 @@ class System:
             duplicate_rate=duplicate_rate,
             obs=self.telemetry if observability else None,
         )
+        #: The batch kernel driving ``run_until`` (None = legacy loop).
+        self.kernel: Optional[BatchKernel] = None
+        if execution is not None and execution.batched:
+            self.kernel = BatchKernel(self.sim)
+            self.sim.use_batch_kernel(self.kernel)
+            if transport == "udp":
+                self.network.enable_batch_fabric()
         self.id_bits = id_bits
         #: Overload-protection config applied to every node (None keeps
         #: all hot paths exactly as before; see :mod:`repro.overload`).
@@ -113,6 +131,9 @@ class System:
         )
         if node.overload is not None and self.telemetry.enabled:
             node.overload.telemetry = self.telemetry
+        if self.kernel is not None:
+            node.enable_batch(self.kernel, self.execution.batch_size)
+            self.network.attach_batch(address, node.receive_batch)
         self.nodes[address] = node
         self._node_config[address] = {
             "tracing": tracing,

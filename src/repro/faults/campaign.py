@@ -34,6 +34,7 @@ from repro.monitors.ring import RingProbeMonitor
 from repro.net.network import ReliableConfig
 from repro.overload.controller import OverloadConfig
 from repro.overload.policy import CLASSES
+from repro.sim.batch import ExecutionConfig
 
 
 @dataclass
@@ -110,6 +111,12 @@ class CampaignConfig:
     #: the JSONL path so a failure can be replayed in Perfetto or
     #: ``python -m repro.obs summarize``.
     artifact_dir: Optional[str] = None
+    #: Execution mode (:mod:`repro.sim.batch`): None keeps the original
+    #: continuous-time per-tuple loop; an :class:`ExecutionConfig`
+    #: selects tick mode, and the batch-vs-per-tuple differential
+    #: battery pins that the verdict fingerprint is identical across
+    #: batch sizes for a given tick.
+    execution: Optional[ExecutionConfig] = None
 
     def reliable_config(self) -> ReliableConfig:
         if self.reliable is not None:
@@ -366,6 +373,7 @@ class FaultCampaign:
             reliable=config.reliable_config(),
             observability=config.observability or bool(config.artifact_dir),
             overload=config.storm_overload() if config.storm else None,
+            execution=config.execution,
         )
         net.start()
         stabilized = net.wait_stable(max_time=config.stabilize_time)

@@ -33,6 +33,7 @@ class GossipNetwork:
         reorder_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         observability: bool = False,
+        execution=None,
     ) -> None:
         from repro.net.topology import ConstantLatency
 
@@ -46,6 +47,7 @@ class GossipNetwork:
             reorder_rate=reorder_rate,
             duplicate_rate=duplicate_rate,
             observability=observability,
+            execution=execution,
         )
         self.program = gossip_program(self.params, stale_share_bug)
         self.addresses: List[str] = [

@@ -18,6 +18,9 @@ the paper argues for:
 - :mod:`repro.monitors.partition` — ring-partition census sampling
   (pt1-pt2), the per-node feed of the global isolation count in
   :mod:`repro.aggtree.monitors`;
+- :mod:`repro.monitors.status` — status-telemetry fan-in (sr1 +
+  sc1-sc2): every node reports to sharded collectors, which census the
+  reports and flag silent nodes — also the scale benchmark's load;
 - :mod:`repro.monitors.profiling` — execution profiling by walking
   ruleExec/tupleTable backwards (§3.2, ep1-ep6);
 - :mod:`repro.monitors.snapshot` — Chandy-Lamport consistent snapshots
@@ -40,6 +43,7 @@ from repro.monitors.consistency import ConsistencyProbeMonitor
 from repro.monitors.partition import PartitionMonitor
 from repro.monitors.profiling import ExecutionProfiler
 from repro.monitors.snapshot import SnapshotMonitor, SnapshotConsistencyProbes
+from repro.monitors.status import StatusFlowMonitor
 from repro.monitors.reactive import ReactiveWatchpoint
 from repro.monitors.regression import RegressionReport, RegressionSuite
 from repro.monitors.traversal import GraphTraversalMonitor
@@ -62,4 +66,5 @@ __all__ = [
     "ExecutionProfiler",
     "SnapshotMonitor",
     "SnapshotConsistencyProbes",
+    "StatusFlowMonitor",
 ]

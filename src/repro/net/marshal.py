@@ -100,6 +100,166 @@ def encode_delete(name: str, pattern: PyTuple) -> bytes:
     return json.dumps(body, separators=(",", ":")).encode()
 
 
+#: Value types the tagged encoding maps to themselves (bool is an int
+#: subclass; NodeID round-trips to an equal NodeID).
+_WIRE_STABLE = (str, int, float, NodeID)
+
+
+def payload_for(
+    tup: Tuple,
+    src: str,
+    src_tid: Optional[int],
+    mid: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The payload dict :func:`decode_message` would produce for this
+    send, without the JSON round-trip.
+
+    This is the batch fabric's zero-copy path: the sender computes the
+    receiver-side payload once and attaches it to the message, so the
+    batched receiver never touches the wire bytes.  Values still pass
+    through the tagged encode/decode pair whenever they could be
+    altered by it (sequences decode as tuples), so the result is
+    byte-for-byte what decoding the real wire message yields.  The
+    extra ``"tuple"`` key carries a ready :class:`Tuple` the receiver
+    may adopt directly (immutable, so sharing across nodes is safe);
+    per-message decode paths never see this key.
+    """
+    values = tup.values
+    for value in values:
+        if not (value is None or isinstance(value, _WIRE_STABLE)):
+            normalized = tuple(
+                _decode_value(_encode_value(v)) for v in values
+            )
+            if normalized != values:
+                return {
+                    "kind": "tuple",
+                    "name": tup.name,
+                    "values": normalized,
+                    "src": src,
+                    "src_tid": src_tid,
+                    "mid": mid,
+                    "tuple": Tuple(tup.name, normalized),
+                }
+            break
+    return {
+        "kind": "tuple",
+        "name": tup.name,
+        "values": values,
+        "src": src,
+        "src_tid": src_tid,
+        "mid": mid,
+        "tuple": tup,
+    }
+
+
+#: Cache of ``len(json.dumps(s))`` per distinct string.  Predicate
+#: names and addresses repeat endlessly, so the escape-aware length of
+#: each is computed exactly once.
+_STR_LEN_CACHE: Dict[str, int] = {}
+
+
+def _string_len(s: str) -> int:
+    cached = _STR_LEN_CACHE.get(s)
+    if cached is None:
+        cached = len(json.dumps(s))
+        if len(_STR_LEN_CACHE) < 65536:
+            _STR_LEN_CACHE[s] = cached
+    return cached
+
+
+def _value_len(value: Any) -> int:
+    """len(json.dumps(_encode_value(value), separators=(",", ":")))."""
+    if value is None:
+        return 4  # null
+    if isinstance(value, bool):
+        return 4 if value else 5  # true / false
+    if isinstance(value, str):
+        return _string_len(value)
+    if isinstance(value, int):
+        return len(str(value))
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            # json.dumps spells non-finite floats NaN/Infinity.
+            return 3 if value != value else (8 if value > 0 else 9)
+        return len(repr(value))
+    if isinstance(value, NodeID):
+        # {"nodeid":[value,bits]} — 14 chars of framing around the two
+        # integers.
+        return 14 + len(str(value.value)) + len(str(value.bits))
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return 2
+        return 1 + len(value) + sum(_value_len(v) for v in value)
+    raise NetworkError(
+        f"value of type {type(value).__name__} cannot be marshaled: "
+        f"{value!r}"
+    )
+
+
+def wire_length(
+    tup: Tuple,
+    src: str,
+    src_tid: Optional[int],
+    mid: Optional[int] = None,
+) -> int:
+    """Exact ``len(encode_message(tup, src, src_tid, mid))`` — computed
+    arithmetically, without building the JSON.
+
+    The batch fabric's zero-copy sends skip marshaling (the receiver
+    consumes :func:`payload_for`'s dict, never the bytes) but the
+    network's byte accounting must stay bit-identical to per-tuple
+    execution; this gives it the exact wire size for free.  Pinned
+    against the real encoder by a Hypothesis property in the batch
+    battery.
+    """
+    cache = _STR_LEN_CACHE
+    name_len = cache.get(tup.name)
+    if name_len is None:
+        name_len = _string_len(tup.name)
+    src_len = cache.get(src)
+    if src_len is None:
+        src_len = _string_len(src)
+    total = _FRAME_OVERHEAD + name_len + src_len
+    values = tup.values
+    if values:
+        total += 1 + len(values)
+        for v in values:
+            # Exact-type fast path for the dominant scalars (bool is a
+            # subclass of int but `type(...) is int` excludes it, so it
+            # keeps its true/false spelling via the full dispatch).
+            kind = type(v)
+            if kind is int:
+                total += len(str(v))
+            elif kind is float:
+                total += len(repr(v)) if v == v and v not in _INF else (
+                    _value_len(v)
+                )
+            elif kind is str:
+                cached = cache.get(v)
+                total += cached if cached is not None else _string_len(v)
+            else:
+                total += _value_len(v)
+    else:
+        total += 2
+    total += 4 if src_tid is None else len(str(src_tid))
+    total += 4 if mid is None else len(str(mid))
+    return total
+
+
+_INF = (float("inf"), float("-inf"))
+
+
+#: Length of the frame skeleton around the name/values/src/src_tid/mid
+#: payload slots: measured once from the real encoder so the arithmetic
+#: can never drift from a punctuation change.
+_FRAME_OVERHEAD = (
+    len(encode_message(Tuple("", ()), "", None, mid=None))
+    - 2 * _string_len("")  # name, src slots
+    - 2                    # empty values slot
+    - 4 - 4                # null src_tid, null mid
+)
+
+
 def decode_message(data: bytes) -> Dict[str, Any]:
     """Unmarshal a wire message into a payload dict.
 

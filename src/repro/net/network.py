@@ -45,7 +45,6 @@ DROP_RETRIES = "retries_exhausted"
 DROP_BACKLOG = "send_backlog_full"
 
 
-@dataclass
 class Message:
     """An in-flight network message (a marshaled tuple payload).
 
@@ -54,14 +53,34 @@ class Message:
     name before acking — the node's ``receive`` then reuses it instead
     of decoding twice, and its presence signals the frame was already
     admitted by the reliable gate.
+
+    A plain __slots__ class rather than a dataclass: one Message is
+    built per send, on the hot path.
     """
 
-    src: Address
-    dst: Address
-    payload: Any
-    sent_at: float
-    size: int = 0
-    decoded: Any = None
+    __slots__ = ("src", "dst", "payload", "sent_at", "size", "decoded")
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        sent_at: float,
+        size: int = 0,
+        decoded: Any = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.sent_at = sent_at
+        self.size = size
+        self.decoded = decoded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, "
+            f"sent_at={self.sent_at!r}, size={self.size!r})"
+        )
 
 
 @dataclass
@@ -189,6 +208,22 @@ class Network:
         self._channels: Dict[Tuple[Address, Address], Channel] = {}
         self._blocked: Set[frozenset] = set()
         self._down: Set[Address] = set()
+        # Tick mode (docs/SCALE.md): fabric randomness moves to
+        # per-sender streams so each sender's draw sequence depends only
+        # on its own processing order (kernel-independent), and message
+        # deliveries get priority -1 so a tick's deliveries sort before
+        # its timers under both kernels.  Legacy mode keeps the global
+        # streams and priority 0 — bit-identical to the pre-batch fabric.
+        self._det = sim.det_order
+        self._delivery_priority = -1 if self._det else 0
+        # Batch fabric (enabled alongside the batch kernel): one
+        # simulator event per (delivery tick, destination) carrying the
+        # whole message list, instead of one event per message.
+        self._batch_fabric = False
+        self._batch_receivers: Dict[
+            Address, Callable[[List[Message]], None]
+        ] = {}
+        self._pending_batches: Dict[Tuple[float, Address], List[Message]] = {}
         self.stats = NetworkStats()
         #: Telemetry plane (``repro.obs.telemetry.Telemetry``) or None;
         #: None keeps every fast path free of telemetry calls.
@@ -196,6 +231,13 @@ class Network:
         #: Called with the abandoned :class:`Message` when the reliable
         #: transport exhausts its retries — the sender-visible drop.
         self.on_send_failure: List[Callable[[Message], None]] = []
+
+    def _stream(self, name: str, entity: Address):
+        """A fabric random stream: per-entity in tick mode, global in
+        legacy mode (see the constructor comment)."""
+        if self._det:
+            return self._sim.random.stream(f"{name}.{entity}")
+        return self._sim.random.stream(name)
 
     # ------------------------------------------------------------------
     # Registration
@@ -205,6 +247,33 @@ class Network:
         if address in self._receivers:
             raise NetworkError(f"address already attached: {address}")
         self._receivers[address] = receiver
+
+    def enable_batch_fabric(self) -> None:
+        """Coalesce UDP deliveries into per-(tick, destination) batches.
+
+        Requires tick mode; the batch kernel's group executors consume
+        the batched events.  Reliable-transport frames keep per-message
+        events (their ack/retransmit machinery is per-frame) — they
+        still batch at the receiving node's pump.
+        """
+        if not self._det:
+            raise NetworkError("the batch fabric requires tick mode")
+        self._batch_fabric = True
+        self._latency.use_per_source_streams()
+
+    @property
+    def batch_fabric(self) -> bool:
+        """True when UDP deliveries coalesce per (tick, destination)."""
+        return self._batch_fabric
+
+    def attach_batch(
+        self,
+        address: Address,
+        receiver: Callable[[List[Message]], None],
+    ) -> None:
+        """Register a batched receive callback (fabric mode): called
+        once per tick with every message arriving at ``address``."""
+        self._batch_receivers[address] = receiver
 
     def set_admission(
         self, address: Address, gate: Callable[[Message], bool]
@@ -223,6 +292,7 @@ class Network:
         """Remove a node from the network (future messages to it drop)."""
         self._receivers.pop(address, None)
         self._admission.pop(address, None)
+        self._batch_receivers.pop(address, None)
 
     def is_attached(self, address: Address) -> bool:
         return address in self._receivers
@@ -257,6 +327,8 @@ class Network:
     def set_latency_model(self, model: LatencyModel) -> None:
         """Swap the latency model (e.g. for a jittered-latency fault
         window); affects messages sent from now on."""
+        if self._batch_fabric:
+            model.use_per_source_streams()
         self._latency = model
 
     @property
@@ -286,13 +358,25 @@ class Network:
     # ------------------------------------------------------------------
     # Sending
 
-    def send(self, src: Address, dst: Address, payload: Any, size: int = 0) -> None:
+    def send(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        size: int = 0,
+        decoded: Any = None,
+    ) -> None:
         """Send ``payload`` from ``src`` to ``dst``.
 
         UDP mode: messages to unknown/down/partitioned destinations are
         counted as sent and dropped — the sender cannot tell.  Reliable
         mode: the message is tracked until acked or retries run out;
         only exhaustion makes it a (sender-visible) drop.
+
+        ``decoded`` is the already-unmarshaled payload dict (zero-copy
+        fast path): it rides the message only over the batch fabric,
+        where the batched receiver knows it is not the reliable gate's
+        preadmission marker.
         """
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
@@ -321,14 +405,19 @@ class Network:
             entry = channel.open_send(message)
             self._transmit(channel, entry, first=True)
             return
-        reason = self._drop_reason(src, dst)
-        if reason is not None:
-            self._drop(reason, src, dst)
-            return
+        if self._down or self._blocked or self._loss_rate > 0.0 or (
+            self._link_loss
+        ):
+            reason = self._drop_reason(src, dst)
+            if reason is not None:
+                self._drop(reason, src, dst)
+                return
+        if self._batch_fabric and decoded is not None:
+            message.decoded = decoded
         channel = self._channel(src, dst)
         self._schedule_udp(channel, message)
         if self._duplicate_rate > 0.0 and (
-            self._sim.random.stream("net.dup").random() < self._duplicate_rate
+            self._stream("net.dup", src).random() < self._duplicate_rate
         ):
             self.stats.messages_duplicated += 1
             self._schedule_udp(channel, message, force_no_fifo=True)
@@ -339,15 +428,40 @@ class Network:
         delay = self._latency.delay(message.src, message.dst)
         fifo = not force_no_fifo
         if self._reorder_rate > 0.0 and (
-            self._sim.random.stream("net.reorder").random() < self._reorder_rate
+            self._stream("net.reorder", message.src).random()
+            < self._reorder_rate
         ):
             self.stats.messages_reordered += 1
-            delay += self._sim.random.stream("net.reorder").uniform(
+            delay += self._stream("net.reorder", message.src).uniform(
                 0, self._reorder_window
             )
             fifo = False
         when = channel.next_delivery_time(self._sim.now, delay, fifo=fifo)
-        self._sim.schedule_at(when, lambda: self._deliver(message))
+        if self._batch_fabric:
+            # One event per (arrival tick, destination): the first
+            # message to the pair schedules the event, later ones append
+            # to the in-flight batch.  Append order equals the canonical
+            # per-message delivery order — senders execute in canonical
+            # order and each sender's sends are its own origin-seq order.
+            key = (when, message.dst)
+            batch = self._pending_batches.get(key)
+            if batch is not None:
+                batch.append(message)
+                return
+            self._pending_batches[key] = [message]
+            self._sim.schedule_at(
+                when,
+                lambda k=key: self._deliver_batch(k),
+                priority=self._delivery_priority,
+                group=message.dst,
+            )
+            return
+        self._sim.schedule_at(
+            when,
+            lambda: self._deliver(message),
+            priority=self._delivery_priority,
+            group=message.dst,
+        )
 
     def _drop(self, reason: str, src: Address, dst: Address) -> None:
         """Account one dropped message (stats bucket + telemetry event)."""
@@ -357,13 +471,14 @@ class Network:
 
     def _drop_reason(self, src: Address, dst: Address) -> Optional[str]:
         """Why a transmission attempt would fail right now (None = ok)."""
-        if src in self._down or dst in self._down:
+        down = self._down
+        if down and (src in down or dst in down):
             return DROP_DOWN
-        if frozenset((src, dst)) in self._blocked:
+        if self._blocked and frozenset((src, dst)) in self._blocked:
             return DROP_PARTITION
         rate = self._link_loss.get((src, dst), self._loss_rate)
         if rate > 0.0:
-            if self._sim.random.stream("net.loss").random() < rate:
+            if self._stream("net.loss", src).random() < rate:
                 return DROP_LOSS
         return None
 
@@ -385,6 +500,68 @@ class Network:
                 "transport mode cannot change mid-run"
             )
         return channel
+
+    def _deliver_batch(self, key: Tuple[float, Address]) -> None:
+        """Deliver one (tick, destination) batch of UDP messages.
+
+        Per-message fault semantics are preserved — each message
+        re-checks down/detached exactly as :meth:`_deliver` would — but
+        the survivors reach the node through its batched receiver in
+        one call (falling back to the per-message receiver if the node
+        never registered one).
+        """
+        messages = self._pending_batches.pop(key, None)
+        if not messages:
+            return
+        dst = key[1]
+        down = self._down
+        live: List[Message] = []
+        if down:
+            for message in messages:
+                if message.dst in down or message.src in down:
+                    self._drop(DROP_DOWN, message.src, message.dst)
+                else:
+                    live.append(message)
+        else:
+            live = messages
+        if not live:
+            return
+        receiver = self._receivers.get(dst)
+        if receiver is None:
+            for message in live:
+                self._drop(DROP_NO_RECEIVER, message.src, message.dst)
+            return
+        stats = self.stats
+        stats.messages_delivered += len(live)
+        per_node = stats.per_node_received
+        per_node[dst] = per_node.get(dst, 0) + len(live)
+        if self.obs is not None:
+            now = self._sim.now
+            observe = self.obs.msg_latency.observe
+            for message in live:
+                observe(
+                    now - message.sent_at,
+                    link=f"{message.src}->{message.dst}",
+                )
+        batch_receiver = self._batch_receivers.get(dst)
+        if batch_receiver is not None:
+            batch_receiver(live)
+        else:
+            from repro.net.marshal import encode_message
+
+            for message in live:
+                # The per-message receiver reads a non-None ``decoded``
+                # as the reliable gate's preadmission marker; the
+                # zero-copy payload must not masquerade as that.  An
+                # encode-skipped send carries no bytes at all — marshal
+                # them now, from the same inputs the sender had.
+                if message.payload is None and message.decoded is not None:
+                    d = message.decoded
+                    message.payload = encode_message(
+                        d["tuple"], d["src"], d["src_tid"], mid=d["mid"]
+                    )
+                message.decoded = None
+                receiver(message)
 
     def _deliver(self, message: Message) -> None:
         # Re-check faults at delivery time: a node that crashed while the
@@ -429,7 +606,7 @@ class Network:
             base = channel.base
             self._schedule_frame(channel, entry.seq, base, message)
             if self._duplicate_rate > 0.0 and (
-                self._sim.random.stream("net.dup").random()
+                self._stream("net.dup", message.src).random()
                 < self._duplicate_rate
             ):
                 self.stats.messages_duplicated += 1
@@ -441,7 +618,7 @@ class Network:
             raise NetworkError("transmit called past max retries")
         timeout = config.timeout_for(entry.attempts)
         if config.jitter > 0:
-            timeout += self._sim.random.stream("net.rto").uniform(
+            timeout += self._stream("net.rto", message.src).uniform(
                 0, config.jitter
             )
         if self.obs is not None:
@@ -450,7 +627,9 @@ class Network:
             )
         entry.attempts += 1
         entry.timer = self._sim.schedule(
-            timeout, lambda: self._retransmit(channel, entry)
+            timeout,
+            lambda: self._retransmit(channel, entry),
+            group=message.src,
         )
 
     def _retransmit(self, channel: ReliableChannel, entry: PendingSend) -> None:
@@ -495,15 +674,19 @@ class Network:
         sender's lowest unresolved seq at transmit time)."""
         delay = self._latency.delay(message.src, message.dst)
         if self._reorder_rate > 0.0 and (
-            self._sim.random.stream("net.reorder").random() < self._reorder_rate
+            self._stream("net.reorder", message.src).random()
+            < self._reorder_rate
         ):
             self.stats.messages_reordered += 1
-            delay += self._sim.random.stream("net.reorder").uniform(
+            delay += self._stream("net.reorder", message.src).uniform(
                 0, self._reorder_window
             )
         when = channel.next_delivery_time(self._sim.now, delay, fifo=False)
         self._sim.schedule_at(
-            when, lambda: self._deliver_frame(channel, seq, base, message)
+            when,
+            lambda: self._deliver_frame(channel, seq, base, message),
+            priority=self._delivery_priority,
+            group=message.dst,
         )
 
     def _deliver_frame(
@@ -579,7 +762,12 @@ class Network:
             self.stats.acks_dropped += 1
             return
         delay = self._latency.delay(channel.dst, channel.src)
-        self._sim.schedule(delay, lambda: self._deliver_ack(channel, seq))
+        self._sim.schedule(
+            delay,
+            lambda: self._deliver_ack(channel, seq),
+            priority=self._delivery_priority,
+            group=channel.src,
+        )
 
     def _deliver_ack(self, channel: ReliableChannel, seq: int) -> None:
         channel.ack(seq)
@@ -595,7 +783,12 @@ class Network:
         if self._drop_reason(channel.dst, channel.src) is not None:
             return
         delay = self._latency.delay(channel.dst, channel.src)
-        self._sim.schedule(delay, lambda: self._deliver_busy(channel, seq))
+        self._sim.schedule(
+            delay,
+            lambda: self._deliver_busy(channel, seq),
+            priority=self._delivery_priority,
+            group=channel.src,
+        )
 
     def _deliver_busy(self, channel: ReliableChannel, seq: int) -> None:
         """Sender reaction to receiver pushback: re-arm the retransmit
@@ -611,7 +804,7 @@ class Network:
             entry.timer.cancel()
         timeout = config.timeout_for(entry.attempts)
         if config.jitter > 0:
-            timeout += self._sim.random.stream("net.rto").uniform(
+            timeout += self._stream("net.rto", channel.src).uniform(
                 0, config.jitter
             )
         if self.obs is not None:
@@ -619,14 +812,18 @@ class Network:
                 timeout, link=f"{channel.src}->{channel.dst}"
             )
         entry.timer = self._sim.schedule(
-            timeout, lambda: self._retransmit(channel, entry)
+            timeout,
+            lambda: self._retransmit(channel, entry),
+            group=channel.src,
         )
 
     def _arm_gap_timer(self, channel: ReliableChannel) -> None:
         if channel.gap_timer is not None:
             return
         channel.gap_timer = self._sim.schedule(
-            self.reliable_config.horizon(), lambda: self._skip_gap(channel)
+            self.reliable_config.horizon(),
+            lambda: self._skip_gap(channel),
+            group=channel.dst,
         )
 
     def _skip_gap(self, channel: ReliableChannel) -> None:

@@ -22,6 +22,17 @@ class LatencyModel:
     def delay(self, src: Address, dst: Address) -> float:
         raise NotImplementedError
 
+    def use_per_source_streams(self) -> None:
+        """Switch random draws to per-sender streams (no-op by default).
+
+        The batch fabric calls this in deterministic (tick) mode so each
+        sender's latency draws come from its own stream — one node's send
+        volume can then never perturb another node's delays, which is
+        the isolation the batch-vs-per-tuple determinism contract
+        documents for every other fault draw (loss, duplication,
+        reordering, backoff).  Models without randomness ignore it.
+        """
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes the same one-way delay."""
@@ -46,14 +57,24 @@ class UniformLatency(LatencyModel):
     def __init__(self, rand: SimRandom, low: float, high: float) -> None:
         if low < 0 or high < low:
             raise NetworkError(f"invalid latency range [{low}, {high})")
+        self._rand = rand
         self._rng = rand.stream("net.latency")
+        self._per_source = False
         self.low = low
         self.high = high
+
+    def use_per_source_streams(self) -> None:
+        self._per_source = True
 
     def delay(self, src: Address, dst: Address) -> float:
         if self.high == self.low:
             return self.low
-        return self._rng.uniform(self.low, self.high)
+        rng = (
+            self._rand.stream(f"net.latency.{src}")
+            if self._per_source
+            else self._rng
+        )
+        return rng.uniform(self.low, self.high)
 
 
 class JitteredLatency(LatencyModel):
@@ -70,14 +91,24 @@ class JitteredLatency(LatencyModel):
             raise NetworkError(
                 f"invalid jittered latency base={base} jitter={jitter}"
             )
+        self._rand = rand
         self._rng = rand.stream("net.latency")
+        self._per_source = False
         self.base = base
         self.jitter = jitter
+
+    def use_per_source_streams(self) -> None:
+        self._per_source = True
 
     def delay(self, src: Address, dst: Address) -> float:
         if self.jitter == 0:
             return self.base
-        return self.base + self._rng.uniform(0, self.jitter)
+        rng = (
+            self._rand.stream(f"net.latency.{src}")
+            if self._per_source
+            else self._rng
+        )
+        return rng.uniform(0, self.jitter) + self.base
 
 
 class AsymmetricLatency(LatencyModel):
@@ -100,6 +131,14 @@ class AsymmetricLatency(LatencyModel):
         self._overrides: Dict[
             Tuple[Address, Address], Union[float, LatencyModel]
         ] = dict(overrides or {})
+        self._per_source = False
+
+    def use_per_source_streams(self) -> None:
+        self._per_source = True
+        self._default.use_per_source_streams()
+        for override in self._overrides.values():
+            if isinstance(override, LatencyModel):
+                override.use_per_source_streams()
 
     def set_link(
         self, src: Address, dst: Address, delay: Union[float, LatencyModel]
@@ -107,6 +146,8 @@ class AsymmetricLatency(LatencyModel):
         """Override the one-way delay for the directed link src → dst."""
         if isinstance(delay, (int, float)) and delay < 0:
             raise NetworkError(f"latency must be non-negative: {delay}")
+        if self._per_source and isinstance(delay, LatencyModel):
+            delay.use_per_source_streams()
         self._overrides[(src, dst)] = delay
 
     def clear_link(self, src: Address, dst: Address) -> None:

@@ -203,7 +203,7 @@ class ProjectElement(Element):
 
     def project(self, bindings: Bindings, ctx: EvalContext) -> Tuple:
         self.invocations += 1
-        values = tuple(fn(bindings, ctx) for fn in self._evals)
+        values = tuple([fn(bindings, ctx) for fn in self._evals])
         return Tuple(self.head.name, values)
 
     def delete_pattern(

@@ -19,7 +19,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple as PyTuple
 
 from repro.errors import RuntimeStateError
 from repro.net.address import Address
-from repro.net.marshal import decode_message, encode_delete, encode_message
+from repro.net.marshal import (
+    decode_message,
+    encode_delete,
+    encode_message,
+    payload_for,
+    wire_length,
+)
 from repro.net.network import Message, Network
 from repro.overlog.builtins import EvalContext
 from repro.overlog.program import Program
@@ -67,7 +73,14 @@ class P2Node:
         self.rng = sim.random.stream(f"node.{address}")
         self.store = TableStore(lambda: sim.now)
         self.work = WorkModel()
-        self.ctx = EvalContext(self.work_clock, self.rng, id_bits)
+        # Rule-visible clock: in tick mode (docs/SCALE.md) rules see the
+        # quantized simulator clock without the intra-event micro-offset,
+        # because the micro-clock's reset points depend on how a tick's
+        # work is grouped — f_now() must read identically under the
+        # per-tuple and the batched kernel.  Legacy mode keeps the
+        # micro-clock so execution traces stay strictly ordered.
+        rule_clock = (lambda: sim.now) if sim.det_order else self.work_clock
+        self.ctx = EvalContext(rule_clock, self.rng, id_bits)
         self.planner = Planner(self.store, node_label=address)
 
         self.programs: List[CompiledProgram] = []
@@ -85,6 +98,15 @@ class P2Node:
         self._queue: deque = deque()
         self._pumping = False
         self._stopped = False
+
+        # Batch execution (repro.sim.batch): set via enable_batch().
+        # When active, the node registers itself as its address group's
+        # executor with the kernel, receives whole per-tick message
+        # batches, and pumps strand deltasets instead of single tuples.
+        self._batch_mode = False
+        self._batch_size: Optional[int] = None
+        self._batch_kernel = None
+        self._zero_copy = False
 
         # Overload protection (repro.overload): None keeps every hot
         # path exactly as before — no admission checks, no mailbox.
@@ -133,8 +155,49 @@ class P2Node:
                 sweep_interval,
                 self._sweep,
                 start_delay=sweep_interval,
+                group=str(address),
             )
         )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+
+    def enable_batch(self, kernel, batch_size: Optional[int] = None) -> None:
+        """Run this node under the batch kernel.
+
+        Registers the node as the executor for its address group: the
+        kernel hands it each tick's events (deliveries, timers, drains)
+        in canonical order and the node fires strands over deltasets,
+        chunked to ``batch_size`` triggers (None = unbounded).
+        """
+        self._batch_mode = True
+        self._batch_size = batch_size
+        self._batch_kernel = kernel
+        # Zero-copy sends: over the UDP batch fabric the sender can
+        # attach the decoded payload (marshal.payload_for) so receivers
+        # skip the unmarshal.  The wire bytes are still produced and
+        # accounted — only the receive-side decode is elided.
+        self._zero_copy = (
+            self.network.transport == "udp" and self.network.batch_fabric
+        )
+        kernel.register_group(str(self.address), self._execute_tick)
+
+    def _execute_tick(self, events: List[Any]) -> None:
+        """Group executor: run one tick's events in canonical order.
+
+        Each event's own handler pumps the node to fixpoint before the
+        next event runs — exactly the per-tuple kernel's discipline — so
+        strand firings never observe a later same-tick insert they would
+        not have seen under per-tuple execution.  The batch economies
+        live a layer down: the fabric hands deliveries to
+        :meth:`receive_batch` as one event, and the pump fires strands
+        over contiguous same-strand runs.
+        """
+        if self._stopped:
+            return
+        for event in events:
+            if not event.cancelled:
+                event.callback()
 
     # ------------------------------------------------------------------
     # Time
@@ -238,6 +301,7 @@ class P2Node:
             period,
             lambda s=strand: self._fire_periodic(s),
             start_delay=start,
+            group=str(self.address),
         )
         self._timers.append(timer)
         self._periodic_timers[strand] = timer
@@ -299,6 +363,69 @@ class P2Node:
             return
         self._schedule_drain()
 
+    def receive_batch(self, messages: List[Message]) -> None:
+        """Batched fabric delivery: one tick's messages for this node.
+
+        Executes exactly N :meth:`receive` calls in order — same
+        admission decisions, same work charges, and crucially the same
+        *pump discipline*: each message is processed to strand fixpoint
+        before the next message's tuple is inserted, so a firing can
+        never observe a later same-tick arrival it would not have seen
+        under per-tuple delivery.  What the batch path elides is the
+        per-message machinery around that core: the heap event, the
+        callback dispatch, and the wire decode (the fabric attaches the
+        sender's already-decoded payload; only the UDP fabric calls
+        this, so a non-None ``message.decoded`` here is that zero-copy
+        payload, *not* the reliable gate's preadmission marker).
+        """
+        if self._stopped:
+            return
+        work = self.work
+        reset_micro = work.reset_micro
+        charge = work.charge
+        process = self._process_payload
+        pump = self._pump
+        ctrl = self.overload
+        if ctrl is None:
+            for message in messages:
+                reset_micro()
+                charge("receive")
+                decoded = message.decoded
+                process(
+                    decoded
+                    if decoded is not None
+                    else decode_message(message.payload)
+                )
+                # The insert observer already pumped any cascade to
+                # fixpoint; pump again only if work remains (event
+                # predicates enqueue without pumping).
+                if self._queue:
+                    pump()
+            return
+        inline = ctrl.service_delay <= 0.0
+        pushed = False
+        for message in messages:
+            reset_micro()
+            charge("receive")
+            decoded = message.decoded
+            payload = (
+                decoded
+                if decoded is not None
+                else decode_message(message.payload)
+            )
+            relation = payload.get("name", "")
+            if not ctrl.admit_mailbox(relation):
+                continue
+            if inline:
+                process(payload)
+                pump()
+            elif ctrl.mailbox_push(payload):
+                pushed = True
+            else:
+                ctrl.shed_after_admit(relation)
+        if pushed:
+            self._schedule_drain()
+
     def _process_payload(self, payload: Dict[str, Any]) -> None:
         """Apply one decoded wire payload (tuple or delete) locally."""
         if payload["kind"] == "delete":
@@ -311,7 +438,9 @@ class P2Node:
                 removed = table.delete_matching(list(payload["pattern"]))
                 self.work.charge("delete", max(1, removed))
             return
-        tup = Tuple(payload["name"], tuple(payload["values"]))
+        tup = payload.get("tuple") if self.registry is None else None
+        if tup is None:
+            tup = Tuple(payload["name"], tuple(payload["values"]))
         if self.registry is not None:
             self.registry.on_arrival(
                 tup,
@@ -339,7 +468,9 @@ class P2Node:
         if self._drain_timer is not None or self._stopped:
             return
         self._drain_timer = self.sim.schedule(
-            self.overload.service_delay, self._drain_mailbox
+            self.overload.service_delay,
+            self._drain_mailbox,
+            group=str(self.address),
         )
 
     def _drain_mailbox(self) -> None:
@@ -378,9 +509,10 @@ class P2Node:
             self.registry.ensure(tup, loc_spec=tup.location)
         for callback in self.on_deliver:
             callback(tup)
-        if self.store.has(tup.name):
+        table = self.store.find(tup.name)
+        if table is not None:
             self.work.charge("insert")
-            self.store.get(tup.name).insert(tup)
+            table.insert(tup)
             # Strand triggering happens via the table observer so that
             # direct table inserts (e.g. from harness code) also fire.
         else:
@@ -388,8 +520,20 @@ class P2Node:
             self._notify(tup)
 
     def _on_table_insert(self, tup: Tuple) -> None:
-        self._enqueue_strands(tup)
-        self._notify(tup)
+        name = tup.name
+        strands = self._strands_by_trigger.get(name)
+        subscribers = self._subscribers.get(name)
+        if strands is None and subscribers is None and not self._queue:
+            # Nothing observes this relation and no work is queued:
+            # enqueue, notify, and pump would all be no-ops.  This is
+            # the monitoring fan-in hot path — collectors absorbing
+            # status streams into tables no rule triggers on.
+            return
+        if strands:
+            self._enqueue_strands(tup)
+        if subscribers:
+            for callback in subscribers:
+                callback(tup)
         # Table observers can fire outside the pump (direct inserts).
         self._pump()
 
@@ -413,6 +557,9 @@ class P2Node:
     def _pump(self) -> None:
         if self._pumping or self._stopped:
             return
+        if self._batch_mode:
+            self._pump_batched()
+            return
         self._pumping = True
         ctrl = self.overload
         try:
@@ -432,6 +579,80 @@ class P2Node:
                     actions = self._fire_observed(strand, trigger)
                 for action in actions:
                     self._route(action)
+        finally:
+            self._pumping = False
+
+    def _pump_batched(self) -> None:
+        """Deltaset pump: fire strands over contiguous trigger runs.
+
+        The FIFO queue is drained exactly as the per-tuple pump drains
+        it; the batching unit is a *run* — consecutive queue entries for
+        the same strand (a cascade inserting N tuples into one relation
+        enqueues its delta strands as N-long runs).  A run fires as one
+        deltaset through :meth:`RuleStrand.fire_batch` with routing
+        interleaved per trigger, so the sequence of fire/route effects
+        is identical to per-tuple execution — batching changes where
+        the per-call overheads are paid, never what executes.  Runs are
+        chunked to ``batch_size`` triggers; a batched firing over N
+        triggers counts as N rule executions (the counter is semantic,
+        not call-counting).
+        """
+        self._pumping = True
+        ctrl = self.overload
+        limit = self._batch_size
+        # Run gathering engages only on the bare hot path.  Overload
+        # controllers sample queue depth after every single pop (the
+        # depth peaks are fingerprinted by storm campaigns) and trace
+        # hooks/telemetry observe per-firing — for those, execute the
+        # per-tuple pump body verbatim so every observation point sees
+        # exactly the per-tuple values.
+        if ctrl is not None or self.obs is not None or self.hooks is not None:
+            try:
+                while self._queue:
+                    strand, trigger = self._queue.popleft()
+                    if ctrl is not None:
+                        ctrl.note_strand_depth(len(self._queue))
+                    self.rule_executions += 1
+                    if self.obs is None:
+                        actions = strand.fire(
+                            trigger,
+                            self.ctx,
+                            hooks=self.hooks,
+                            charge=self.work.charge,
+                        )
+                    else:
+                        actions = self._fire_observed(strand, trigger)
+                    for action in actions:
+                        self._route(action)
+            finally:
+                self._pumping = False
+            return
+        work = self.work
+        ctx = self.ctx
+        route = self._route
+        try:
+            while self._queue:
+                # Re-bind each run: stop() and uninstall() replace or
+                # clear the queue object mid-pump.
+                queue = self._queue
+                strand, first = queue.popleft()
+                if not (queue and queue[0][0] is strand):
+                    # Run of one — the common cascade shape.  Fire
+                    # directly; fire_batch's accumulator would only add
+                    # overhead for a single trigger.
+                    self.rule_executions += 1
+                    for action in strand.fire(first, ctx, charge=work.charge):
+                        route(action)
+                    continue
+                triggers = [first]
+                while (
+                    queue
+                    and queue[0][0] is strand
+                    and (limit is None or len(triggers) < limit)
+                ):
+                    triggers.append(queue.popleft()[1])
+                self.rule_executions += len(triggers)
+                strand.fire_batch(triggers, ctx, work=work, route=route)
         finally:
             self._pumping = False
 
@@ -496,9 +717,29 @@ class P2Node:
         if self.registry is not None:
             src_tid = self.registry.on_send(tup, str(tup.location))
         self._wire_mid += 1
+        if self._zero_copy:
+            # Batch-fabric fast path: nobody reads the wire bytes (the
+            # receiver consumes the precomputed payload dict), so skip
+            # marshaling and charge the exact would-be wire size.  The
+            # fabric re-encodes lazily in its per-message fallback.
+            self.network.send(
+                self.address,
+                str(tup.location),
+                None,
+                size=wire_length(
+                    tup, self.address, src_tid, mid=self._wire_mid
+                ),
+                decoded=payload_for(
+                    tup, self.address, src_tid, mid=self._wire_mid
+                ),
+            )
+            return
         wire = encode_message(tup, self.address, src_tid, mid=self._wire_mid)
         self.network.send(
-            self.address, str(tup.location), wire, size=len(wire)
+            self.address,
+            str(tup.location),
+            wire,
+            size=len(wire),
         )
 
     # ------------------------------------------------------------------
@@ -601,6 +842,9 @@ class P2Node:
         if self._stopped:
             return
         self._stopped = True
+        if self._batch_kernel is not None:
+            self._batch_kernel.unregister_group(str(self.address))
+            self._batch_kernel = None
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()

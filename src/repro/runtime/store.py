@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import UnknownTableError, ValidationError
 from repro.overlog.ast import Materialize
@@ -54,6 +54,11 @@ class TableStore:
         if table is None:
             raise UnknownTableError(f"no table named {name!r}")
         return table
+
+    def find(self, name: str) -> Optional[Table]:
+        """The table named ``name``, or None — the delivery hot path's
+        single-lookup alternative to ``has`` + ``get``."""
+        return self._tables.get(name)
 
     def names(self) -> List[str]:
         return sorted(self._tables)

@@ -23,6 +23,7 @@ observably identical (the differential harness in
 from __future__ import annotations
 
 import enum
+from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
 
 from repro.errors import SchemaError
@@ -63,6 +64,58 @@ class _Row:
         self.order = order
 
 
+class DeltaBuffer:
+    """Columnar buffer of one batch's change deltas for one table.
+
+    The batch kernel delivers tuples in per-tick deltasets;
+    :meth:`Table.insert_batch` records each row's insert outcome here.
+    Storage is row-major on arrival (the tuples themselves) with lazy
+    column materialization: :meth:`column` gathers one 0-based column
+    across the whole batch in a single pass, which is how the batched
+    join path builds probe-key vectors without touching every tuple
+    object per probe.
+    """
+
+    __slots__ = ("name", "tuples", "outcomes", "_columns")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tuples: List[Tuple] = []
+        self.outcomes: List[InsertOutcome] = []
+        self._columns: Dict[int, List[Any]] = {}
+
+    def append(self, tup: Tuple, outcome: InsertOutcome) -> None:
+        self.tuples.append(tup)
+        self.outcomes.append(outcome)
+        if self._columns:
+            self._columns.clear()
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def changed(self) -> List[Tuple]:
+        """Rows whose insert was a state change (NEW or REPLACED)."""
+        return [
+            tup
+            for tup, outcome in zip(self.tuples, self.outcomes)
+            if outcome is not InsertOutcome.REFRESHED
+        ]
+
+    def column(self, position: int) -> List[Any]:
+        """Column ``position`` (0-based) across the batch, one pass.
+
+        Rows too short for the position contribute ``None``.
+        """
+        cached = self._columns.get(position)
+        if cached is None:
+            cached = [
+                tup.values[position] if position < len(tup.values) else None
+                for tup in self.tuples
+            ]
+            self._columns[position] = cached
+        return cached
+
+
 class TableIndex:
     """A secondary hash index over a subset of 0-based column positions.
 
@@ -76,7 +129,9 @@ class TableIndex:
     equality (the scan path would reject them identically).
     """
 
-    __slots__ = ("positions", "_buckets", "_loose", "probes", "rows_served")
+    __slots__ = (
+        "positions", "_buckets", "_loose", "_memo", "probes", "rows_served",
+    )
 
     def __init__(self, positions: PyTuple) -> None:
         self.positions = tuple(positions)
@@ -84,6 +139,11 @@ class TableIndex:
         self._buckets: Dict[PyTuple, Dict[PyTuple, _Row]] = {}
         # primary key -> _Row, for rows with unhashable index keys
         self._loose: Dict[PyTuple, _Row] = {}
+        # Probe memo: probe key -> candidate list, valid until the next
+        # mutation.  A batched firing probes the same key once per
+        # trigger (e.g. every succ-table probe at node n uses key (n,)),
+        # so the sort-and-collect work is paid once per batch.
+        self._memo: Dict[PyTuple, List[Tuple]] = {}
         # Probe counters for introspection and tests.
         self.probes = 0
         self.rows_served = 0
@@ -93,6 +153,8 @@ class TableIndex:
         return tuple(values[i] for i in self.positions)
 
     def add(self, key: PyTuple, row: _Row) -> None:
+        if self._memo:
+            self._memo.clear()
         try:
             self._buckets.setdefault(self._project(row), {})[key] = row
         except IndexError:
@@ -101,6 +163,8 @@ class TableIndex:
             self._loose[key] = row
 
     def discard(self, key: PyTuple, row: _Row) -> None:
+        if self._memo:
+            self._memo.clear()
         try:
             ikey = self._project(row)
             bucket = self._buckets.get(ikey)
@@ -118,17 +182,25 @@ class TableIndex:
         """Live rows whose indexed columns may equal ``key_values``.
 
         Returned in table scan order.  An unhashable probe key degrades
-        to the full indexed row set (equivalent to a scan).
+        to the full indexed row set (equivalent to a scan).  Results are
+        memoized until the next index mutation; memo hits count toward
+        the probe statistics exactly like cold probes, so counters stay
+        kernel-independent.
         """
         self.probes += 1
         try:
-            bucket = self._buckets.get(tuple(key_values))
+            probe_key = tuple(key_values)
+            cached = self._memo.get(probe_key)
         except TypeError:
             rows = [r for b in self._buckets.values() for r in b.values()]
             rows.extend(self._loose.values())
             rows.sort(key=lambda r: r.order)
             self.rows_served += len(rows)
             return [r.tuple for r in rows]
+        if cached is not None:
+            self.rows_served += len(cached)
+            return cached
+        bucket = self._buckets.get(probe_key)
         rows = list(bucket.values()) if bucket else []
         if self._loose:
             rows.extend(self._loose.values())
@@ -136,7 +208,45 @@ class TableIndex:
         # so always restore scan order (near-sorted: Timsort is linear).
         rows.sort(key=lambda r: r.order)
         self.rows_served += len(rows)
-        return [r.tuple for r in rows]
+        result = [r.tuple for r in rows]
+        self._memo[probe_key] = result
+        return result
+
+    def candidates_many(self, keys: List[PyTuple]) -> List[List[Tuple]]:
+        """Probe a whole batch of keys in one call.
+
+        Returns one candidate list per key, parallel to ``keys``.
+        Repeated keys within the batch (the common case for a node
+        firing one strand over a tick's deltaset) resolve through the
+        memo after the first lookup.  Counters advance exactly as the
+        equivalent per-key :meth:`candidates` calls would.
+        """
+        return [self.candidates(key) for key in keys]
+
+    def warm_many(self, keys: List[PyTuple]) -> None:
+        """Populate the probe memo for a batch of keys, in one pass.
+
+        Unlike :meth:`candidates_many` this does *not* advance the
+        probe counters: it is the batched firing path's prefetch, and
+        the per-trigger probes that follow do the counting, so probe
+        statistics stay identical across execution kernels.
+        """
+        memo = self._memo
+        buckets = self._buckets
+        loose = self._loose
+        for key in keys:
+            try:
+                probe_key = tuple(key)
+                if probe_key in memo:
+                    continue
+            except TypeError:
+                continue  # unhashable keys take the scan-degrade path
+            bucket = buckets.get(probe_key)
+            rows = list(bucket.values()) if bucket else []
+            if loose:
+                rows.extend(loose.values())
+            rows.sort(key=lambda r: r.order)
+            memo[probe_key] = [r.tuple for r in rows]
 
     def __len__(self) -> int:
         return sum(len(b) for b in self._buckets.values()) + len(self._loose)
@@ -163,6 +273,14 @@ class Table:
         self.max_size = max_size
         self.key_positions = list(key_positions)
         self._key_idx = [k - 1 for k in key_positions]
+        # Insert-path constants, hoisted: the per-row TTL as a float (or
+        # None for infinity) and a C-level key projector.
+        self._ttl = None if lifetime is INFINITY else float(lifetime)
+        if len(self._key_idx) == 1:
+            only = self._key_idx[0]
+            self._key_get = lambda values: (values[only],)
+        else:
+            self._key_get = itemgetter(*self._key_idx)
         self._now = now
         self._rows: Dict[PyTuple, _Row] = {}
         self._seq = 0
@@ -189,7 +307,7 @@ class Table:
     def key_of(self, tup: Tuple) -> PyTuple:
         """The primary-key projection of ``tup``."""
         try:
-            return tuple(tup.values[i] for i in self._key_idx)
+            return self._key_get(tup.values)
         except IndexError:
             raise SchemaError(
                 f"tuple {tup!r} too short for key positions "
@@ -203,16 +321,48 @@ class Table:
                 f"tuple {tup.name!r} inserted into table {self.name!r}"
             )
         self._expire_now()
-        key = self.key_of(tup)
+        return self._insert_core(tup)
+
+    def insert_batch(self, tuples: List[Tuple]) -> DeltaBuffer:
+        """Insert a deltaset in order; one expiry pass for the batch.
+
+        Semantically identical to calling :meth:`insert` per tuple —
+        observers fire per row, in order — except the TTL expiry scan
+        runs once up front.  Rows inserted earlier in the batch cannot
+        expire mid-batch (their deadline is strictly in the future at
+        the shared ``now``), so deferring expiry to the batch head is
+        unobservable.  Returns the batch's :class:`DeltaBuffer`.
+        """
+        delta = DeltaBuffer(self.name)
+        if not tuples:
+            return delta
+        self._expire_now()
+        append = delta.append
+        core = self._insert_core
+        name = self.name
+        for tup in tuples:
+            if tup.name != name:
+                raise SchemaError(
+                    f"tuple {tup.name!r} inserted into table {name!r}"
+                )
+            append(tup, core(tup))
+        return delta
+
+    def _insert_core(self, tup: Tuple) -> InsertOutcome:
+        try:
+            key = self._key_get(tup.values)
+        except IndexError:
+            raise SchemaError(
+                f"tuple {tup!r} too short for key positions "
+                f"{self.key_positions} of table {self.name!r}"
+            )
         now = self._now()
-        expires = (
-            float("inf")
-            if self.lifetime is INFINITY
-            else now + float(self.lifetime)
-        )
+        ttl = self._ttl
+        expires = float("inf") if ttl is None else now + ttl
         if expires < self._next_expiry:
             self._next_expiry = expires
         existing = self._rows.get(key)
+        indexes = self._indexes
         if existing is not None:
             if existing.tuple == tup:
                 existing.expires_at = expires
@@ -226,8 +376,9 @@ class Table:
             # scan-order stamp) of the row it displaces.
             row = _Row(tup, now, expires, self._seq, existing.order)
             self._rows[key] = row
-            self._index_discard(key, existing)
-            self._index_add(key, row)
+            if indexes:
+                self._index_discard(key, existing)
+                self._index_add(key, row)
             self.total_inserts += 1
             self.total_removals += 1
             self._notify_remove(old, RemoveReason.REPLACED)
@@ -238,9 +389,11 @@ class Table:
         self._order += 1
         row = _Row(tup, now, expires, self._seq, self._order)
         self._rows[key] = row
-        self._index_add(key, row)
+        if indexes:
+            self._index_add(key, row)
         self.total_inserts += 1
-        self._enforce_size(protect=key)
+        if self.max_size is not INFINITY:
+            self._enforce_size(protect=key)
         self._notify_insert(tup, InsertOutcome.NEW)
         return InsertOutcome.NEW
 
@@ -408,6 +561,25 @@ class Table:
         self._expire_now()
         return index.candidates(key_values)
 
+    def probe_index_batch(
+        self, index: TableIndex, keys: List[PyTuple]
+    ) -> List[List[Tuple]]:
+        """Probe a whole batch of keys against ``index`` in one call.
+
+        One expiry pass covers the batch; repeated keys hit the index's
+        probe memo.  Returns one candidate list per key, in scan order,
+        exactly as per-key :meth:`probe_index` calls would.
+        """
+        self._expire_now()
+        return index.candidates_many(keys)
+
+    def warm_index(self, index: TableIndex, keys: List[PyTuple]) -> None:
+        """Prefetch ``index``'s probe memo for a batch of keys (one
+        expiry pass, no counter movement — see
+        :meth:`TableIndex.warm_many`)."""
+        self._expire_now()
+        index.warm_many(keys)
+
     def _index_add(self, key: PyTuple, row: _Row) -> None:
         for index in self._indexes.values():
             index.add(key, row)
@@ -479,12 +651,23 @@ class Table:
             self._notify_remove(row.tuple, RemoveReason.EVICTED)
 
     def _notify_insert(self, tup: Tuple, outcome: InsertOutcome) -> None:
-        for callback in list(self.on_insert):
-            callback(tup, outcome)
+        callbacks = self.on_insert
+        if len(callbacks) == 1:
+            # Hot path: exactly one observer (the owning node).  A lone
+            # callback that mutates the list mid-call sees the same
+            # behaviour a snapshot would give it.
+            callbacks[0](tup, outcome)
+        elif callbacks:
+            for callback in list(callbacks):
+                callback(tup, outcome)
 
     def _notify_remove(self, tup: Tuple, reason: RemoveReason) -> None:
-        for callback in list(self.on_remove):
-            callback(tup, reason)
+        callbacks = self.on_remove
+        if len(callbacks) == 1:
+            callbacks[0](tup, reason)
+        elif callbacks:
+            for callback in list(callbacks):
+                callback(tup, reason)
 
 
 def _eq(a: Any, b: Any) -> bool:

@@ -18,12 +18,13 @@ from repro.overlog.types import NodeID, format_value
 class Tuple:
     """An immutable (name, values) pair."""
 
-    __slots__ = ("name", "values", "_hash")
+    __slots__ = ("name", "values", "_hash", "_size")
 
     def __init__(self, name: str, values: PyTuple) -> None:
         self.name = name
         self.values = tuple(values)
         self._hash = hash((name, self.values))
+        self._size = -1
 
     @property
     def location(self) -> Any:
@@ -50,10 +51,26 @@ class Tuple:
         return f"{self.name}@{loc}({rest})"
 
     def estimated_size(self) -> int:
-        """Rough wire size in bytes (for bandwidth accounting)."""
-        total = len(self.name) + 8
-        for value in self.values:
-            total += _value_size(value)
+        """Rough wire size in bytes (for bandwidth accounting).
+
+        Cached: tuples are immutable, and the accounting paths ask for
+        the size on every delivery.
+        """
+        total = self._size
+        if total < 0:
+            total = len(self.name) + 8
+            for value in self.values:
+                # Exact-type fast path for the dominant scalars; bool
+                # and NodeID fall through to the full dispatch (bool is
+                # not `type(...) is int`, so it keeps its 1-byte size).
+                kind = type(value)
+                if kind is str:
+                    total += len(value) + 4
+                elif kind is int or kind is float:
+                    total += 8
+                else:
+                    total += _value_size(value)
+            self._size = total
         return total
 
 

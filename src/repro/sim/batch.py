@@ -1,0 +1,176 @@
+"""Batch-execution kernel: tick-at-a-time, node-grouped event dispatch.
+
+The legacy loop (:meth:`repro.sim.simulator.Simulator.run_until`) pops
+one event at a time and lets each delivery pump its node to fixpoint
+before the next.  At a thousand nodes that per-tuple discipline is pure
+overhead: every message is its own heap entry, its own callback frame,
+its own decode, its own strand firing.
+
+This kernel executes one *tick* at a time instead:
+
+1. advance the clock to the earliest pending event time ``t`` (in tick
+   mode every event sits on the tick grid);
+2. drain **all** events at ``t`` in canonical order
+   ``(priority, origin, origin_seq)``;
+3. gather grouped events per *group* (the node that executes them) and
+   hand each node its whole tick at once — batched delivery, deltaset
+   strand firing, one pump;
+4. treat ungrouped (control/harness) events as ordering barriers: the
+   grouped events that canonically precede a control event are flushed
+   to their executors before it runs, because control code can touch
+   node state directly (injects, kills) and so *is* ordered relative
+   to each node's own event stream.
+
+Equivalence contract (docs/SCALE.md): within a tick, nodes interact
+only through events scheduled for *later* ticks, and all per-message
+randomness is drawn from per-entity streams, so regrouping a tick per
+node cannot change any node's observable history.  The differential
+battery (``tests/batchexec/``) pins this: per-tuple and batched runs of
+every bundled program produce identical final tables, alarm streams,
+and campaign verdicts.
+
+``ExecutionConfig`` is the one knob surface:
+
+- ``batch_size=1`` — compatibility mode: the legacy per-tuple loop
+  runs, bit-identical to the pre-batch scheduler (with ``tick=0``) or
+  in canonical tick order (with ``tick>0``).
+- ``batch_size=None`` (default) — unbounded deltasets: a node fires
+  each strand once over all of a tick's triggers.
+- ``batch_size=k`` — deltasets are chunked to at most ``k`` triggers
+  per firing; the Hypothesis battery checks chunking never changes
+  fixpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+
+#: Default tick width (seconds).  Matches the default one-way network
+#: latency, so a message sent during tick ``t`` is delivered exactly at
+#: tick ``t + 1`` and quantization does not stretch the fabric.
+DEFAULT_TICK = 0.01
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a :class:`~repro.core.system.System` executes events.
+
+    ``tick`` quantizes all scheduling onto a grid (required for
+    batching; 0 keeps continuous time and implies the legacy loop).
+    ``batch_size`` bounds one strand firing's deltaset; ``None`` means
+    unbounded and ``1`` selects the per-tuple compatibility kernel.
+    """
+
+    batch_size: Optional[int] = None
+    tick: float = DEFAULT_TICK
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1 or None: {self.batch_size}"
+            )
+        if self.tick < 0:
+            raise SimulationError(f"tick must be non-negative: {self.tick}")
+        if self.batched and self.tick <= 0:
+            raise SimulationError("batched execution requires tick > 0")
+
+    @property
+    def batched(self) -> bool:
+        """True when the batch kernel (not the legacy loop) runs."""
+        return self.batch_size != 1
+
+    @property
+    def label(self) -> str:
+        if not self.batched:
+            return f"per-tuple(tick={self.tick:g})"
+        size = "inf" if self.batch_size is None else str(self.batch_size)
+        return f"batch(size={size},tick={self.tick:g})"
+
+
+#: A group executor takes one tick's worth of that group's events.
+GroupExecutor = Callable[[list], None]
+
+
+class BatchKernel:
+    """Tick-at-a-time event dispatch over a simulator's queue."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._executors: Dict[str, GroupExecutor] = {}
+        #: Ticks executed (one per distinct event time processed).
+        self.ticks = 0
+        #: Largest single-tick event batch seen (for BENCH_scale).
+        self.max_tick_events = 0
+
+    def register_group(self, key: str, executor: GroupExecutor) -> None:
+        """Route group ``key``'s per-tick events through ``executor``."""
+        self._executors[str(key)] = executor
+
+    def unregister_group(self, key: str) -> None:
+        self._executors.pop(str(key), None)
+
+    def run_until(self, when: float) -> None:
+        sim = self._sim
+        while True:
+            t = sim._peek_time()
+            if t is None or t > when:
+                break
+            events = sim._drain_tick(t)
+            if not events:
+                continue
+            self.ticks += 1
+            if len(events) > self.max_tick_events:
+                self.max_tick_events = len(events)
+            sim._count_event(len(events))
+            groups: Dict[str, List] = {}
+            for event in events:
+                # An earlier event this tick may have cancelled a later
+                # one (crash cancelling timers); honour it like the
+                # legacy loop's lazy-cancellation pop does.
+                if event.cancelled:
+                    continue
+                group = event.group
+                if group is None:
+                    # Control code can inject into or kill nodes, so a
+                    # control event is ordered relative to each node's
+                    # own stream: everything gathered so far sorts
+                    # canonically before it and must run first.
+                    self._flush(groups)
+                    sim._set_origin("")
+                    event.callback()
+                else:
+                    bucket = groups.get(group)
+                    if bucket is None:
+                        groups[group] = [event]
+                    else:
+                        bucket.append(event)
+            self._flush(groups)
+        sim._set_origin("")
+        sim.clock.advance_to(when)
+
+    def _flush(self, groups: Dict[str, List]) -> None:
+        """Hand each group its gathered events, in stable address order.
+
+        Node histories are interaction-free within a tick, so group
+        order is unobservable; sorting makes it deterministic.
+        """
+        if not groups:
+            return
+        sim = self._sim
+        executors = self._executors
+        for key in sorted(groups):
+            live = [e for e in groups[key] if not e.cancelled]
+            if not live:
+                continue
+            sim._set_origin(key)
+            executor = executors.get(key)
+            if executor is not None:
+                executor(live)
+            else:
+                for event in live:
+                    if not event.cancelled:
+                        event.callback()
+        groups.clear()

@@ -11,10 +11,30 @@ Components receive the simulator at construction time and use
 :meth:`every` for fixed-period timers.  ``run_until`` processes events in
 deterministic order and leaves the clock exactly at the requested time so
 back-to-back runs compose.
+
+Two execution regimes (docs/SCALE.md):
+
+- **Legacy (tick=0)** — the continuous-time loop above, bit-identical
+  to the pre-batch scheduler: every event fires at its exact scheduled
+  instant in ``(time, priority, seq)`` order.
+- **Tick mode (tick>0)** — scheduling quantizes onto a grid of
+  ``tick``-second boundaries (always rounding to a *strictly future*
+  boundary), so co-temporal work coalesces into discrete ticks.  Events
+  additionally carry an *origin key*: the entity (node) whose
+  processing created them, plus a per-origin sequence number.  Ordering
+  within a tick is ``(priority, origin, origin_seq)`` — independent of
+  how the previous tick's work was interleaved across entities, which
+  is what lets the batched kernel regroup a tick per node without
+  changing any node's observable event order.
+
+When a :class:`~repro.sim.batch.BatchKernel` is installed (see
+:meth:`use_batch_kernel`), ``run_until`` delegates to it; harness code
+never needs to know which kernel is driving.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
@@ -22,21 +42,42 @@ from repro.sim.clock import Clock
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.rand import SimRandom
 
+#: Origin key used for events created outside any entity's processing
+#: turn (harness code, fault schedules, campaign probes).  The empty
+#: string sorts before every node address, so control events at a tick
+#: run before that tick's node work in both kernels.
+GLOBAL_ORIGIN = ""
+
 
 class Simulator:
     """Event loop over a virtual clock."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise SimulationError(f"tick must be non-negative: {tick}")
         self.clock = Clock()
         self.random = SimRandom(seed)
+        self.tick = tick
         self._queue = EventQueue()
         self._running = False
         self._events_processed = 0
+        # Batch kernel (repro.sim.batch.BatchKernel) or None.
+        self._kernel = None
+        # Entity whose event is currently executing; schedules inherit
+        # it as their origin key (tick mode only).
+        self._origin = GLOBAL_ORIGIN
+        self._origin_seqs: dict = {}
+        self._timer_ids = 0
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self.clock.now
+
+    @property
+    def det_order(self) -> bool:
+        """True in tick mode: same-tick ordering is origin-canonical."""
+        return self.tick > 0
 
     @property
     def events_processed(self) -> int:
@@ -48,23 +89,85 @@ class Simulator:
         """Number of live events still queued."""
         return len(self._queue)
 
-    def schedule(
-        self, delay: float, callback: Callable[[], None], priority: int = 0
+    @property
+    def kernel(self):
+        """The installed batch kernel, or None (legacy loop)."""
+        return self._kernel
+
+    def use_batch_kernel(self, kernel) -> None:
+        """Route ``run_until`` through ``kernel`` from now on."""
+        if self.tick <= 0:
+            raise SimulationError("the batch kernel requires tick > 0")
+        self._kernel = kernel
+
+    # ------------------------------------------------------------------
+    # Scheduling
+
+    def _quantize(self, when: float) -> float:
+        """Snap ``when`` onto the tick grid (strictly after ``now``).
+
+        An event landing on the current instant is deferred one full
+        tick: both kernels apply the same rule, so no event is ever
+        added to a tick already being processed.
+        """
+        tick = self.tick
+        # Robust grid snap: a value already (numerically) on the grid
+        # stays, anything else rounds up.
+        k = math.ceil(when / tick - 1e-9)
+        when = k * tick
+        now = self.clock.now
+        if when <= now:
+            when = (math.floor(now / tick + 1e-9) + 1) * tick
+        return when
+
+    def _push(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        priority: int,
+        group: Optional[str],
     ) -> ScheduledEvent:
-        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if self.tick > 0:
+            when = self._quantize(when)
+            okey = self._origin
+            seqs = self._origin_seqs
+            oseq = seqs.get(okey, 0)
+            seqs[okey] = oseq + 1
+            return self._queue.push(
+                when, callback, priority, okey=okey, oseq=oseq, group=group
+            )
+        return self._queue.push(when, callback, priority, group=group)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        group: Optional[str] = None,
+    ) -> ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds of virtual time.
+
+        ``group`` names the entity that will execute the event (a node
+        address); the batch kernel gathers each tick's events per group
+        and the legacy loop ignores it.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        return self._queue.push(self.clock.now + delay, callback, priority)
+        return self._push(self.clock.now + delay, callback, priority, group)
 
     def schedule_at(
-        self, when: float, callback: Callable[[], None], priority: int = 0
+        self,
+        when: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        group: Optional[str] = None,
     ) -> ScheduledEvent:
         """Run ``callback`` at absolute virtual time ``when``."""
         if when < self.clock.now:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < {self.clock.now}"
             )
-        return self._queue.push(when, callback, priority)
+        return self._push(when, callback, priority, group)
 
     def every(
         self,
@@ -73,19 +176,30 @@ class Simulator:
         start_delay: Optional[float] = None,
         jitter: float = 0.0,
         stream: str = "timers",
+        group: Optional[str] = None,
     ) -> "PeriodicTimer":
         """Install a repeating timer; returns a handle with ``.cancel()``.
 
         ``start_delay`` defaults to one full period.  ``jitter`` adds a
-        uniform random offset in ``[0, jitter)`` to each firing, drawn from
-        the named random stream (deterministic under the master seed).
+        uniform random offset in ``[0, jitter)`` to each firing, drawn
+        from a per-timer random stream derived from ``stream`` and the
+        timer's creation index (deterministic under the master seed and
+        independent of how other timers interleave).
         """
         if period <= 0:
             raise SimulationError(f"timer period must be positive: {period}")
-        timer = PeriodicTimer(self, period, callback, jitter, stream)
+        self._timer_ids += 1
+        timer = PeriodicTimer(
+            self, period, callback, jitter,
+            f"{stream}.{self._timer_ids}" if jitter > 0 else stream,
+            group,
+        )
         first = period if start_delay is None else start_delay
         timer._arm(first)
         return timer
+
+    # ------------------------------------------------------------------
+    # Execution
 
     def run_until(self, when: float) -> None:
         """Process all events with time <= ``when``; leave clock at ``when``."""
@@ -95,24 +209,50 @@ class Simulator:
             )
         if self._running:
             raise SimulationError("run_until called re-entrantly")
+        if self._kernel is not None:
+            self._running = True
+            try:
+                self._kernel.run_until(when)
+            finally:
+                self._running = False
+            return
         self._running = True
+        queue = self._queue
+        clock = self.clock
         try:
             while True:
-                next_time = self._queue.peek_time()
+                next_time = queue.peek_time()
                 if next_time is None or next_time > when:
                     break
-                event = self._queue.pop()
+                event = queue.pop()
                 assert event is not None
-                self.clock.advance_to(event.time)
+                clock.advance_to(event.time)
                 self._events_processed += 1
+                self._origin = event.group if event.group is not None else GLOBAL_ORIGIN
                 event.callback()
-            self.clock.advance_to(when)
+            clock.advance_to(when)
         finally:
+            self._origin = GLOBAL_ORIGIN
             self._running = False
 
     def run_for(self, duration: float) -> None:
         """Process events for ``duration`` seconds of virtual time."""
         self.run_until(self.clock.now + duration)
+
+    # Internal: the batch kernel borrows these.
+
+    def _drain_tick(self, time: float):
+        self.clock.advance_to(time)
+        return self._queue.drain_at(time)
+
+    def _peek_time(self) -> Optional[float]:
+        return self._queue.peek_time()
+
+    def _count_event(self, n: int = 1) -> None:
+        self._events_processed += n
+
+    def _set_origin(self, okey: str) -> None:
+        self._origin = okey
 
 
 class PeriodicTimer:
@@ -125,19 +265,21 @@ class PeriodicTimer:
         callback: Callable[[], None],
         jitter: float,
         stream: str,
+        group: Optional[str] = None,
     ) -> None:
         self._sim = sim
         self._period = period
         self._callback = callback
         self._jitter = jitter
         self._stream = stream
+        self._group = group
         self._cancelled = False
         self._pending: Optional[ScheduledEvent] = None
 
     def _arm(self, delay: float) -> None:
         if self._jitter > 0:
             delay += self._sim.random.stream(self._stream).uniform(0, self._jitter)
-        self._pending = self._sim.schedule(delay, self._fire)
+        self._pending = self._sim.schedule(delay, self._fire, group=self._group)
 
     def _fire(self) -> None:
         if self._cancelled:

@@ -1,0 +1,112 @@
+"""Batched firings count as N rule executions, everywhere counts surface.
+
+The batch kernel's deltaset pump fires one strand over a run of N
+triggers in a single call; the accounting contract (docs/SCALE.md) is
+that this is N rule executions — the counter is semantic, never
+call-counting.  These tests pin that contract at every layer an
+operator reads:
+
+- ``P2Node.rule_executions`` (the raw counter the lean batched pump
+  increments by run length);
+- the Dashboard's per-node ``rule-execs`` column (the
+  ``node_rule_executions_total`` gauge);
+- ``repro.obs summarize`` over an exported artifact (per-rule ``fires``
+  from the ``rule_duration_seconds`` histogram).
+
+Each comparison runs the same seeded Chord workload under the
+per-tuple and the batched kernel and demands identical numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.harness import ChordNetwork
+from repro.obs.export import write_jsonl
+from repro.obs.summarize import Artifact, summarize
+from repro.report import Dashboard
+from repro.runtime.strand import RuleStrand
+from repro.sim.batch import DEFAULT_TICK, ExecutionConfig
+
+PER_TUPLE = ExecutionConfig(batch_size=1, tick=DEFAULT_TICK)
+BATCHED = ExecutionConfig(batch_size=None, tick=DEFAULT_TICK)
+
+NODES = 6
+SEED = 2
+DURATION = 60.0
+
+
+def run_chord(execution, observability=False):
+    net = ChordNetwork(
+        num_nodes=NODES,
+        seed=SEED,
+        execution=execution,
+        observability=observability,
+    )
+    net.start()
+    net.run_for(DURATION)
+    return net
+
+
+def executions_by_node(net):
+    return {
+        str(addr): net.system.node(addr).rule_executions
+        for addr in net.addresses
+    }
+
+
+def test_lean_batched_pump_counts_run_lengths(monkeypatch):
+    """Without observers the pump batches runs — and still counts N."""
+    run_lengths = []
+    orig = RuleStrand.fire_batch
+
+    def spy(self, triggers, ctx, **kwargs):
+        run_lengths.append(len(triggers))
+        return orig(self, triggers, ctx, **kwargs)
+
+    monkeypatch.setattr(RuleStrand, "fire_batch", spy)
+    batched = executions_by_node(run_chord(BATCHED))
+    monkeypatch.setattr(RuleStrand, "fire_batch", orig)
+    per_tuple = executions_by_node(run_chord(PER_TUPLE))
+
+    # The workload genuinely exercised multi-trigger deltasets.
+    assert run_lengths and max(run_lengths) > 1
+    assert batched == per_tuple
+    assert sum(batched.values()) > 0
+
+
+def test_dashboard_rule_execs_identical_across_kernels():
+    renders = {}
+    for label, execution in (("per-tuple", PER_TUPLE), ("batched", BATCHED)):
+        net = run_chord(execution)
+        renders[label] = Dashboard(net.system, title="ring").render()
+    assert renders["per-tuple"] == renders["batched"]
+    assert "rule-execs" in renders["batched"]
+
+
+def test_summarize_fires_identical_across_kernels(tmp_path):
+    artifacts = {}
+    for label, execution in (("per-tuple", PER_TUPLE), ("batched", BATCHED)):
+        net = run_chord(execution, observability=True)
+        path = tmp_path / f"{label}.jsonl"
+        write_jsonl(net.system.telemetry, str(path))
+        artifacts[label] = path
+
+    stats = {
+        label: Artifact.load(str(path)).rule_stats()
+        for label, path in artifacts.items()
+    }
+    fires = {
+        label: {rule: row["count"] for rule, row in rows}
+        for label, rows in stats.items()
+    }
+    assert fires["per-tuple"] == fires["batched"]
+    assert sum(fires["batched"].values()) > 0
+
+    # The full summaries agree too (durations come off the charged-work
+    # micro-clock, which the differential battery pins bit-identical).
+    texts = {
+        label: summarize(str(path)).splitlines()[1:]
+        for label, path in artifacts.items()
+    }
+    assert texts["per-tuple"] == texts["batched"]

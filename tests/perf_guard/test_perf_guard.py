@@ -1,0 +1,137 @@
+"""Performance guard tier: fail when the runtime hot path regresses.
+
+The benchmark suite (``benchmarks/``) publishes absolute numbers to
+``benchmarks/results/*.json``; this tier re-measures the same fixed
+workloads with short windows and fails if throughput (ops per wall
+second) has dropped more than :data:`GUARD_DROP` below the pinned
+baseline.  It is a regression tripwire, not a benchmark: a pass means
+"no catastrophic slowdown", and new baselines are published by
+re-running the benchmark suite, never by editing the JSON by hand.
+
+Guarded baselines:
+
+- ``BENCH_obs.json`` — the observability ablation workload, with the
+  telemetry plane disabled and enabled (``ops_per_wall_second``);
+- ``BENCH_fig4.json`` — the Figure-4 periodic-rule workload (many
+  trivial rules on one node, the strand-firing fast path).
+
+Each measurement is the best of :data:`ROUNDS` runs: scheduler noise
+and cache pollution only ever make a run *slower*, so the fastest run
+is the least-contaminated estimate of what the code can do — exactly
+the quantity a regression guard should compare.  The 30% allowance on
+top absorbs cross-machine variance; real hot-path regressions (an
+accidental per-tuple re-encode, a dropped index) cost integer factors,
+not percents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.metrics import Meter
+from repro.core.system import System
+
+# Baselines are pinned on the benchmark machine; a hosted CI runner
+# with different hardware can widen the allowance via the environment
+# (see the scale-smoke job) without touching the committed JSONs.
+GUARD_DROP = float(os.environ.get("PERF_GUARD_DROP", "0.30"))
+ROUNDS = 3
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+)
+
+OBS_WORKLOAD = """
+materialize(state, 60, 200, keys(1,2)).
+w1 state@N(E) :- periodic@N(E, 0.5).
+w2 derived@N(S) :- state@N(S).
+w3 chained@N(S) :- derived@N(S).
+"""
+
+FIG4_RULES = 100
+FIG4_WINDOW = 30.0
+
+
+def load_baseline(name: str) -> dict:
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def best_of(measure, rounds: int = ROUNDS) -> float:
+    return max(measure() for _ in range(rounds))
+
+
+def measure_obs(observability: bool, window: float = 40.0) -> float:
+    """Ops/wall-second of the BENCH_obs workload (same seed, same rules)."""
+
+    def once() -> float:
+        system = System(seed=5, observability=observability)
+        node = system.add_node("n:1")
+        node.install_source(OBS_WORKLOAD, name="workload")
+        system.run_for(20.0)
+        meter = Meter(system)
+        meter.start()
+        wall0 = time.perf_counter()
+        system.run_for(window)
+        wall = time.perf_counter() - wall0
+        sample = meter.stop()
+        return sum(sample.ops.values()) / wall
+
+    return best_of(once)
+
+
+def fig4_program(count: int) -> str:
+    return "\n".join(
+        f"pr{i} result{i}@NAddr() :- periodic@NAddr(E, 1)."
+        for i in range(count)
+    )
+
+
+def measure_fig4(
+    rules: int = FIG4_RULES, window: float = FIG4_WINDOW
+) -> float:
+    """Rule firings/wall-second with many trivial periodic rules."""
+
+    def once() -> float:
+        system = System(seed=5)
+        node = system.add_node("n:1")
+        node.install_source(fig4_program(rules), name="fig4")
+        system.run_for(5.0)
+        before = node.rule_executions
+        wall0 = time.perf_counter()
+        system.run_for(window)
+        wall = time.perf_counter() - wall0
+        return (node.rule_executions - before) / wall
+
+    return best_of(once)
+
+
+def assert_no_drop(live: float, pinned: float, label: str) -> None:
+    floor = pinned * (1.0 - GUARD_DROP)
+    assert live >= floor, (
+        f"{label}: {live:,.0f} ops/s is more than {GUARD_DROP:.0%} below "
+        f"the pinned baseline {pinned:,.0f} ops/s (floor {floor:,.0f}). "
+        f"If the slowdown is intentional, re-run the benchmark suite to "
+        f"publish a new benchmarks/results/ baseline."
+    )
+
+
+@pytest.mark.parametrize("mode", ("disabled", "enabled"))
+def test_obs_ops_per_second_holds(mode):
+    pinned = load_baseline("BENCH_obs.json")["ops_per_wall_second"][mode]
+    live = measure_obs(observability=(mode == "enabled"))
+    assert_no_drop(live, pinned, f"BENCH_obs[{mode}]")
+
+
+def test_fig4_ops_per_second_holds():
+    baseline = load_baseline("BENCH_fig4.json")
+    live = measure_fig4(
+        rules=baseline["workload"]["rules"],
+        window=baseline["workload"]["window_s"],
+    )
+    assert_no_drop(live, baseline["ops_per_wall_second"], "BENCH_fig4")

@@ -1,0 +1,142 @@
+"""Hypothesis properties for the scheduler primitives the batch kernel
+stands on (``repro.sim.events``, ``repro.sim.clock``).
+
+The batch kernel's determinism contract (docs/SCALE.md) reduces to two
+queue-level guarantees, checked here over arbitrary schedules:
+
+- *total canonical order*: events pop in ``(time, priority, origin
+  key, origin seq, global seq)`` order, so two events at the same
+  instant fire in a stable, scheduling-order-independent-of-heap-shape
+  sequence — FIFO among true ties;
+- *no time travel*: draining a tick yields exactly the events at that
+  instant, in the same canonical order popping one-by-one would give,
+  and never disturbs later events — so the clock can only move
+  forward, which :class:`~repro.sim.clock.Clock` enforces by
+  construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+
+# A schedule entry: (time, priority, okey, oseq).  Small domains force
+# collisions so ties are exercised constantly, not occasionally.
+entries = st.tuples(
+    st.sampled_from((0.0, 0.01, 0.02, 0.03, 1.5)),
+    st.sampled_from((-1, 0, 1)),
+    st.sampled_from(("", "a:1", "b:2")),
+    st.integers(min_value=0, max_value=3),
+)
+
+schedules = st.lists(entries, max_size=40)
+
+
+def build(schedule):
+    queue = EventQueue()
+    handles = []
+    for i, (time, priority, okey, oseq) in enumerate(schedule):
+        handles.append(
+            queue.push(
+                time, lambda: None, priority=priority, okey=okey, oseq=oseq
+            )
+        )
+    return queue, handles
+
+
+def drain_pop(queue):
+    out = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return out
+        out.append(event)
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=schedules)
+def test_pop_order_is_canonical_and_fifo_among_ties(schedule):
+    queue, _ = build(schedule)
+    popped = drain_pop(queue)
+    keys = [e.sort_key() for e in popped]
+    assert keys == sorted(keys)
+    # Global seq increases with scheduling order, so among full ties
+    # (time, priority, origin) the pop order is exactly FIFO.
+    for prev, cur in zip(popped, popped[1:]):
+        if prev.sort_key()[:4] == cur.sort_key()[:4]:
+            assert prev.seq < cur.seq
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=schedules, cancel=st.sets(st.integers(0, 39)))
+def test_batch_drain_equals_per_event_pops(schedule, cancel):
+    """Tick draining is pure batching: same events, same order, and no
+    event from a later instant ever leaks into an earlier tick."""
+    q_batch, handles = build(schedule)
+    q_pop, pop_handles = build(schedule)
+    for i in cancel:
+        if i < len(handles):
+            handles[i].cancel()
+            pop_handles[i].cancel()
+
+    clock = Clock()
+    drained = []
+    while True:
+        t = q_batch.peek_time()
+        if t is None:
+            break
+        clock.advance_to(t)  # never raises: ticks come out ascending
+        batch = q_batch.drain_at(t)
+        assert all(e.time == t for e in batch)
+        drained.extend(batch)
+
+    popped = drain_pop(q_pop)
+    assert [e.sort_key() for e in drained] == [e.sort_key() for e in popped]
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule=schedules)
+def test_drain_never_skips_pending_earlier_work(schedule):
+    queue, _ = build(schedule)
+    t = queue.peek_time()
+    if t is None:
+        return
+    queue.drain_at(t)
+    remaining = queue.peek_time()
+    assert remaining is None or remaining > t
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_clock_never_moves_backwards(times):
+    clock = Clock()
+    high = 0.0
+    for when in times:
+        if when >= high:
+            clock.advance_to(when)
+            high = when
+        else:
+            with pytest.raises(SimulationError):
+                clock.advance_to(when)
+        assert clock.now == high
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    handles = [queue.push(0.01, lambda: None) for _ in range(5)]
+    handles[1].cancel()
+    handles[4].cancel()
+    assert len(queue) == 3
+    batch = queue.drain_at(0.01)
+    assert len(batch) == 3
+    assert len(queue) == 0
