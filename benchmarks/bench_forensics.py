@@ -1,0 +1,274 @@
+"""BENCH_forensics: backward-slice latency vs durable-log size.
+
+The forensic store's pitch is that post-mortem queries stay cheap no
+matter how much history has been spilled: segment sidecars prune by
+time / node / tuple-id range, so a backward slice touches a handful of
+segments out of thousands.  This benchmark pins that claim:
+
+- synthesize a deterministic workload of rule chains (cross-node, with
+  identity records and payloads) over a bed of periodic log noise —
+  the BEEP-style storm profile — directly into a store;
+- at each log size (default 10k / 100k / 1M logical events), measure
+  build throughput, on-disk size, burst-compression ratios, and the
+  wall-clock latency of a backward slice of the *last* alarm, both
+  cold (fresh open, indexes unbuilt) and warm;
+- verify the slice is exactly the alarm's own chain (links, hop, leaf
+  input) — pruning must not cost correctness.
+
+The published target: sub-second cold slice at one million events.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_forensics.py \
+        --sizes 10000 100000 1000000 \
+        --out benchmarks/results/BENCH_forensics.json
+
+The CI ``forensics-smoke`` job runs ``--sizes 10000 100000`` nightly
+and uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import time
+from typing import Any, Dict, List
+
+from repro.store import format as fmt
+from repro.store.slicing import StoreProvider, backward_slice
+from repro.store.store import ForensicStore, StoreConfig
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_forensics.json"
+)
+
+#: Synthetic deployment shape: chains hop across this many nodes.
+NODES = 8
+#: Noise records (periodic tupleLog entries) per chain event — the
+#: storm profile burst compression exists for.
+NOISE_PER_CHAIN_EVENT = 3
+
+
+def build_store(directory: str, target_events: int) -> Dict[str, Any]:
+    """Fill one store with ~target_events logical events; returns the
+    alarm coordinates and raw-encoding byte count for the report."""
+    shutil.rmtree(directory, ignore_errors=True)
+    store = ForensicStore(
+        StoreConfig(directory=directory, segment_events=8192)
+    )
+    nodes = [f"n{i}:700{i}" for i in range(NODES)]
+    tids = {n: 0 for n in nodes}
+    seqs = {n: 0 for n in nodes}
+    raw_bytes = 0
+    clock = 0.0
+    alarm = None
+
+    def emit(record: Dict[str, Any]) -> None:
+        nonlocal raw_bytes
+        raw_bytes += len(fmt.encode(record).encode("utf-8")) + 1
+        store._append(record)
+
+    chain_index = 0
+    while store.events_appended < target_events:
+        clock = round(clock + 0.01, 6)
+        src = nodes[chain_index % NODES]
+        dst = nodes[(chain_index + 1) % NODES]
+        # Noise bed: periodic firings logged on both nodes.
+        for node in (src, dst):
+            for _ in range(NOISE_PER_CHAIN_EVENT):
+                seqs[node] += 1
+                emit(
+                    fmt.tuple_log_record(
+                        node,
+                        seqs[node],
+                        clock,
+                        "periodic",
+                        f"periodic({node}, {clock})",
+                    )
+                )
+        # One two-hop chain: start -> mid on src, shipped, -> alarm on dst.
+        tids[src] += 1
+        start = tids[src]
+        emit(
+            fmt.tuple_ident_record(
+                src,
+                start,
+                src,
+                start,
+                src,
+                clock,
+                {"rel": "start", "v": [src, chain_index]},
+            )
+        )
+        tids[src] += 1
+        mid = tids[src]
+        emit(
+            fmt.tuple_ident_record(
+                src,
+                mid,
+                src,
+                mid,
+                dst,
+                clock,
+                {"rel": "hop", "v": [dst, chain_index]},
+            )
+        )
+        emit(
+            fmt.rule_exec_record(
+                src, "r1", start, mid, clock, clock + 0.001, True
+            )
+        )
+        tids[dst] += 1
+        received = tids[dst]
+        emit(
+            fmt.tuple_ident_record(
+                dst,
+                received,
+                src,
+                mid,
+                dst,
+                clock + 0.002,
+                {"rel": "hop", "v": [dst, chain_index]},
+            )
+        )
+        tids[dst] += 1
+        final = tids[dst]
+        emit(
+            fmt.tuple_ident_record(
+                dst,
+                final,
+                dst,
+                final,
+                dst,
+                clock + 0.003,
+                {"rel": "alarm", "v": [dst, chain_index]},
+            )
+        )
+        emit(
+            fmt.rule_exec_record(
+                dst, "r2", received, final, clock + 0.002, clock + 0.003, True
+            )
+        )
+        alarm = {"node": dst, "tid": final, "chain": chain_index}
+        chain_index += 1
+    store.close()
+    return {"store": store, "alarm": alarm, "raw_bytes": raw_bytes}
+
+
+def check_slice(result, alarm) -> bool:
+    """The alarm's slice must be exactly its own two-link chain."""
+    return (
+        len(result.links) == 2
+        and len(result.hops) == 1
+        and len(result.inputs) == 1
+        and result.inputs[0]["rep"] is not None
+        and result.inputs[0]["rep"]["rel"] == "start"
+        and result.inputs[0]["rep"]["v"][1] == alarm["chain"]
+        and not result.truncated
+    )
+
+
+def run_size(directory: str, target_events: int) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    built = build_store(directory, target_events)
+    build_seconds = time.perf_counter() - t0
+    store = built["store"]
+    alarm = built["alarm"]
+
+    cold = ForensicStore.open(directory)
+    t0 = time.perf_counter()
+    cold_slice = backward_slice(
+        StoreProvider(cold), alarm["node"], alarm["tid"]
+    )
+    cold_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_slice = backward_slice(
+        StoreProvider(cold), alarm["node"], alarm["tid"]
+    )
+    warm_seconds = time.perf_counter() - t0
+
+    row = {
+        "events": store.events_appended,
+        "records": store.records_written,
+        "segments": store.segments_written,
+        "bytes": store.bytes_written,
+        "raw_bytes": built["raw_bytes"],
+        "compression_ratio": round(
+            store.events_appended / store.records_written, 4
+        ),
+        "byte_ratio": round(built["raw_bytes"] / store.bytes_written, 4),
+        "build_seconds": round(build_seconds, 4),
+        "events_per_second": round(store.events_appended / build_seconds, 1),
+        "slice_cold_seconds": round(cold_seconds, 6),
+        "slice_warm_seconds": round(warm_seconds, 6),
+        "slice_ok": bool(
+            check_slice(cold_slice, alarm)
+            and cold_slice.to_json() == warm_slice.to_json()
+        ),
+        "sub_second_slice": cold_seconds < 1.0,
+    }
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10_000, 100_000, 1_000_000],
+        help="logical-event counts to build and slice against",
+    )
+    parser.add_argument("--out", default=RESULTS_PATH)
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="where to build the stores (default: a sibling tmp dir, "
+        "removed afterwards)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir or os.path.join(
+        os.path.dirname(os.path.abspath(args.out)) or ".",
+        "_bench_forensics_tmp",
+    )
+    rows: List[Dict[str, Any]] = []
+    for size in args.sizes:
+        row = run_size(os.path.join(workdir, f"events{size}"), size)
+        rows.append(row)
+        print(
+            f"events={row['events']:>9} segments={row['segments']:>5} "
+            f"bytes={row['bytes']:>11} ratio={row['compression_ratio']:.2f}x "
+            f"build={row['build_seconds']:.2f}s "
+            f"slice cold={row['slice_cold_seconds'] * 1000:.1f}ms "
+            f"warm={row['slice_warm_seconds'] * 1000:.1f}ms "
+            f"ok={row['slice_ok']}"
+        )
+    if not args.workdir:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    report = {
+        "bench": "forensics",
+        "config": {
+            "nodes": NODES,
+            "noise_per_chain_event": NOISE_PER_CHAIN_EVENT,
+            "segment_events": 8192,
+        },
+        "sizes": rows,
+        "target": {
+            "sub_second_slice_at": max(args.sizes),
+            "met": all(r["sub_second_slice"] and r["slice_ok"] for r in rows),
+        },
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if report["target"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

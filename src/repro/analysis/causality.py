@@ -6,6 +6,14 @@ it is, step to the cause tuple, and — when the cause arrived over the
 network — hop to the sending node via ``tupleTable``'s (SrcAddr,
 SrcTID).  The result is the chain of rule executions, newest first,
 exactly what the paper's ep rules accumulate on-line.
+
+The in-memory trace tables are bounded rings, so a long-lived system
+eventually rotates the very rows an investigation needs.  Passing a
+:class:`~repro.store.store.ForensicStore` as ``store`` makes every
+lookup fall back to the durable segments when memory comes up empty —
+producer rows, cross-node source hops, preconditions, and memoized
+tuple contents alike — so a walk that starts on a live node can finish
+in last week's history.
 """
 
 from __future__ import annotations
@@ -53,50 +61,77 @@ def trace_back(
     start_node: str,
     tup: Tuple,
     max_depth: int = 100,
+    store=None,
 ) -> List[CausalLink]:
     """Walk the causal spine of ``tup`` backwards across nodes.
 
     ``nodes`` maps address -> node (all must have tracing enabled).
     Returns links newest-first; an empty list means the tuple has no
     recorded producer on ``start_node`` (e.g. it was injected).
+
+    With ``store``, any link memory no longer holds — its ring rotated,
+    its memo was flushed, the node crashed — is read from the durable
+    store instead; the walk can even hop through addresses that no
+    longer exist in ``nodes``.
     """
     chain: List[CausalLink] = []
-    node = nodes.get(start_node)
-    if node is None or node.registry is None:
+    address = start_node
+    node = nodes.get(address)
+    current_id = None
+    if node is not None and node.registry is not None:
+        current_id = node.registry.peek(tup)
+    if current_id is None and store is not None:
+        # The node is gone or its registry rotated the tuple away;
+        # resolve the identity from the durable records instead.
+        from repro.store import format as fmt
+
+        current_id = store.tid_of(address, fmt.tuple_payload(tup))
+    if current_id is None:
+        # Nobody knows this tuple — not the live registry, not the
+        # store.  Minting a fresh id here would pollute the registry
+        # with a historyless entry, so just report an empty chain.
         return chain
-    current_id = node.registry.id_of(tup)
     crossed = False
 
     for _ in range(max_depth):
-        row = _producer_row(node, current_id)
-        if row is None:
+        values = _producer_values(node, store, address, current_id)
+        if values is None:
             # Maybe the tuple arrived over the network: hop to its source.
-            source = node.registry.source_of(current_id)
+            source = None
+            if node is not None and node.registry is not None:
+                source = node.registry.source_of(current_id)
+            if source is None and store is not None:
+                source = store.source_of(address, current_id)
             if source is None:
                 break
             src_addr, src_tid = source
-            if src_addr == node.address and src_tid == current_id:
+            if src_addr == address and src_tid == current_id:
                 break
             next_node = nodes.get(src_addr)
-            if next_node is None or next_node.registry is None:
+            if (next_node is None or next_node.registry is None) and (
+                store is None
+            ):
                 break
             node = next_node
+            address = src_addr
             current_id = src_tid
             crossed = True
             continue
-        _, rule, cause_id, effect_id, in_t, out_t, _ = row.values
+        _, rule, cause_id, effect_id, in_t, out_t, _ = values
         chain.append(
             CausalLink(
-                node=node.address,
+                node=address,
                 rule=rule,
                 cause_id=cause_id,
                 effect_id=effect_id,
                 in_time=in_t,
                 out_time=out_t,
-                cause=node.registry.lookup(cause_id),
-                effect=node.registry.lookup(effect_id),
+                cause=_contents(node, store, address, cause_id),
+                effect=_contents(node, store, address, effect_id),
                 crossed_network=crossed,
-                preconditions=_preconditions_of(node, rule, effect_id),
+                preconditions=_preconditions_of(
+                    node, store, address, rule, effect_id
+                ),
             )
         )
         crossed = False
@@ -104,19 +139,49 @@ def trace_back(
     return chain
 
 
-def _preconditions_of(node: P2Node, rule: str, effect_id: int):
+def _contents(
+    node: Optional[P2Node], store, address: str, tid: int
+) -> Optional[Tuple]:
+    """Memoized tuple contents, falling back to the store's payload."""
+    if node is not None and node.registry is not None:
+        tup = node.registry.lookup(tid)
+        if tup is not None:
+            return tup
+    if store is not None:
+        from repro.store import format as fmt
+
+        return fmt.payload_tuple(store.contents_of(address, tid))
+    return None
+
+
+def _preconditions_of(
+    node: Optional[P2Node], store, address: str, rule: str, effect_id: int
+):
     """Precondition rows (IsEvent=false) of one rule execution."""
     out: List[Precondition] = []
-    if not node.store.has("ruleExec"):
-        return out
-    for row in node.store.get("ruleExec").scan():
-        _, r, cause_id, eid, in_t, _, is_event = row.values
-        if r == rule and eid == effect_id and is_event is False:
+    seen = set()
+    if node is not None and node.store.has("ruleExec"):
+        for row in node.store.get("ruleExec").scan():
+            _, r, cause_id, eid, in_t, _, is_event = row.values
+            if r == rule and eid == effect_id and is_event is False:
+                seen.add(cause_id)
+                out.append(
+                    Precondition(
+                        tuple_id=cause_id,
+                        contents=_contents(node, store, address, cause_id),
+                        fetched_at=in_t,
+                    )
+                )
+    if store is not None:
+        for edge in store.edges_to(address, effect_id):
+            if edge["ev"] or edge["r"] != rule or edge["c"] in seen:
+                continue
+            seen.add(edge["c"])
             out.append(
                 Precondition(
-                    tuple_id=cause_id,
-                    contents=node.registry.lookup(cause_id),
-                    fetched_at=in_t,
+                    tuple_id=edge["c"],
+                    contents=_contents(node, store, address, edge["c"]),
+                    fetched_at=edge["ti"],
                 )
             )
     return out
@@ -136,6 +201,40 @@ def dependencies(chain: List[CausalLink], name: str) -> List[Tuple]:
             if contents is not None and contents.name == name:
                 out.append(contents)
     return out
+
+
+def _producer_values(
+    node: Optional[P2Node], store, address: str, effect_id: int
+):
+    """The IsEvent=true producer row values for ``effect_id``.
+
+    Memory first (the live ring); then the store, where the *latest*
+    recorded event edge wins — matching the ring's replace-on-repeat
+    semantics so memory-backed and store-backed walks agree while both
+    still hold the row.
+    """
+    if node is not None and node.store.has("ruleExec"):
+        for row in node.store.get("ruleExec").scan():
+            if row.values[3] == effect_id and row.values[6] is True:
+                return row.values
+    if store is not None:
+        best = None
+        for edge in store.edges_to(address, effect_id):
+            if not edge["ev"]:
+                continue
+            if best is None or edge["to"] >= best["to"]:
+                best = edge
+        if best is not None:
+            return (
+                address,
+                best["r"],
+                best["c"],
+                best["e"],
+                best["ti"],
+                best["to"],
+                True,
+            )
+    return None
 
 
 def _producer_row(node: P2Node, effect_id: int):

@@ -25,6 +25,7 @@ from repro.net.topology import ConstantLatency, LatencyModel
 from repro.overload.controller import OverloadConfig
 from repro.overlog.types import NodeID
 from repro.sim.batch import ExecutionConfig
+from repro.store.store import StoreConfig
 from repro.runtime.node import P2Node
 from repro.runtime.tuples import Tuple
 
@@ -51,6 +52,11 @@ class ChordNetwork:
         observability: bool = False,
         overload: Optional[OverloadConfig] = None,
         execution: Optional[ExecutionConfig] = None,
+        store: Optional[StoreConfig] = None,
+        trace_lifetime: float = 120.0,
+        trace_entries: int = 5000,
+        log_capacity: int = 2000,
+        tuple_entries: int = 100000,
     ) -> None:
         self.params = params if params is not None else ChordParams()
         self.system = System(
@@ -69,6 +75,11 @@ class ChordNetwork:
             observability=observability,
             overload=overload,
             execution=execution,
+            store=store,
+            trace_lifetime=trace_lifetime,
+            trace_entries=trace_entries,
+            log_capacity=log_capacity,
+            tuple_entries=tuple_entries,
         )
         self.program = chord_program(self.params, recycle_dead_bug)
         self.addresses: List[str] = [

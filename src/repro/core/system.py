@@ -24,6 +24,7 @@ from repro.runtime.strand import CompositeTraceHooks
 from repro.sim.batch import BatchKernel, ExecutionConfig
 from repro.sim.simulator import Simulator
 from repro.introspect import EventLogger, Reflector, Tracer, enable_tracing
+from repro.store.store import RINGS, ForensicStore, StoreConfig
 
 
 class System:
@@ -54,6 +55,11 @@ class System:
         obs_sample_rate: float = 1.0,
         overload: Optional[OverloadConfig] = None,
         execution: Optional[ExecutionConfig] = None,
+        store: Optional[StoreConfig] = None,
+        trace_lifetime: float = 120.0,
+        trace_entries: int = 5000,
+        log_capacity: int = 2000,
+        tuple_entries: int = 100000,
     ) -> None:
         #: How events execute (:mod:`repro.sim.batch`).  ``None`` keeps
         #: the original continuous-time per-tuple loop, bit-identical to
@@ -97,6 +103,27 @@ class System:
         #: Overload-protection config applied to every node (None keeps
         #: all hot paths exactly as before; see :mod:`repro.overload`).
         self.overload = overload
+        #: System-wide introspection-ring capacity defaults; ``add_node``
+        #: arguments override them per node.
+        self.trace_lifetime = trace_lifetime
+        self.trace_entries = trace_entries
+        self.log_capacity = log_capacity
+        self.tuple_entries = tuple_entries
+        #: The durable forensic event store (:mod:`repro.store`), or
+        #: None.  Enabled, it taps every traced/logged node's hooks and
+        #: keeps answering provenance queries after the rings rotate.
+        self.store: Optional[ForensicStore] = None
+        if store is not None:
+            self.store = ForensicStore(store, clock=lambda: self.sim.now)
+            if self.kernel is not None:
+                # Cut segments at tick barriers, never mid-tick.
+                self.store.tick_mode = True
+                self.kernel.on_tick.append(self.store.on_tick_barrier)
+        #: Ring evictions per ``(node address, ring name)`` — the
+        #: counter behind ``store_ring_rotations_total``.  A ring's
+        #: first eviction also emits one ``store.ring_rotated`` recorder
+        #: event: the moment in-memory forensics start losing history.
+        self.ring_rotations: Dict[tuple, int] = {}
         self.nodes: Dict[Address, P2Node] = {}
         self.tracers: Dict[Address, Tracer] = {}
         self.loggers: Dict[Address, EventLogger] = {}
@@ -116,12 +143,40 @@ class System:
         tracing: bool = False,
         logging: bool = False,
         reflection: bool = False,
-        trace_lifetime: float = 120.0,
-        trace_entries: int = 5000,
+        trace_lifetime: Optional[float] = None,
+        trace_entries: Optional[int] = None,
+        log_capacity: Optional[int] = None,
+        tuple_entries: Optional[int] = None,
     ) -> P2Node:
-        """Create and register a node; optionally enable introspection."""
+        """Create and register a node; optionally enable introspection.
+
+        Ring capacities (``trace_entries``, ``log_capacity``,
+        ``tuple_entries``) and the trace lifetime default to the
+        system-wide values given at construction.
+        """
         if address in self.nodes:
             raise ReproError(f"node {address!r} already exists")
+        trace_lifetime = (
+            self.trace_lifetime if trace_lifetime is None else trace_lifetime
+        )
+        trace_entries = (
+            self.trace_entries if trace_entries is None else trace_entries
+        )
+        log_capacity = (
+            self.log_capacity if log_capacity is None else log_capacity
+        )
+        tuple_entries = (
+            self.tuple_entries if tuple_entries is None else tuple_entries
+        )
+        for name, value in (
+            ("trace_entries", trace_entries),
+            ("log_capacity", log_capacity),
+            ("tuple_entries", tuple_entries),
+        ):
+            if value < 1:
+                raise ReproError(
+                    f"{name} must be at least 1, got {value!r}"
+                )
         node = P2Node(
             address,
             self.sim,
@@ -141,15 +196,28 @@ class System:
             "reflection": reflection,
             "trace_lifetime": trace_lifetime,
             "trace_entries": trace_entries,
+            "log_capacity": log_capacity,
+            "tuple_entries": tuple_entries,
         }
         if tracing:
             self.tracers[address] = enable_tracing(
-                node, lifetime=trace_lifetime, max_entries=trace_entries
+                node,
+                lifetime=trace_lifetime,
+                max_entries=trace_entries,
+                tuple_entries=tuple_entries,
             )
         if logging:
-            self.loggers[address] = EventLogger(node)
+            self.loggers[address] = EventLogger(node, capacity=log_capacity)
         if reflection:
             self.reflectors[address] = Reflector(node)
+        if self.store is not None and (tracing or logging):
+            self.store.attach_node(
+                node,
+                tracer=self.tracers.get(address),
+                logger=self.loggers.get(address),
+            )
+        if tracing or logging:
+            self._watch_rings(address, node)
         if self.telemetry.enabled:
             node.obs = self.telemetry
             obs_hooks = ObsTraceHooks(self.telemetry, str(address))
@@ -158,6 +226,38 @@ class System:
             else:
                 node.hooks = obs_hooks
         return node
+
+    def _watch_rings(self, address: Address, node: P2Node) -> None:
+        """Count evictions from the introspection rings.
+
+        The first eviction of each ``(node, ring)`` also emits a
+        ``store.ring_rotated`` recorder event — the signal that
+        in-memory forensics on that node are now lossy and post-mortems
+        should consult the durable store.
+        """
+        from repro.runtime.table import RemoveReason
+
+        label = str(address)
+
+        def observe(ring: str) -> None:
+            def on_remove(row, reason) -> None:
+                if reason is not RemoveReason.EVICTED:
+                    return
+                key = (label, ring)
+                first = key not in self.ring_rotations
+                self.ring_rotations[key] = self.ring_rotations.get(key, 0) + 1
+                if self.store is not None:
+                    self.store.ring_rotated(label, ring)
+                if first:
+                    self.telemetry.event(
+                        "store.ring_rotated", node=label, ring=ring
+                    )
+
+            node.store.get(ring).on_remove.append(on_remove)
+
+        for ring in RINGS:
+            if node.store.has(ring):
+                observe(ring)
 
     def node(self, address: Address) -> P2Node:
         node = self.nodes.get(address)
@@ -275,3 +375,15 @@ class System:
         write_jsonl(self.telemetry, paths["jsonl"], meta=meta)
         write_prometheus(self.telemetry, paths["prom"])
         return paths
+
+    def close_store(self) -> Optional[ForensicStore]:
+        """Flush and finalize the forensic store (if one is enabled).
+
+        Returns the store so callers can chain into offline queries:
+        ``system.close_store()`` then ``python -m repro.store ...`` on
+        its directory.  Capture stops; the segments and manifest on
+        disk are complete and byte-stable for the seeded run.
+        """
+        if self.store is not None:
+            self.store.close()
+        return self.store

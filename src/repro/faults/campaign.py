@@ -35,6 +35,7 @@ from repro.net.network import ReliableConfig
 from repro.overload.controller import OverloadConfig
 from repro.overload.policy import CLASSES
 from repro.sim.batch import ExecutionConfig
+from repro.store.store import StoreConfig
 
 
 @dataclass
@@ -117,6 +118,17 @@ class CampaignConfig:
     #: battery pins that the verdict fingerprint is identical across
     #: batch sizes for a given tick.
     execution: Optional[ExecutionConfig] = None
+    #: Run every node traced + logged with a durable forensic store
+    #: (:mod:`repro.store`) spilling under ``<store_dir>/seed<seed>``.
+    #: The verdict embeds the manifest path, segment names, and totals —
+    #: in the fingerprint, the same way the telemetry JSONL pointer is —
+    #: so a failing seed's history can be sliced offline with
+    #: ``python -m repro.store slice``.
+    store_dir: Optional[str] = None
+    #: Ring capacities for store-enabled campaigns (small rings force
+    #: rotation, proving the store carries what memory dropped).
+    trace_entries: int = 5000
+    log_capacity: int = 2000
 
     def reliable_config(self) -> ReliableConfig:
         if self.reliable is not None:
@@ -173,6 +185,10 @@ class CampaignVerdict:
     #: Path of the exported telemetry JSONL artifact (None when the
     #: campaign ran without ``artifact_dir``).
     artifact: Optional[str] = None
+    #: Forensic-store pointers (None without ``store_dir``): manifest
+    #: path, segment file names, and write totals, fingerprint-embedded
+    #: like ``artifact``.
+    store: Optional[Dict] = None
 
     @property
     def passed(self) -> bool:
@@ -215,6 +231,7 @@ class CampaignVerdict:
                 ],
                 "overload": self.overload,
                 "artifact": self.artifact,
+                "store": self.store,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -366,6 +383,18 @@ class FaultCampaign:
         injected (the zero-alarm baseline the soundness tests compare
         against)."""
         config = self.config
+        store_config = None
+        if config.store_dir:
+            import os
+
+            leaf = f"seed{self.seed}"
+            if config.storm:
+                leaf += "_storm" if config.shedding else "_storm_noshed"
+            if control:
+                leaf += "_control"
+            store_config = StoreConfig(
+                directory=os.path.join(config.store_dir, leaf)
+            )
         net = ChordNetwork(
             num_nodes=config.num_nodes,
             seed=self.seed,
@@ -374,6 +403,11 @@ class FaultCampaign:
             observability=config.observability or bool(config.artifact_dir),
             overload=config.storm_overload() if config.storm else None,
             execution=config.execution,
+            store=store_config,
+            tracing=store_config is not None,
+            logging=store_config is not None,
+            trace_entries=config.trace_entries,
+            log_capacity=config.log_capacity,
         )
         net.start()
         stabilized = net.wait_stable(max_time=config.stabilize_time)
@@ -518,6 +552,19 @@ class FaultCampaign:
                 },
             )
             artifact = paths["jsonl"]
+        store_info = None
+        if store_config is not None:
+            store = net.system.close_store()
+            store_info = {
+                "manifest": store.manifest_path(),
+                "segments": store.segment_paths(),
+                "records": store.records_written,
+                "events": store.events_appended,
+                "bytes": store.bytes_written,
+                "ring_rotations": sum(
+                    store.ring_rotations.values()
+                ),
+            }
         return CampaignVerdict(
             seed=self.seed,
             transport=config.transport,
@@ -546,6 +593,7 @@ class FaultCampaign:
             drop_reasons=dict(stats.drop_reasons),
             overload=overload_summary,
             artifact=artifact,
+            store=store_info,
         )
 
     def _overload_summary(self, net: ChordNetwork, lookups: List[List]) -> Dict:
@@ -649,6 +697,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run with telemetry enabled and export trace/JSONL/Prometheus "
         "artifacts per seed into DIR",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="trace + log every node into a durable forensic store under "
+        "DIR/seed<seed>; the verdict fingerprint embeds the manifest "
+        "and segment pointers (slice offline with python -m repro.store)",
+    )
     args = parser.parse_args(argv)
 
     failures = 0
@@ -658,6 +714,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_nodes=args.nodes,
             transport=args.transport,
             artifact_dir=args.artifacts,
+            store_dir=args.store,
             churn=args.churn,
             storm=args.storm,
             shedding=not args.no_shedding,
@@ -692,6 +749,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
         if verdict.artifact:
             print(f"         artifact: {verdict.artifact}")
+        if verdict.store:
+            print(
+                f"         store: {verdict.store['manifest']} "
+                f"segments={len(verdict.store['segments'])} "
+                f"events={verdict.store['events']} "
+                f"ring_rotations={verdict.store['ring_rotations']}"
+            )
         if args.fingerprints:
             print(verdict.fingerprint())
         if args.verdicts:

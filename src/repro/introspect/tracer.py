@@ -72,9 +72,12 @@ class Tracer(TraceHooks):
         node: P2Node,
         lifetime: Any = 120.0,
         max_entries: Any = 5000,
+        tuple_entries: Any = 100000,
     ) -> None:
         self._node = node
-        self.registry = TupleRegistry(node, lifetime=lifetime)
+        self.registry = TupleRegistry(
+            node, lifetime=lifetime, max_entries=tuple_entries
+        )
         self._table = node.store.materialize(
             Materialize(RULE_EXEC, lifetime, max_entries, [2, 3, 4, 7])
         )
@@ -224,7 +227,15 @@ class Tracer(TraceHooks):
 
 
 def enable_tracing(
-    node: P2Node, lifetime: Any = 120.0, max_entries: Any = 5000
+    node: P2Node,
+    lifetime: Any = 120.0,
+    max_entries: Any = 5000,
+    tuple_entries: Any = 100000,
 ) -> Tracer:
     """Switch on execution logging for ``node`` (the §4 'logging' knob)."""
-    return Tracer(node, lifetime=lifetime, max_entries=max_entries)
+    return Tracer(
+        node,
+        lifetime=lifetime,
+        max_entries=max_entries,
+        tuple_entries=tuple_entries,
+    )

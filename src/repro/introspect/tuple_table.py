@@ -21,7 +21,7 @@ tupleTable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple as PyTuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple as PyTuple
 
 from repro.overlog.ast import Materialize
 from repro.overlog.types import INFINITY
@@ -56,6 +56,12 @@ class TupleRegistry:
         # double-counting the arrival in every downstream monitor).
         self._seen_mids: Set[PyTuple] = set()
         self.duplicates_ignored = 0
+        #: Observers of identity-row writes: ``(tid, src, src_tid,
+        #: loc_spec, tup)`` per ``tupleTable`` row written, where
+        #: ``tup`` is the memoized contents.  The forensic event store
+        #: (:mod:`repro.store`) taps this to persist tuple identity and
+        #: payloads beyond the in-memory ring's lifetime.
+        self.on_register: List[Callable[[int, Any, Any, Any, Tuple], None]] = []
 
     # ------------------------------------------------------------------
     # Identity
@@ -79,6 +85,15 @@ class TupleRegistry:
     def id_of(self, tup: Tuple) -> int:
         """The local ID of ``tup``, assigning one if needed."""
         return self.ensure(tup, loc_spec=tup.location)
+
+    def peek(self, tup: Tuple) -> Optional[int]:
+        """The local ID of ``tup`` if it is currently registered.
+
+        Unlike :meth:`id_of` this never mints a fresh ID, so callers
+        can distinguish "this node has forgotten the tuple" (rotation,
+        restart) and fall back to the durable store's identity records.
+        """
+        return self._ids.get(tup)
 
     def on_arrival(
         self,
@@ -180,6 +195,10 @@ class TupleRegistry:
             (self._node.address, tid, src, src_tid, loc_spec),
         )
         self._table.insert(row)
+        if self.on_register:
+            tup = self._memo.get(tid)
+            for callback in list(self.on_register):
+                callback(tid, src, src_tid, loc_spec, tup)
 
     def retained(self) -> int:
         """Number of memoized tuples currently held."""

@@ -446,3 +446,45 @@ def wire_system_metrics(telemetry: Telemetry, system) -> None:
         help="flight-recorder accounting",
         labelnames=("counter",),
     )
+
+    def _store():
+        return getattr(system, "store", None)
+
+    reg.register_callback(
+        "store_counters_total",
+        lambda: (
+            {}
+            if _store() is None
+            else {
+                ("events_appended",): _store().events_appended,
+                ("records_written",): _store().records_written,
+                ("segments_written",): _store().segments_written,
+                ("bursts_written",): _store().bursts_written,
+                ("flushes",): _store().flushes,
+            }
+        ),
+        help="forensic-store write-path counters by name",
+        labelnames=("counter",),
+    )
+    reg.register_callback(
+        "store_bytes_written_total",
+        lambda: {(): _store().bytes_written} if _store() else {},
+        help="segment bytes written by the forensic store",
+    )
+    reg.register_callback(
+        "store_buffered_events",
+        lambda: {(): len(_store()._buffer)} if _store() else {},
+        help="captured events awaiting the next segment flush",
+        kind="gauge",
+    )
+    reg.register_callback(
+        "store_ring_rotations_total",
+        lambda: {
+            (node, ring): count
+            for (node, ring), count in getattr(
+                system, "ring_rotations", {}
+            ).items()
+        },
+        help="introspection-ring evictions per node and ring",
+        labelnames=("node", "ring"),
+    )

@@ -328,8 +328,17 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------
 
-    def post_mortem(self, address: Address, seed: int = 0):
-        """Open a forensic replica of a (dead) node's durable state."""
+    def post_mortem(self, address: Address, seed: int = 0, store=None):
+        """Open a forensic replica of a (dead) node's durable state.
+
+        ``store`` defaults to the system's forensic store (when one is
+        enabled), so replicas backfill trace rows the rings rotated
+        away; pass ``store=False`` to force a rings-only replica.
+        """
         from repro.recovery.postmortem import PostMortem
 
-        return PostMortem(self.medium, address, seed=seed)
+        if store is None:
+            store = getattr(self.system, "store", None)
+        elif store is False:
+            store = None
+        return PostMortem(self.medium, address, seed=seed, store=store)

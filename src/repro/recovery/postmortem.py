@@ -45,6 +45,7 @@ class PostMortem:
         medium: DurableMedium,
         address: Address,
         seed: int = 0,
+        store=None,
     ) -> None:
         from repro.core.system import System
 
@@ -58,6 +59,79 @@ class PostMortem:
         self.report: RecoveryReport = replay_image(
             self.node, self.image, install_programs=False
         )
+        #: Optional :class:`~repro.store.store.ForensicStore` backing
+        #: the replica: trace rows the durable image no longer holds
+        #: (the in-memory rings rotated before the last checkpoint)
+        #: are backfilled from segments, so OverLog forensics see the
+        #: full persisted history, not the ring-sized tail.
+        self.store = store
+        self.backfilled = {"ruleExec": 0, "tupleTable": 0}
+        if store is not None:
+            self._backfill_from_store()
+
+    def _backfill_from_store(self) -> None:
+        from repro.overlog.ast import Materialize
+        from repro.overlog.types import INFINITY
+        from repro.store import format as fmt
+
+        label = str(self.address)
+        if self.node.store.has("ruleExec"):
+            rule_exec = self.node.store.get("ruleExec")
+            # The replica is a forensic artifact, not a live node: lift
+            # the ring bound the WAL replayed, or backfilled history
+            # would just evict itself.
+            rule_exec.max_size = INFINITY
+            rule_exec.lifetime = INFINITY
+        else:
+            rule_exec = self.node.store.materialize(
+                Materialize("ruleExec", INFINITY, INFINITY, [2, 3, 4, 7])
+            )
+        present = {
+            (r.values[1], r.values[2], r.values[3], r.values[6])
+            for r in rule_exec.scan()
+        }
+        for record in self.store.events(node=label, kind=fmt.RULE_EXEC):
+            key = (record["r"], record["c"], record["e"], record["ev"])
+            if key in present:
+                continue
+            present.add(key)
+            rule_exec.insert(
+                Tuple(
+                    "ruleExec",
+                    (
+                        label,
+                        record["r"],
+                        record["c"],
+                        record["e"],
+                        record["ti"],
+                        record["to"],
+                        record["ev"],
+                    ),
+                )
+            )
+            self.backfilled["ruleExec"] += 1
+        if self.node.store.has("tupleTable"):
+            tuple_table = self.node.store.get("tupleTable")
+            tuple_table.max_size = INFINITY
+            tuple_table.lifetime = INFINITY
+        else:
+            tuple_table = self.node.store.materialize(
+                Materialize("tupleTable", INFINITY, INFINITY, [2])
+            )
+        held = {r.values[1] for r in tuple_table.scan()}
+        for record in self.store.events(node=label, kind=fmt.TUPLE_IDENT):
+            if record["i"] in held:
+                continue
+            held.add(record["i"])
+            source = self.store.source_of(label, record["i"])
+            src, src_tid = source if source else (label, record["i"])
+            tuple_table.insert(
+                Tuple(
+                    "tupleTable",
+                    (label, record["i"], src, src_tid, record["l"]),
+                )
+            )
+            self.backfilled["tupleTable"] += 1
 
     # ------------------------------------------------------------------
 

@@ -99,6 +99,33 @@ class Dashboard:
                     f"wal={len(image.wal)} rec/{image.wal_bytes}B  "
                     f"restarts={system.nodes[address].restarts}"
                 )
+        store = getattr(system, "store", None)
+        if store is not None:
+            lines.append("")
+            lines.append("forensic store (durable events):")
+            ratio = store.compression_ratio
+            lines.append(
+                f"  segments={store.segments_written} "
+                f"({store.bytes_written}B)  "
+                f"events={store.events_appended} -> "
+                f"records={store.records_written} "
+                f"(ratio {ratio:.2f}x)  "
+                f"buffered={len(store._buffer)}  "
+                f"flushes={store.flushes}"
+            )
+            rotations = getattr(system, "ring_rotations", {})
+            if rotations:
+                per_ring: Dict[str, int] = {}
+                for (_, ring), count in rotations.items():
+                    per_ring[ring] = per_ring.get(ring, 0) + count
+                inner = ", ".join(
+                    f"{ring}={count}"
+                    for ring, count in sorted(per_ring.items())
+                )
+                lines.append(
+                    f"  ring rotations: {inner} "
+                    f"(in-memory forensics lossy; slice from the store)"
+                )
         controllers = [
             (address, system.nodes[address].overload)
             for address in sorted(system.nodes)

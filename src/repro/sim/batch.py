@@ -104,6 +104,11 @@ class BatchKernel:
         self.ticks = 0
         #: Largest single-tick event batch seen (for BENCH_scale).
         self.max_tick_events = 0
+        #: Tick-barrier hooks, called with the tick time after all of a
+        #: tick's events have run.  The forensic store registers here so
+        #: its segment cuts align with tick boundaries instead of
+        #: landing mid-tick between two events of the same instant.
+        self.on_tick: List[Callable[[float], None]] = []
 
     def register_group(self, key: str, executor: GroupExecutor) -> None:
         """Route group ``key``'s per-tick events through ``executor``."""
@@ -148,6 +153,8 @@ class BatchKernel:
                     else:
                         bucket.append(event)
             self._flush(groups)
+            for hook in self.on_tick:
+                hook(t)
         sim._set_origin("")
         sim.clock.advance_to(when)
 

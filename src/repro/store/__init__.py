@@ -1,0 +1,33 @@
+"""Durable, queryable forensic event store (see :mod:`repro.store.store`).
+
+The public surface:
+
+- :class:`StoreConfig` / :class:`ForensicStore` — capture, segments,
+  queries, provenance;
+- :func:`backward_slice` with :class:`MemoryProvider` /
+  :class:`StoreProvider` — alarm -> minimal supporting input set;
+- ``python -m repro.store`` — offline query / slice / info CLI.
+"""
+
+from repro.store.compress import BurstCompressor, expand, expand_all
+from repro.store.format import tuple_payload
+from repro.store.slicing import (
+    MemoryProvider,
+    Slice,
+    StoreProvider,
+    backward_slice,
+)
+from repro.store.store import ForensicStore, StoreConfig
+
+__all__ = [
+    "BurstCompressor",
+    "ForensicStore",
+    "MemoryProvider",
+    "Slice",
+    "StoreConfig",
+    "StoreProvider",
+    "backward_slice",
+    "expand",
+    "expand_all",
+    "tuple_payload",
+]

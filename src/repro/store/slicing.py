@@ -1,0 +1,216 @@
+"""Backward slicing over the persisted causality graph.
+
+A *backward slice* of an alarm tuple is the minimal supporting set of
+rule executions, cross-node hops, and leaf input tuples that explain
+it — HOLMES/CamQuery-style, generalizing
+:func:`repro.analysis.causality.trace_back` (which follows only the
+event spine) to the full dependency graph including every
+precondition edge.
+
+One algorithm, two graph providers:
+
+- :class:`MemoryProvider` reads the live in-memory introspection rings
+  (``ruleExec`` tables + tuple registries) of a running system;
+- :class:`StoreProvider` reads a :class:`~repro.store.store.ForensicStore`
+  (segments on disk), which keeps answering after the rings rotate.
+
+Both see the *same* node-local tuple ids (the store records registry
+ids), and :meth:`Slice.to_json` is canonical (sorted, compact), so a
+memory slice and a store slice of the same alarm are byte-identical
+while history is still in the rings — the property the differential
+battery pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
+
+from repro.store import format as fmt
+
+DEFAULT_MAX_NODES = 100000
+
+
+class MemoryProvider:
+    """Graph provider over live nodes (address -> P2Node, traced)."""
+
+    def __init__(self, nodes: Dict[str, Any]) -> None:
+        self._nodes = nodes
+
+    def edges_to(self, node: str, tid: int) -> List[Dict[str, Any]]:
+        live = self._nodes.get(node)
+        if live is None or not live.store.has("ruleExec"):
+            return []
+        out = []
+        for row in live.store.get("ruleExec").scan():
+            _, rule, cause, effect, in_t, out_t, is_event = row.values
+            if effect == tid:
+                out.append(
+                    fmt.rule_exec_record(
+                        node, rule, cause, effect, in_t, out_t, is_event
+                    )
+                )
+        return out
+
+    def source_of(self, node: str, tid: int) -> Optional[PyTuple]:
+        live = self._nodes.get(node)
+        if live is None or live.registry is None:
+            return None
+        return live.registry.source_of(tid)
+
+    def contents_of(self, node: str, tid: int) -> Optional[Dict[str, Any]]:
+        live = self._nodes.get(node)
+        if live is None or live.registry is None:
+            return None
+        tup = live.registry.lookup(tid)
+        if tup is None:
+            return None
+        return fmt.tuple_payload(tup)
+
+
+class StoreProvider:
+    """Graph provider over a (possibly closed) forensic store."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def edges_to(self, node: str, tid: int) -> List[Dict[str, Any]]:
+        return self._store.edges_to(node, tid)
+
+    def source_of(self, node: str, tid: int) -> Optional[PyTuple]:
+        return self._store.source_of(node, tid)
+
+    def contents_of(self, node: str, tid: int) -> Optional[Dict[str, Any]]:
+        return self._store.contents_of(node, tid)
+
+
+@dataclass
+class Slice:
+    """One backward slice, in canonical (sorted) form."""
+
+    node: str
+    tid: int
+    #: Rule-execution edges in the slice (event *and* precondition).
+    links: List[Dict[str, Any]] = field(default_factory=list)
+    #: Cross-node hops followed: receiver (node, tid) -> sender.
+    hops: List[Dict[str, Any]] = field(default_factory=list)
+    #: Leaf inputs: tuples with no recorded producer (injected or
+    #: beyond retention), with their payload when one is known.
+    inputs: List[Dict[str, Any]] = field(default_factory=list)
+    #: True when the walk hit ``max_nodes`` before exhausting the graph.
+    truncated: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": {"node": self.node, "tid": self.tid},
+            "links": self.links,
+            "hops": self.hops,
+            "inputs": self.inputs,
+            "truncated": self.truncated,
+            "counts": {
+                "links": len(self.links),
+                "hops": len(self.hops),
+                "inputs": len(self.inputs),
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-stable for a given dependency graph."""
+        return fmt.encode(self.to_dict())
+
+
+def _link_sort_key(link: Dict[str, Any]):
+    return (
+        link["n"],
+        link["e"],
+        link["r"],
+        not link["ev"],
+        link["c"],
+        link["ti"],
+        link["to"],
+    )
+
+
+def _dedup_latest(edges: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Keep the newest edge per logical identity.
+
+    The in-memory ``ruleExec`` table replaces rows keyed on
+    (rule, cause, effect, is_event) when an execution repeats; the
+    store keeps every historical record.  Deduplicating to the latest
+    (max ``to``) makes both providers present the same edge set while
+    the rings still hold the history.
+    """
+    best: Dict[PyTuple, Dict[str, Any]] = {}
+    for edge in edges:
+        key = (edge["n"], edge["r"], edge["c"], edge["e"], edge["ev"])
+        held = best.get(key)
+        if held is None or edge["to"] >= held["to"]:
+            best[key] = edge
+    return list(best.values())
+
+
+def backward_slice(
+    provider,
+    node: str,
+    tid: int,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> Slice:
+    """BFS backward from ``(node, tid)`` to the minimal supporting set.
+
+    Every rule-execution edge whose effect is a visited tuple is
+    followed to its cause; tuples with no local producer are chased
+    across the network via their recorded (SrcAddr, SrcTID); tuples
+    with neither are the slice's leaf inputs.  A visited set makes the
+    walk terminate on cyclic REPLACED ping-pongs.
+    """
+    result = Slice(node=node, tid=tid)
+    queue = deque([(node, tid)])
+    visited = {(node, tid)}
+    expanded = 0
+
+    while queue:
+        if expanded >= max_nodes:
+            result.truncated = True
+            break
+        expanded += 1
+        current_node, current_tid = queue.popleft()
+        edges = _dedup_latest(provider.edges_to(current_node, current_tid))
+        hopped = False
+        if not edges:
+            source = provider.source_of(current_node, current_tid)
+            if source is not None:
+                src, src_tid = source
+                if not (src == current_node and src_tid == current_tid):
+                    result.hops.append(
+                        {
+                            "n": current_node,
+                            "i": current_tid,
+                            "s": src,
+                            "si": src_tid,
+                        }
+                    )
+                    hopped = True
+                    if (src, src_tid) not in visited:
+                        visited.add((src, src_tid))
+                        queue.append((src, src_tid))
+        if not edges and not hopped:
+            result.inputs.append(
+                {
+                    "n": current_node,
+                    "i": current_tid,
+                    "rep": provider.contents_of(current_node, current_tid),
+                }
+            )
+            continue
+        for edge in edges:
+            result.links.append(edge)
+            upstream = (current_node, edge["c"])
+            if upstream not in visited:
+                visited.add(upstream)
+                queue.append(upstream)
+
+    result.links.sort(key=_link_sort_key)
+    result.hops.sort(key=lambda h: (h["n"], h["i"]))
+    result.inputs.sort(key=lambda r: (r["n"], r["i"]))
+    return result

@@ -1,0 +1,440 @@
+"""The durable forensic event store.
+
+:class:`ForensicStore` taps the introspection plane of a running
+:class:`~repro.core.system.System` — the tracer's ``ruleExec`` table,
+the tuple registry's identity writes, the event logger's ``tupleLog`` /
+``tableLog`` — and spills everything to append-only segment files with
+columnar index sidecars (:mod:`repro.store.segment`), applying burst
+compression on the way down (:mod:`repro.store.compress`).  The
+in-memory introspection rings stay exactly as they were: bounded,
+fast, queryable from OverLog.  The store is the history that survives
+when they rotate.
+
+Write path: records accumulate in a bounded buffer; when the buffer
+reaches ``segment_events`` the store cuts a segment.  Under the batch
+kernel the cut is deferred to the next tick barrier (segments align to
+tick boundaries); under the legacy loop it happens inline.  ``close()``
+flushes the remainder and (re)writes ``manifest.json``.
+
+Read path: :meth:`events` for filtered scans (time / relation / node /
+kind / tuple id), and the provenance lookups (:meth:`edges_to`,
+:meth:`source_of`, :meth:`contents_of`, :meth:`tid_of`) that back
+:mod:`repro.store.slicing`.  Reads see buffered-but-unflushed records
+too, so a live query never misses the tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
+
+from repro.errors import ReproError
+from repro.store import format as fmt
+from repro.store.compress import (
+    BurstCompressor,
+    DEFAULT_MIN_RUN,
+    DEFAULT_NOISE_RELATIONS,
+    expand,
+)
+from repro.store.segment import SegmentReader, write_segment
+
+MANIFEST = "manifest.json"
+
+#: The introspection rings the store taps (and watches for rotation).
+RINGS = ("ruleExec", "tupleLog", "tableLog", "tupleTable")
+
+
+@dataclass
+class StoreConfig:
+    """Knobs of one forensic store."""
+
+    #: Directory segments are written into (created on first flush).
+    directory: str
+    #: Records per segment (the buffer bound — memory stays O(this)).
+    segment_events: int = 4096
+    #: Burst compression on/off and its run threshold.
+    compress: bool = True
+    burst_min_run: int = DEFAULT_MIN_RUN
+    #: Relations whose log entries are *counted* (lossy) when bursty.
+    noise_relations: PyTuple = DEFAULT_NOISE_RELATIONS
+    #: Capture tupleLog / tableLog entries (ruleExec + tupleTable are
+    #: always captured — they are the causality graph).
+    capture_logs: bool = True
+
+
+class ForensicStore:
+    """One durable event store serving a whole system (see module doc)."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._compressor = (
+            BurstCompressor(
+                min_run=config.burst_min_run,
+                noise_relations=config.noise_relations,
+            )
+            if config.compress
+            else None
+        )
+        self._buffer: List[Dict[str, Any]] = []
+        self._segments: List[SegmentReader] = []
+        self._next_seg = 1
+        self._dir_ready = False
+        #: Deferred-cut mode: True once registered on a batch kernel's
+        #: tick-barrier hook (segments then align to tick boundaries).
+        self.tick_mode = False
+        # Per-node set of tuple ids whose payload was already persisted.
+        self._payloaded: Dict[str, set] = {}
+        # Counters (exported as store_* metrics).
+        self.events_appended = 0
+        self.records_written = 0
+        self.segments_written = 0
+        self.bytes_written = 0
+        self.bursts_written = 0
+        self.flushes = 0
+        #: Ring rotations observed, keyed ``(node, ring)`` (mirrors the
+        #: system-level counter so store readers can see it offline).
+        self.ring_rotations: Dict[PyTuple, int] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Opening an existing store (CLI, post-mortem)
+
+    @classmethod
+    def open(cls, directory: str) -> "ForensicStore":
+        """Open a written store read-only from its manifest."""
+        path = os.path.join(directory, MANIFEST)
+        if not os.path.exists(path):
+            raise ReproError(f"no forensic store manifest at {path}")
+        with open(path) as handle:
+            manifest = json.load(handle)
+        store = cls(StoreConfig(directory=directory))
+        for summary in manifest["segments"]:
+            store._segments.append(SegmentReader(directory, summary))
+        store._next_seg = manifest["next_segment"]
+        store.events_appended = manifest["totals"]["events"]
+        store.records_written = manifest["totals"]["records"]
+        store.segments_written = len(store._segments)
+        store.bytes_written = manifest["totals"]["bytes"]
+        store.bursts_written = manifest["totals"]["bursts"]
+        store.ring_rotations = {
+            (entry["node"], entry["ring"]): entry["count"]
+            for entry in manifest.get("ring_rotations", [])
+        }
+        store.closed = True
+        return store
+
+    # ------------------------------------------------------------------
+    # Wiring
+
+    def attach_node(self, node, tracer=None, logger=None) -> None:
+        """Tap one node's introspection hooks.
+
+        ``tracer`` contributes ``ruleExec`` edges and (through its
+        registry) tuple identity + payloads; ``logger`` contributes the
+        event logs.  A node with neither contributes nothing.
+        """
+        address = str(node.address)
+        if tracer is not None:
+            table = node.store.get("ruleExec")
+            table.on_insert.append(
+                lambda row, outcome, _a=address: self._on_rule_exec(
+                    _a, row, outcome
+                )
+            )
+            tracer.registry.on_register.append(
+                lambda tid, src, src_tid, loc, tup, _a=address: (
+                    self._on_register(_a, tid, src, src_tid, loc, tup)
+                )
+            )
+        if logger is not None and self.config.capture_logs:
+            node.store.get("tupleLog").on_insert.append(
+                lambda row, outcome, _a=address: self._on_tuple_log(_a, row)
+            )
+            node.store.get("tableLog").on_insert.append(
+                lambda row, outcome, _a=address: self._on_table_log(_a, row)
+            )
+
+    def ring_rotated(self, node: str, ring: str) -> None:
+        """Count one ring eviction (driven by the system's watcher)."""
+        key = (node, ring)
+        self.ring_rotations[key] = self.ring_rotations.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Capture callbacks
+
+    def _on_rule_exec(self, node: str, row, outcome) -> None:
+        from repro.runtime.table import InsertOutcome
+
+        if outcome is InsertOutcome.REFRESHED:
+            return
+        _, rule, cause, effect, in_t, out_t, is_event = row.values
+        self._append(
+            fmt.rule_exec_record(
+                node, rule, cause, effect, in_t, out_t, is_event
+            )
+        )
+
+    def _on_register(self, node, tid, src, src_tid, loc, tup) -> None:
+        payload = None
+        if tup is not None:
+            seen = self._payloaded.setdefault(node, set())
+            if tid not in seen:
+                seen.add(tid)
+                payload = fmt.tuple_payload(tup)
+        self._append(
+            fmt.tuple_ident_record(
+                node, tid, src, src_tid, loc, self._clock(), payload
+            )
+        )
+
+    def _on_tuple_log(self, node: str, row) -> None:
+        _, seq, when, rel, text = row.values
+        self._append(fmt.tuple_log_record(node, seq, when, rel, text))
+
+    def _on_table_log(self, node: str, row) -> None:
+        _, seq, when, rel, op, text = row.values
+        self._append(fmt.table_log_record(node, seq, when, rel, op, text))
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self.closed:
+            return
+        self._buffer.append(record)
+        self.events_appended += 1
+        if (
+            not self.tick_mode
+            and len(self._buffer) >= self.config.segment_events
+        ):
+            self.flush_segment()
+
+    def on_tick_barrier(self, when: float) -> None:
+        """Tick-barrier hook (batch kernel): cut full segments now."""
+        while len(self._buffer) >= self.config.segment_events:
+            self.flush_segment()
+
+    def flush_segment(self) -> None:
+        """Cut one segment from the buffer head (no-op when empty)."""
+        if not self._buffer:
+            return
+        count = min(len(self._buffer), self.config.segment_events)
+        chunk = self._buffer[:count]
+        del self._buffer[:count]
+        if self._compressor is not None:
+            chunk = self._compressor.compress(self._compressor.layout(chunk))
+        if not self._dir_ready:
+            os.makedirs(self.config.directory, exist_ok=True)
+            self._dir_ready = True
+        summary = write_segment(self.config.directory, self._next_seg, chunk)
+        self._segments.append(
+            SegmentReader(self.config.directory, summary)
+        )
+        self._next_seg += 1
+        self.segments_written += 1
+        self.records_written += summary["records"]
+        self.bytes_written += summary["bytes"]
+        self.bursts_written += sum(
+            1 for r in chunk if r["k"] in (fmt.RULE_BURST, fmt.LOG_BURST)
+        )
+        self.flushes += 1
+        self._write_manifest()
+
+    def close(self) -> None:
+        """Flush everything and finalize the manifest."""
+        while self._buffer:
+            self.flush_segment()
+        self._write_manifest()
+        self.closed = True
+
+    def _write_manifest(self) -> None:
+        if not self._dir_ready:
+            os.makedirs(self.config.directory, exist_ok=True)
+            self._dir_ready = True
+        manifest = {
+            "version": 1,
+            "segments": [s.summary for s in self._segments],
+            "next_segment": self._next_seg,
+            "totals": {
+                "events": self.events_appended - len(self._buffer),
+                "records": self.records_written,
+                "bytes": self.bytes_written,
+                "bursts": self.bursts_written,
+            },
+            "ring_rotations": [
+                {"node": node, "ring": ring, "count": count}
+                for (node, ring), count in sorted(self.ring_rotations.items())
+            ],
+        }
+        path = os.path.join(self.config.directory, MANIFEST)
+        with open(path, "w") as handle:
+            json.dump(manifest, handle, sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def compression_ratio(self) -> float:
+        """Logical events per physical record in written segments."""
+        if self.records_written == 0:
+            return 1.0
+        flushed = sum(s.summary["events"] for s in self._segments)
+        return flushed / self.records_written
+
+    def segment_files(self) -> List[str]:
+        """Written segment file names, in order."""
+        return [s.summary["file"] for s in self._segments]
+
+    def segment_paths(self) -> List[str]:
+        """Full paths of the written segment files, in order."""
+        return [
+            os.path.join(self.config.directory, name)
+            for name in self.segment_files()
+        ]
+
+    def manifest_path(self) -> str:
+        return os.path.join(self.config.directory, MANIFEST)
+
+    # ------------------------------------------------------------------
+    # Query path
+
+    def events(
+        self,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        node: Optional[str] = None,
+        relation: Optional[str] = None,
+        kind: Optional[str] = None,
+        expand_bursts: bool = True,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Filtered scan over segments + the unflushed buffer.
+
+        Segments are pruned through their sidecar summaries; matching
+        lines are read by offset.  With ``expand_bursts`` (default),
+        lossless rule bursts are expanded back into their ``re``
+        records before filtering so callers never see representation
+        details; counted ``log.b`` bursts pass through as themselves.
+
+        Results are sorted by timestamp with the canonical encoding as
+        tie-break — a total, byte-stable order independent of segment
+        layout (the writer clusters records for compression).
+        """
+        out: List[Dict[str, Any]] = []
+        for segment in self._segments:
+            if not (
+                segment.overlaps_time(t0, t1)
+                and segment.has_node(node)
+                and (relation is None or relation in segment.summary["rels"])
+            ):
+                continue
+            candidates = segment.select(
+                t0=t0, t1=t1, node=node, relation=relation, kind=kind
+            )
+            out.extend(
+                self._post_filter(
+                    candidates, t0, t1, node, relation, kind, expand_bursts
+                )
+            )
+        out.extend(
+            self._post_filter(
+                self._buffer, t0, t1, node, relation, kind, expand_bursts
+            )
+        )
+        out.sort(key=lambda r: (r["t"], fmt.encode(r)))
+        if limit is not None:
+            out = out[:limit]
+        return out
+
+    def _post_filter(
+        self, records, t0, t1, node, relation, kind, expand_bursts
+    ) -> Iterator[Dict[str, Any]]:
+        for record in records:
+            expanded = expand(record) if expand_bursts else [record]
+            for entry in expanded:
+                if t0 is not None and entry["t"] < t0:
+                    continue
+                if t1 is not None and entry["t"] > t1:
+                    continue
+                if node is not None and entry["n"] != node:
+                    continue
+                if kind is not None and entry["k"] != kind:
+                    continue
+                if relation is not None and entry.get("rel") != relation:
+                    continue
+                yield entry
+
+    # ------------------------------------------------------------------
+    # Provenance lookups (backward slicing)
+
+    def _segments_for_tid(self, node: str, tid: int) -> List[SegmentReader]:
+        return [s for s in self._segments if s.may_hold_tid(node, tid)]
+
+    def edges_to(self, node: str, tid: int) -> List[Dict[str, Any]]:
+        """All ``re`` edges (event + precondition) with effect ``tid``."""
+        out: List[Dict[str, Any]] = []
+        for segment in self._segments_for_tid(node, tid):
+            out.extend(segment.edges_to(node, tid))
+        for record in self._buffer:
+            if (
+                record["k"] == fmt.RULE_EXEC
+                and record["n"] == node
+                and record["e"] == tid
+            ):
+                out.append(record)
+        return out
+
+    def _ident_rows(self, node: str, tid: int) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for segment in self._segments_for_tid(node, tid):
+            out.extend(segment.ident_rows(node, tid))
+        for record in self._buffer:
+            if (
+                record["k"] == fmt.TUPLE_IDENT
+                and record["n"] == node
+                and record["i"] == tid
+            ):
+                out.append(record)
+        return out
+
+    def source_of(self, node: str, tid: int) -> Optional[PyTuple]:
+        """Latest recorded ``(src, src_tid)`` for one tuple id."""
+        rows = self._ident_rows(node, tid)
+        if not rows:
+            return None
+        last = rows[-1]
+        return last["s"], last["si"]
+
+    def contents_of(self, node: str, tid: int) -> Optional[Dict[str, Any]]:
+        """The persisted payload of one tuple id (first ``tt`` row)."""
+        for row in self._ident_rows(node, tid):
+            if "rep" in row:
+                return row["rep"]
+        return None
+
+    def tid_of(self, node: str, payload: Dict[str, Any]) -> Optional[int]:
+        """Newest tuple id whose persisted payload equals ``payload``."""
+        best: Optional[int] = None
+        for record in self.events(
+            node=node, kind=fmt.TUPLE_IDENT, expand_bursts=False
+        ):
+            if record.get("rep") == payload:
+                tid = record["i"]
+                if best is None or tid > best:
+                    best = tid
+        return best
+
+    def nodes(self) -> List[str]:
+        """All node addresses with any persisted history."""
+        seen = set()
+        for segment in self._segments:
+            seen.update(segment.summary["nodes"])
+        seen.update(r["n"] for r in self._buffer)
+        return sorted(seen)

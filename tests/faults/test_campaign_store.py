@@ -1,0 +1,69 @@
+"""Campaign verdicts carry forensic-store pointers.
+
+With ``store_dir`` set, every arm of a campaign runs traced + logged
+into its own durable store, and the verdict fingerprint embeds the
+segment pointers — a failure replayed from its seed produces the same
+evidence trail, and the evidence can be sliced offline with
+``python -m repro.store``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.store import ForensicStore, StoreProvider, backward_slice
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(num_nodes=6, stabilize_time=240.0)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def test_verdict_embeds_store_pointers(tmp_path):
+    config = small_config(store_dir=str(tmp_path))
+    verdict = FaultCampaign(2, config).run()
+    assert verdict.store is not None
+    assert verdict.store["events"] > 0
+    assert verdict.store["segments"], "campaign produced no segments"
+    assert os.path.exists(verdict.store["manifest"])
+    for segment in verdict.store["segments"]:
+        assert os.path.exists(segment)
+    # The pointers are part of the reproducibility contract.
+    assert "store" in verdict.fingerprint()
+    assert json.loads(verdict.fingerprint())["store"] == verdict.store
+
+
+def test_store_less_campaign_has_no_pointer_block():
+    verdict = FaultCampaign(2, small_config()).run()
+    assert verdict.store is None
+    assert json.loads(verdict.fingerprint())["store"] is None
+
+
+def test_campaign_store_is_sliceable_offline(tmp_path):
+    config = small_config(store_dir=str(tmp_path))
+    verdict = FaultCampaign(2, config).run()
+    directory = os.path.dirname(verdict.store["manifest"])
+    store = ForensicStore.open(directory)
+    assert store.events_appended == verdict.store["events"]
+    # Slice the newest persisted tuple on some node: the walk must
+    # terminate and produce canonical, repeatable bytes.
+    node = store.nodes()[0]
+    tids = [r["i"] for r in store.events(node=node, kind="tt")]
+    assert tids, "no identity records persisted"
+    provider = StoreProvider(store)
+    result = backward_slice(provider, node, max(tids))
+    assert result.to_json() == backward_slice(
+        provider, node, max(tids)
+    ).to_json()
+
+
+def test_arm_store_dirs_do_not_collide(tmp_path):
+    config = small_config(store_dir=str(tmp_path))
+    faulted = FaultCampaign(3, config).run()
+    control = FaultCampaign(3, config).run(control=True)
+    assert faulted.store["manifest"] != control.store["manifest"]
+    assert os.path.exists(faulted.store["manifest"])
+    assert os.path.exists(control.store["manifest"])

@@ -1,0 +1,130 @@
+"""Burst compression: lossless rule bursts, counted log bursts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import format as fmt
+from repro.store.compress import BurstCompressor, expand, expand_all
+
+
+def rule_run(node, rule, count, base_tid=10, ev=True, t0=1.0):
+    return [
+        fmt.rule_exec_record(
+            node,
+            rule,
+            base_tid + i,
+            base_tid + i + 1,
+            t0 + i,
+            t0 + i + 0.5,
+            ev,
+        )
+        for i in range(count)
+    ]
+
+
+def noise_run(node, count, t0=1.0):
+    return [
+        fmt.tuple_log_record(node, i + 1, t0 + i, "periodic", f"p({i})")
+        for i in range(count)
+    ]
+
+
+def test_rule_burst_expands_byte_exactly():
+    records = rule_run("n1:1", "r1", 6)
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert len(compressed) == 1
+    burst = compressed[0]
+    assert burst["k"] == fmt.RULE_BURST
+    assert burst["cnt"] == 6
+    assert [fmt.encode(r) for r in expand(burst)] == [
+        fmt.encode(r) for r in records
+    ]
+
+
+def test_short_runs_stay_uncompressed():
+    records = rule_run("n1:1", "r1", 3)
+    assert BurstCompressor(min_run=4).compress(records) == records
+
+
+def test_run_breaks_on_rule_change():
+    records = rule_run("n1:1", "r1", 4) + rule_run("n1:1", "r2", 4)
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert len(compressed) == 2
+    assert {c["r"] for c in compressed} == {"r1", "r2"}
+
+
+def test_event_and_precondition_edges_never_share_a_burst():
+    records = rule_run("n1:1", "r1", 4, ev=True) + rule_run(
+        "n1:1", "r1", 4, ev=False
+    )
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert len(compressed) == 2
+    assert [c["ev"] for c in compressed] == [True, False]
+
+
+def test_noise_log_burst_is_counted_with_exact_window():
+    records = noise_run("n1:1", 8, t0=3.0)
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert len(compressed) == 1
+    burst = compressed[0]
+    assert burst["k"] == fmt.LOG_BURST
+    assert burst["cnt"] == 8
+    assert burst["tf"] == 3.0
+    assert burst["tl"] == 10.0
+    assert burst["sf"] == 1 and burst["sl"] == 8
+    # Lossy tier: expansion yields the burst itself, not fabricated rows.
+    assert expand(burst) == [burst]
+
+
+def test_non_noise_relations_never_log_burst():
+    records = [
+        fmt.tuple_log_record("n1:1", i + 1, 1.0 + i, "lookup", f"l({i})")
+        for i in range(8)
+    ]
+    assert BurstCompressor(min_run=4).compress(records) == records
+
+
+def test_logical_event_count_is_preserved():
+    records = (
+        rule_run("n1:1", "r1", 7)
+        + noise_run("n1:1", 5)
+        + rule_run("n1:1", "r2", 2)
+    )
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert sum(fmt.logical_events(r) for r in compressed) == len(records)
+
+
+def test_layout_groups_interleaved_records_for_compression():
+    # A live capture interleaves kinds per firing: without layout no
+    # run ever forms; with it the rule records cluster and compress.
+    interleaved = []
+    for i in range(6):
+        interleaved.append(
+            fmt.tuple_ident_record(
+                "n1:1", 100 + i, "n1:1", 100 + i, "n1:1", 1.0 + i, None
+            )
+        )
+        interleaved.extend(rule_run("n1:1", "r1", 1, base_tid=10 + i, t0=1.0 + i))
+    compressor = BurstCompressor(min_run=4)
+    assert len(compressor.compress(interleaved)) == len(interleaved)
+    clustered = compressor.compress(compressor.layout(interleaved))
+    kinds = [r["k"] for r in clustered]
+    assert fmt.RULE_BURST in kinds
+    assert sum(fmt.logical_events(r) for r in clustered) == len(interleaved)
+    # Layout is a pure function: same input, same bytes.
+    again = compressor.compress(compressor.layout(list(interleaved)))
+    assert [fmt.encode(r) for r in clustered] == [fmt.encode(r) for r in again]
+
+
+def test_min_run_below_two_rejected():
+    with pytest.raises(ValueError):
+        BurstCompressor(min_run=1)
+
+
+def test_expand_all_round_trips_mixed_stream():
+    records = rule_run("n1:1", "r1", 5) + rule_run("n2:2", "r1", 5)
+    compressed = BurstCompressor(min_run=4).compress(records)
+    assert [fmt.encode(r) for r in expand_all(compressed)] == [
+        fmt.encode(r) for r in records
+    ]

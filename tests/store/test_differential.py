@@ -1,0 +1,135 @@
+"""The store-vs-memory differential battery.
+
+The acceptance property of the durable store: while the in-memory
+introspection rings still hold an alarm's history, a store-backed
+backward slice is **byte-identical** to the memory-backed one; and
+after the rings rotate past the alarm's antecedents, the store-backed
+slice *still* returns the same bytes — the verdict survives ring
+rotation — while the memory-backed walk visibly degrades.
+
+Runs the same two-node chain workload per seed with deliberately tiny
+rings so phase B's injection storm rotates every ring past phase A's
+alarm.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import System
+from repro.sim.batch import ExecutionConfig
+from repro.store import (
+    MemoryProvider,
+    StoreConfig,
+    StoreProvider,
+    backward_slice,
+)
+
+FAST_SEEDS = [0, 1, 2, 3, 4]
+# The full sweep (nightly tier).
+SWEEP_SEEDS = list(range(25))
+
+
+def build(seed, tmp_path, execution=None):
+    system = System(
+        seed=seed,
+        store=StoreConfig(
+            directory=str(tmp_path / f"store{seed}"), segment_events=32
+        ),
+        trace_entries=48,
+        tuple_entries=96,
+        log_capacity=64,
+        execution=execution,
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    a.install_source("r1 hop@Dst(X) :- start@N(Dst, X).")
+    b.install_source("r2 final@N(X) :- hop@N(X).")
+    return system, a, b
+
+
+def providers(system):
+    nodes = {str(addr): node for addr, node in system.nodes.items()}
+    return MemoryProvider(nodes), StoreProvider(system.store)
+
+
+def run_battery(seed, tmp_path, execution=None):
+    system, a, b = build(seed, tmp_path, execution=execution)
+    got = system.collect("final", on=["b:1"])
+
+    # Phase A: a handful of chains; history fits in every ring.
+    for i in range(5):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(2.0)
+    assert len(got) == 5
+    alarm = got[-1]
+    # The tuple id must be captured while the registry still holds the
+    # alarm: after rotation id_of would mint a fresh id.
+    tid = b.registry.id_of(alarm)
+
+    memory, store = providers(system)
+    mem_a = backward_slice(memory, "b:1", tid)
+    store_a = backward_slice(store, "b:1", tid)
+    assert mem_a.to_json() == store_a.to_json(), (
+        f"seed {seed}: store slice diverges from memory while history "
+        f"is still in the rings"
+    )
+    assert mem_a.links, f"seed {seed}: empty slice — workload broken"
+    assert mem_a.hops, f"seed {seed}: chain never crossed the network"
+
+    # Phase B: storm enough chains to rotate every ring past phase A.
+    for i in range(5, 80):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(2.0)
+    assert system.ring_rotations, (
+        f"seed {seed}: rings never rotated — phase B proves nothing"
+    )
+    assert any(ring == "ruleExec" for _, ring in system.ring_rotations), (
+        f"seed {seed}: ruleExec ring kept the alarm's antecedents"
+    )
+
+    store_b = backward_slice(store, "b:1", tid)
+    assert store_b.to_json() == store_a.to_json(), (
+        f"seed {seed}: store slice changed after ring rotation"
+    )
+    mem_b = backward_slice(memory, "b:1", tid)
+    assert len(mem_b.links) < len(json.loads(store_a.to_json())["links"]), (
+        f"seed {seed}: memory kept the full chain — rings too big for "
+        f"the battery to mean anything"
+    )
+    return system
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_store_slice_matches_memory_then_survives_rotation(seed, tmp_path):
+    run_battery(seed, tmp_path)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_battery_holds_under_tick_execution(seed, tmp_path):
+    run_battery(seed, tmp_path, execution=ExecutionConfig(tick=0.001))
+
+
+def test_closed_store_returns_the_same_bytes_from_disk(tmp_path):
+    system = run_battery(7, tmp_path)
+    got_before = None
+    store = system.store
+    # Any tuple with persisted history slices identically pre/post close.
+    node = store.nodes()[0]
+    tids = [r["i"] for r in store.events(node=node, kind="tt")]
+    probe = max(tids)
+    before = backward_slice(StoreProvider(store), node, probe).to_json()
+    system.close_store()
+    from repro.store import ForensicStore
+
+    reopened = ForensicStore.open(store.config.directory)
+    after = backward_slice(StoreProvider(reopened), node, probe).to_json()
+    assert before == after
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SWEEP_SEEDS)
+def test_differential_sweep(seed, tmp_path):
+    run_battery(seed, tmp_path)

@@ -1,0 +1,246 @@
+"""Causality edge cases the store must survive.
+
+Three ways real deployments break naive provenance walks:
+
+- **replace ping-pong**: keyed tables replace rows in place and rules
+  re-fire over the same (rule, cause, effect) identity, or worse, two
+  tuples derive each other in a cycle — the slice must terminate and
+  present one (the newest) edge per identity;
+- **retransmitted wire mids**: a lossy reliable link retransmits; the
+  receiver dedups, so provenance must see exactly one delivery per
+  shipped tuple no matter how many frames carried it;
+- **crash + restart**: the registry dies with the process, but the
+  store does not — a pre-crash alarm still slices to its pre-crash
+  firing, and a post-mortem replica backfills rows the rings rotated
+  away.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import trace_back
+from repro.core.system import System
+from repro.net.network import ReliableConfig
+from repro.recovery import RecoveryManager
+from repro.store import (
+    ForensicStore,
+    MemoryProvider,
+    StoreConfig,
+    StoreProvider,
+    backward_slice,
+)
+from repro.store import format as fmt
+from repro.store.store import StoreConfig as SC
+
+
+# ----------------------------------------------------------------------
+# Replace semantics and cycles
+
+
+def test_synthetic_causal_cycle_terminates(tmp_path):
+    store = ForensicStore(SC(directory=str(tmp_path / "s")))
+    store._append(
+        fmt.tuple_ident_record("n:1", 1, "n:1", 1, "n:1", 0.1, None)
+    )
+    store._append(
+        fmt.tuple_ident_record("n:1", 2, "n:1", 2, "n:1", 0.2, None)
+    )
+    # ping(1) -> pong(2) -> ping(1): a ruleExec cycle.
+    store._append(fmt.rule_exec_record("n:1", "p1", 1, 2, 0.1, 0.2, True))
+    store._append(fmt.rule_exec_record("n:1", "p2", 2, 1, 0.2, 0.3, True))
+    store.close()
+
+    result = backward_slice(StoreProvider(store), "n:1", 2)
+    assert len(result.links) == 2
+    assert {l["r"] for l in result.links} == {"p1", "p2"}
+    assert not result.truncated
+    assert result.inputs == []  # every tuple has a producer in the cycle
+
+
+def test_replaced_edge_keeps_only_the_newest_firing(tmp_path):
+    store = ForensicStore(SC(directory=str(tmp_path / "s")))
+    # The same (rule, cause, effect, ev) identity fired twice: ring
+    # replace semantics keep only the newest, so must the slice.
+    store._append(fmt.rule_exec_record("n:1", "r", 1, 2, 0.1, 0.2, True))
+    store._append(fmt.rule_exec_record("n:1", "r", 1, 2, 5.0, 5.1, True))
+    store.close()
+
+    result = backward_slice(StoreProvider(store), "n:1", 2)
+    assert len(result.links) == 1
+    assert result.links[0]["to"] == 5.1
+
+
+def test_live_replace_ping_pong_stays_differential(tmp_path):
+    """A keyed table replaced over and over: re-derivations REFRESH the
+    ruleExec identity and the store must not diverge from memory."""
+    system = System(
+        seed=11,
+        store=StoreConfig(directory=str(tmp_path / "store")),
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    a.install_source(
+        """
+        materialize(state, infinity, infinity, keys(2)).
+        u1 state@N(K, V) :- update@N(K, V).
+        """
+    )
+    # Same key replaced 6 times; the last value wins.
+    for v in range(6):
+        a.inject("update", ("a:1", "k", v))
+        system.run_for(0.5)
+    (row,) = a.query("state")
+    assert row.values[2] == 5
+    tid = a.registry.id_of(row)
+
+    memory = MemoryProvider({"a:1": a})
+    store = StoreProvider(system.store)
+    mem = backward_slice(memory, "a:1", tid)
+    dur = backward_slice(store, "a:1", tid)
+    assert mem.to_json() == dur.to_json()
+    assert len(mem.links) == 1
+    assert mem.inputs and mem.inputs[0]["rep"]["rel"] == "update"
+
+
+# ----------------------------------------------------------------------
+# Retransmission over a lossy reliable link
+
+
+def test_retransmitted_deliveries_keep_single_hop_provenance(tmp_path):
+    system = System(
+        seed=13,
+        loss_rate=0.3,
+        transport="reliable",
+        reliable=ReliableConfig(rto=0.2, max_retries=6, jitter=0.05),
+        store=StoreConfig(directory=str(tmp_path / "store")),
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    a.install_source("r1 hop@Dst(X) :- start@N(Dst, X).")
+    b.install_source("r2 final@N(X) :- hop@N(X).")
+    got = system.collect("final", on=["b:1"])
+    for i in range(20):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(30.0)
+
+    assert len(got) == 20, "reliable transport failed to deliver"
+    assert system.network.stats.messages_retransmitted > 0, (
+        "no retransmissions — the loss rate never bit, test is vacuous"
+    )
+
+    memory = MemoryProvider({"a:1": a, "b:1": b})
+    store = StoreProvider(system.store)
+    for final in got:
+        tid = b.registry.id_of(final)
+        mem = backward_slice(memory, "b:1", tid)
+        dur = backward_slice(store, "b:1", tid)
+        assert mem.to_json() == dur.to_json()
+        # One shipped tuple, one hop — however many frames carried it.
+        assert len(mem.hops) == 1
+        assert len(mem.links) == 2
+
+
+# ----------------------------------------------------------------------
+# Crash + restart: the store outlives the registry
+
+
+def crashed_chain(tmp_path, trace_entries=5000):
+    system = System(
+        seed=17,
+        store=StoreConfig(directory=str(tmp_path / "store")),
+        trace_entries=trace_entries,
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    manager = RecoveryManager(system, checkpoint_interval=10.0)
+    manager.protect_all()
+    a.install_source("r1 hop@Dst(X) :- start@N(Dst, X).")
+    b.install_source(
+        """
+        materialize(final, infinity, infinity, keys(2)).
+        r2 final@N(X) :- hop@N(X).
+        """
+    )
+    for i in range(5):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(15.0)
+    finals = b.query("final")
+    assert len(finals) == 5
+    alarm = finals[-1]
+    tid = b.registry.id_of(alarm)
+    return system, manager, alarm, tid
+
+
+def test_pre_crash_alarm_slices_across_restart(tmp_path):
+    system, manager, alarm, tid = crashed_chain(tmp_path)
+    store = StoreProvider(system.store)
+    before = backward_slice(store, "b:1", tid)
+    assert before.hops and before.inputs
+
+    manager.crash("b:1")
+    system.run_for(2.0)
+    manager.restart("b:1")
+    system.run_for(2.0)
+
+    # The store still attributes the pre-crash alarm to its pre-crash
+    # firing, byte-for-byte.
+    after = backward_slice(store, "b:1", tid)
+    assert after.to_json() == before.to_json()
+    # The payload→tid lookup used by the CLI keeps resolving too: the
+    # newest matching identity still slices to a chain with the same
+    # leaf input.
+    found = system.store.tid_of("b:1", fmt.tuple_payload(alarm))
+    assert found is not None
+    sliced = backward_slice(store, "b:1", found)
+    assert sliced.inputs == before.inputs
+
+
+def test_trace_back_falls_back_to_store_after_rotation(tmp_path):
+    system = System(
+        seed=19,
+        store=StoreConfig(directory=str(tmp_path / "store")),
+        trace_entries=16,
+        tuple_entries=48,
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    a.install_source("r1 hop@Dst(X) :- start@N(Dst, X).")
+    b.install_source("r2 final@N(X) :- hop@N(X).")
+    got = system.collect("final", on=["b:1"])
+    a.inject("start", ("a:1", "b:1", 0))
+    system.run_for(1.0)
+    alarm = got[0]
+    nodes = {"a:1": a, "b:1": b}
+    full = trace_back(nodes, "b:1", alarm, store=system.store)
+    assert [link.rule for link in full] == ["r2", "r1"]
+
+    # Rotate the rings past the alarm's history.
+    for i in range(1, 60):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(2.0)
+    assert system.ring_rotations
+
+    rings_only = trace_back(nodes, "b:1", alarm)
+    recovered = trace_back(nodes, "b:1", alarm, store=system.store)
+    assert len(rings_only) < 2, "rings kept the chain; rotation failed"
+    assert [link.rule for link in recovered] == ["r2", "r1"]
+    assert recovered[1].node == "a:1"
+    assert recovered[1].crossed_network
+    assert recovered[1].cause is not None
+    assert recovered[1].cause.name == "start"
+
+
+def test_postmortem_backfills_rotated_rows_from_store(tmp_path):
+    system, manager, alarm, tid = crashed_chain(tmp_path, trace_entries=4)
+    # The live ring held only the last 4 ruleExec rows.
+    live_rows = len(system.node("b:1").query("ruleExec"))
+    assert live_rows <= 4
+    manager.crash("b:1")
+
+    pm = manager.post_mortem("b:1")
+    assert pm.backfilled["ruleExec"] > 0
+    assert len(pm.query("ruleExec")) > live_rows
+
+    rings_only = manager.post_mortem("b:1", store=False)
+    assert rings_only.backfilled["ruleExec"] == 0
+    assert len(rings_only.query("ruleExec")) == live_rows

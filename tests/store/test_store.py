@@ -1,0 +1,222 @@
+"""The ForensicStore end-to-end: capture, flush, reopen, query, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.sim.batch import ExecutionConfig
+from repro.store import format as fmt
+from repro.store.__main__ import main as store_cli
+from repro.store.store import ForensicStore, StoreConfig
+
+
+CHAIN = "r1 hop@Dst(X) :- start@N(Dst, X)."
+FINAL = "r2 final@N(X) :- hop@N(X)."
+
+
+def chain_system(tmp_path, seed=1, injections=10, **system_kwargs):
+    system = System(
+        seed=seed,
+        store=StoreConfig(directory=str(tmp_path / "store"), segment_events=64),
+        **system_kwargs,
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    a.install_source(CHAIN)
+    b.install_source(FINAL)
+    got = system.collect("final", on=["b:1"])
+    for i in range(injections):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(5.0)
+    return system, got
+
+
+def test_capture_and_flush(tmp_path):
+    system, got = chain_system(tmp_path)
+    assert len(got) == 10
+    store = system.store
+    assert store.events_appended > 0
+    system.close_store()
+    assert store.segments_written >= 1
+    assert store.closed
+    # Totals reconcile: every appended event landed in a segment.
+    assert (
+        sum(fmt.logical_events(r) for s in store._segments for r in s.records())
+        == store.events_appended
+    )
+
+
+def test_reopen_matches_live_store(tmp_path):
+    system, _ = chain_system(tmp_path)
+    live = system.close_store()
+    reopened = ForensicStore.open(live.config.directory)
+    assert reopened.events_appended == live.events_appended
+    assert reopened.records_written == live.records_written
+    assert reopened.segment_files() == live.segment_files()
+    assert reopened.nodes() == live.nodes()
+
+
+def test_open_missing_store_raises(tmp_path):
+    with pytest.raises(ReproError):
+        ForensicStore.open(str(tmp_path / "nowhere"))
+
+
+def test_query_filters(tmp_path):
+    system = System(
+        seed=4,
+        store=StoreConfig(directory=str(tmp_path / "store"), segment_events=64),
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    b = system.add_node("b:1", tracing=True, logging=True)
+    a.install_source(CHAIN)
+    b.install_source(FINAL)
+    for i in range(5):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(10.0)
+    for i in range(5, 10):
+        a.inject("start", ("a:1", "b:1", i))
+    system.run_for(10.0)
+    store = system.close_store()
+    finals = store.events(node="b:1", relation="final", kind=fmt.TUPLE_IDENT)
+    assert len(finals) == 10
+    assert all(r["rel"] == "final" for r in finals)
+    early = store.events(
+        node="b:1", relation="final", kind=fmt.TUPLE_IDENT, t1=5.0
+    )
+    late = store.events(
+        node="b:1", relation="final", kind=fmt.TUPLE_IDENT, t0=5.0
+    )
+    assert len(early) == 5 and len(late) == 5
+    assert store.events(node="z:9") == []
+    limited = store.events(limit=7)
+    assert len(limited) == 7
+
+
+def test_events_are_time_sorted_and_stable(tmp_path):
+    system, _ = chain_system(tmp_path)
+    store = system.close_store()
+    events = store.events()
+    times = [r["t"] for r in events]
+    assert times == sorted(times)
+    again = ForensicStore.open(store.config.directory).events()
+    assert [fmt.encode(r) for r in events] == [fmt.encode(r) for r in again]
+
+
+def test_live_queries_see_unflushed_buffer(tmp_path):
+    system = System(
+        seed=3,
+        store=StoreConfig(
+            directory=str(tmp_path / "store"), segment_events=100000
+        ),
+    )
+    a = system.add_node("a:1", tracing=True)
+    a.install_source("r local@N(X) :- poke@N(X).")
+    a.inject("poke", ("a:1", 1))
+    system.run_for(1.0)
+    store = system.store
+    assert store.segments_written == 0  # nothing flushed yet
+    assert store.events(node="a:1", kind=fmt.RULE_EXEC)
+
+
+def test_seeded_runs_produce_identical_stores(tmp_path):
+    first, _ = chain_system(tmp_path / "one", seed=9)
+    second, _ = chain_system(tmp_path / "two", seed=9)
+    a = first.close_store()
+    b = second.close_store()
+    files_a = sorted((tmp_path / "one" / "store").iterdir())
+    files_b = sorted((tmp_path / "two" / "store").iterdir())
+    assert [f.name for f in files_a] == [f.name for f in files_b]
+    for fa, fb in zip(files_a, files_b):
+        assert fa.read_bytes() == fb.read_bytes()
+
+
+def test_tick_mode_flushes_at_tick_barriers(tmp_path):
+    system, got = chain_system(
+        tmp_path,
+        injections=30,
+        execution=ExecutionConfig(tick=0.001),
+    )
+    assert len(got) == 30
+    store = system.store
+    assert store.tick_mode
+    assert store.segments_written >= 1  # barrier hook cut segments mid-run
+    system.close_store()
+    assert (
+        sum(fmt.logical_events(r) for s in store._segments for r in s.records())
+        == store.events_appended
+    )
+
+
+def test_compression_can_be_disabled(tmp_path):
+    system = System(
+        seed=2,
+        store=StoreConfig(
+            directory=str(tmp_path / "store"),
+            segment_events=64,
+            compress=False,
+        ),
+    )
+    a = system.add_node("a:1", tracing=True, logging=True)
+    a.install_source("r local@N(X) :- poke@N(X).")
+    for i in range(60):
+        a.inject("poke", ("a:1", i))
+    system.run_for(2.0)
+    store = system.close_store()
+    assert store.compression_ratio == 1.0
+    assert store.bursts_written == 0
+
+
+def test_cli_info_query_slice(tmp_path, capsys):
+    system, got = chain_system(tmp_path)
+    store = system.close_store()
+    directory = store.config.directory
+
+    assert store_cli(["info", directory]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["segments"] == store.segments_written
+    assert info["nodes"] == ["a:1", "b:1"]
+
+    assert (
+        store_cli(
+            [
+                "query",
+                directory,
+                "--node",
+                "b:1",
+                "--relation",
+                "final",
+                "--kind",
+                "tt",
+            ]
+        )
+        == 0
+    )
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 10  # one identity record per delivered final
+
+    alarm = json.dumps(fmt.tuple_payload(got[-1]))
+    assert store_cli(["slice", directory, "--alarm", alarm]) == 0
+    first = capsys.readouterr().out
+    result = json.loads(first)
+    assert result["counts"]["links"] >= 2
+    assert result["counts"]["inputs"] >= 1
+    # Byte-stable: the same slice twice is the same bytes.
+    assert store_cli(["slice", directory, "--alarm", alarm]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_slice_errors(tmp_path, capsys):
+    system, _ = chain_system(tmp_path)
+    directory = system.close_store().config.directory
+    assert store_cli(["slice", directory]) == 2
+    assert (
+        store_cli(
+            ["slice", directory, "--alarm", '{"rel":"ghost","v":[]}']
+        )
+        == 1
+    )
+    assert store_cli(["slice", directory, "--tid", "3"]) == 2  # needs --node
